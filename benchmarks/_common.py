@@ -1,0 +1,64 @@
+"""Shared helpers for the benchmark harness.
+
+Each ``bench_figureN.py`` regenerates one figure of the paper: it runs
+the sweep (timed by pytest-benchmark), prints the paper-style table,
+gains and ASCII plot, and asserts the paper's qualitative shape.
+
+Knobs (environment variables):
+
+``REPRO_BENCH_SIM_TIME``
+    Simulated horizon per run (default 20000; the paper used ~1e5 --
+    see EXPERIMENTS.md).  Larger = tighter agreement, longer wall time.
+``REPRO_BENCH_SEEDS``
+    Comma-separated seeds (default "0,1").
+``REPRO_BENCH_TSWITCH``
+    Comma-separated T_switch sweep (default "100,1000,10000").
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.experiments import figure_report, run_figure, validate_figure
+from repro.experiments.runner import SweepResult
+
+
+def bench_sim_time() -> float:
+    return float(os.environ.get("REPRO_BENCH_SIM_TIME", "20000"))
+
+
+def bench_seeds() -> tuple[int, ...]:
+    raw = os.environ.get("REPRO_BENCH_SEEDS", "0,1")
+    return tuple(int(s) for s in raw.split(","))
+
+
+def bench_t_switch() -> tuple[float, ...]:
+    raw = os.environ.get("REPRO_BENCH_TSWITCH", "100,1000,10000")
+    return tuple(float(s) for s in raw.split(","))
+
+
+def run_figure_bench(figure: int, benchmark) -> SweepResult:
+    """Body shared by the six figure benchmarks."""
+    result = benchmark.pedantic(
+        run_figure,
+        kwargs=dict(
+            figure=figure,
+            sim_time=bench_sim_time(),
+            seeds=bench_seeds(),
+            t_switch_values=bench_t_switch(),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(figure_report(result, figure=figure))
+    report = validate_figure(result, spread_tolerance=0.5)
+    print()
+    print(report)
+    assert report.ok, f"figure {figure} lost the paper's shape:\n{report}"
+    # record headline numbers in the benchmark JSON
+    last = result.points[-1]
+    benchmark.extra_info["t_switch_max"] = last.t_switch
+    for name in result.protocols():
+        benchmark.extra_info[f"n_total_{name}"] = last.mean_total(name)
+    return result

@@ -1,0 +1,54 @@
+"""Ablation: non-negligible checkpoint time (paper Section 5.1).
+
+The paper: "we simulated situations in which the time for taking a
+checkpoint is non negligible and we did not found a remarkable impact on
+the number of taken checkpoints."  This bench reproduces that check by
+running BCS and QBC online with checkpoint latencies of 0, 0.1 and 1.0
+time units (10x-100x the 0.01 message leg) and comparing N_tot.
+"""
+
+import os
+
+from repro.core.online import run_online
+from repro.protocols import BCSProtocol, QBCProtocol
+from repro.workload import WorkloadConfig
+
+
+def _config(seed: int) -> WorkloadConfig:
+    return WorkloadConfig(
+        p_send=0.4,
+        p_switch=0.8,
+        t_switch=1000.0,
+        sim_time=float(os.environ.get("REPRO_BENCH_SIM_TIME", "20000")) / 2,
+        seed=seed,
+    )
+
+
+LATENCIES = (0.0, 0.1, 1.0)
+
+
+def _run_all() -> dict[str, dict[float, int]]:
+    out: dict[str, dict[float, int]] = {}
+    for cls in (BCSProtocol, QBCProtocol):
+        per_latency = {}
+        for lat in LATENCIES:
+            cfg = _config(seed=0)
+            result = run_online(cfg, cls(cfg.n_hosts, cfg.n_mss), ckpt_latency=lat)
+            per_latency[lat] = result.metrics.n_total
+        out[cls.name] = per_latency
+    return out
+
+
+def test_checkpoint_latency_has_no_remarkable_impact(benchmark):
+    results = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+    print()
+    print(f"{'protocol':>9} " + " ".join(f"lat={l:>5}" for l in LATENCIES))
+    for name, per_latency in results.items():
+        print(f"{name:>9} " + " ".join(f"{per_latency[l]:>9}" for l in LATENCIES))
+        baseline = per_latency[0.0]
+        for lat, n in per_latency.items():
+            benchmark.extra_info[f"{name}_lat{lat}"] = n
+            # "no remarkable impact": within 15% of the instantaneous run
+            assert abs(n - baseline) <= 0.15 * baseline, (
+                f"{name}: latency {lat} changed N_tot {baseline} -> {n}"
+            )

@@ -1,0 +1,73 @@
+"""Ablation: incremental checkpointing (paper Section 2.2).
+
+"Incremental checkpointing transfer[s] on the MSS stable storage only
+the information that changed since the last checkpoint" -- this bench
+measures what that buys end to end: wireless bytes shipped, cross-MSS
+base fetches after handoffs, and (under a finite wireless bandwidth)
+how much application progress the smaller transfers preserve.
+"""
+
+import os
+
+from repro.core.online import run_online
+from repro.protocols import BCSProtocol, QBCProtocol
+from repro.workload import WorkloadConfig
+
+
+def _sim_time() -> float:
+    return float(os.environ.get("REPRO_BENCH_SIM_TIME", "20000")) / 8
+
+
+def _run():
+    rows = {}
+    for incremental in (False, True):
+        per_protocol = {}
+        for cls in (BCSProtocol, QBCProtocol):
+            cfg = WorkloadConfig(
+                p_send=0.4,
+                p_switch=0.9,
+                t_switch=200.0,
+                sim_time=_sim_time(),
+                seed=2,
+                incremental_checkpointing=incremental,
+                # 1 MiB state, ~2 pages dirtied per op: between two
+                # checkpoints only a small fraction of the state changes
+                state_pages=256,
+                dirty_pages_per_op=2,
+                wireless_bandwidth=100_000.0,
+            )
+            result = run_online(cfg, cls(cfg.n_hosts, cfg.n_mss))
+            per_protocol[cls.name] = dict(
+                n_total=result.metrics.n_total,
+                bytes_shipped=result.bytes_shipped,
+                fetches=result.system.checkpoint_fetches,
+                n_sends=result.metrics.n_sends,
+            )
+        rows[incremental] = per_protocol
+    return rows
+
+
+def test_incremental_checkpointing_ablation(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    print()
+    print(
+        f"{'mode':>12} {'protocol':>9} {'N_tot':>7} {'shipped KiB':>12} "
+        f"{'fetches':>8} {'app sends':>10}"
+    )
+    for incremental, per_protocol in rows.items():
+        label = "incremental" if incremental else "full"
+        for name, row in per_protocol.items():
+            print(
+                f"{label:>12} {name:>9} {row['n_total']:>7} "
+                f"{row['bytes_shipped'] / 1024:>12.0f} {row['fetches']:>8} "
+                f"{row['n_sends']:>10}"
+            )
+            benchmark.extra_info[f"{label}_{name}_KiB"] = (
+                row["bytes_shipped"] / 1024
+            )
+    for name in ("BCS", "QBC"):
+        full, inc = rows[False][name], rows[True][name]
+        # the headline saving: deltas ship a fraction of the state
+        assert inc["bytes_shipped"] < 0.5 * full["bytes_shipped"]
+        # smaller transfers leave more time for application work
+        assert inc["n_sends"] >= full["n_sends"]

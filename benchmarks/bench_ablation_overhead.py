@@ -1,0 +1,81 @@
+"""Ablation: control-information overhead (paper Section 2 discussion).
+
+Two comparisons the paper argues qualitatively, measured here:
+
+* **Piggyback scalability**: TP ships two n-entry vectors on every
+  application message (O(n) integers); BCS/QBC ship one integer.  We
+  report total piggybacked integers over identical traffic.
+* **Coordinated baselines**: Chandy-Lamport / Koo-Toueg /
+  Prakash-Singhal add explicit located control messages per snapshot
+  round (and, for Koo-Toueg, blocking time), which CIC protocols avoid
+  entirely by piggybacking on application traffic.
+"""
+
+import os
+
+from repro.core.online import CoordinatedScheme, run_coordinated
+from repro.core.replay import replay
+from repro.protocols import BCSProtocol, QBCProtocol, TwoPhaseProtocol
+from repro.workload import WorkloadConfig, generate_trace
+
+
+def _sim_time() -> float:
+    return float(os.environ.get("REPRO_BENCH_SIM_TIME", "20000")) / 4
+
+
+def _run():
+    cfg = WorkloadConfig(
+        p_send=0.4, p_switch=0.9, t_switch=500.0, sim_time=_sim_time(), seed=0
+    )
+    trace = generate_trace(cfg)
+    cic_rows = []
+    for cls in (TwoPhaseProtocol, BCSProtocol, QBCProtocol):
+        result = replay(trace, cls(cfg.n_hosts, cfg.n_mss))
+        cic_rows.append(
+            dict(
+                protocol=result.metrics.protocol,
+                n_total=result.metrics.n_total,
+                piggyback_per_msg=result.protocol.piggyback_ints,
+                piggyback_ints=result.metrics.piggyback_ints_total,
+                control_messages=0,
+            )
+        )
+    coord_rows = []
+    for scheme in CoordinatedScheme:
+        res = run_coordinated(cfg, scheme, snapshot_interval=200.0)
+        coord_rows.append(
+            dict(
+                protocol=scheme.value,
+                n_total=res.n_total,
+                piggyback_per_msg=0,
+                piggyback_ints=0,
+                control_messages=res.control_messages,
+                blocked_time=res.blocked_time,
+            )
+        )
+    return cic_rows, coord_rows
+
+
+def test_control_information_overhead(benchmark):
+    cic_rows, coord_rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    from repro.experiments.report import overhead_table
+
+    print()
+    print(overhead_table(cic_rows + coord_rows))
+
+    by_name = {r["protocol"]: r for r in cic_rows}
+    # TP's piggyback is O(n): 20x the index protocols' single integer
+    # at n = 10 hosts.
+    assert by_name["TP"]["piggyback_per_msg"] == 20
+    assert by_name["BCS"]["piggyback_per_msg"] == 1
+    assert (
+        by_name["TP"]["piggyback_ints"] == 20 * by_name["BCS"]["piggyback_ints"]
+    )
+    # CIC protocols send zero coordination messages; every coordinated
+    # baseline pays per round.
+    assert all(r["control_messages"] > 0 for r in coord_rows)
+    kt = next(r for r in coord_rows if r["protocol"] == "koo-toueg")
+    assert kt["blocked_time"] > 0.0
+    for r in cic_rows + coord_rows:
+        benchmark.extra_info[f"ctrl_{r['protocol']}"] = r["control_messages"]
+        benchmark.extra_info[f"pg_{r['protocol']}"] = r["piggyback_ints"]

@@ -1,0 +1,53 @@
+"""Engine micro-benchmarks: DES event throughput and replay speed.
+
+Not a paper experiment -- these guard the substrate's performance so the
+figure sweeps stay tractable (the whole methodology leans on cheap
+trace generation and cheaper replay).
+"""
+
+from repro.core.replay import replay
+from repro.des import Environment
+from repro.protocols import QBCProtocol
+from repro.workload import WorkloadConfig, generate_trace
+
+N_EVENTS = 50_000
+
+
+def _event_loop_throughput():
+    env = Environment()
+    remaining = [N_EVENTS]
+
+    def tick():
+        if remaining[0] > 0:
+            remaining[0] -= 1
+            env.call_later(1.0, tick)
+
+    for _ in range(16):
+        env.call_later(0.0, tick)
+    env.run()
+    return env.event_count
+
+
+def test_event_loop_throughput(benchmark):
+    count = benchmark.pedantic(_event_loop_throughput, rounds=3, iterations=1)
+    assert count >= N_EVENTS
+    benchmark.extra_info["events"] = count
+
+
+def test_trace_generation_throughput(benchmark):
+    cfg = WorkloadConfig(t_switch=500.0, p_switch=0.8, sim_time=2000.0, seed=0)
+    trace = benchmark.pedantic(generate_trace, args=(cfg,), rounds=3, iterations=1)
+    benchmark.extra_info["trace_events"] = len(trace)
+    assert len(trace) > 1000
+
+
+def test_replay_throughput(benchmark):
+    cfg = WorkloadConfig(t_switch=500.0, p_switch=0.8, sim_time=4000.0, seed=0)
+    trace = generate_trace(cfg)
+
+    def run():
+        return replay(trace, QBCProtocol(cfg.n_hosts, cfg.n_mss)).n_total
+
+    total = benchmark.pedantic(run, rounds=5, iterations=1)
+    benchmark.extra_info["trace_events"] = len(trace)
+    benchmark.extra_info["n_total"] = total

@@ -1,0 +1,66 @@
+"""Extension bench: the full index-based design space.
+
+Beyond the paper: the no-send skip rule (checkpoint renaming, cf. the
+Helary et al. CIC family and the equivalence formalisation of the
+paper's refs [6, 14]) composes with QBC's basic-side replacement.  This
+bench sweeps the four index protocols (BCS, QBC, BCS-NS, QBC-NS) over
+two regimes and reports N_tot plus the renames (metadata-only MSS
+updates) that replaced forced checkpoints.
+"""
+
+import os
+
+from repro.core.replay import replay
+from repro.protocols import (
+    BCSProtocol,
+    NoSendBCSProtocol,
+    NoSendQBCProtocol,
+    QBCProtocol,
+)
+from repro.workload import WorkloadConfig, generate_trace
+
+PROTOCOLS = (BCSProtocol, QBCProtocol, NoSendBCSProtocol, NoSendQBCProtocol)
+
+
+def _sim_time() -> float:
+    return float(os.environ.get("REPRO_BENCH_SIM_TIME", "20000")) / 2
+
+
+REGIMES = {
+    "homogeneous": dict(t_switch=1000.0, p_switch=0.8, heterogeneity=0.0),
+    "heterogeneous": dict(t_switch=1000.0, p_switch=0.8, heterogeneity=0.3),
+}
+
+
+def _run():
+    out = {}
+    for regime, params in REGIMES.items():
+        rows = {}
+        for seed in (0, 1):
+            cfg = WorkloadConfig(
+                p_send=0.4, sim_time=_sim_time(), seed=seed, **params
+            )
+            trace = generate_trace(cfg)
+            for cls in PROTOCOLS:
+                res = replay(trace, cls(cfg.n_hosts, cfg.n_mss))
+                entry = rows.setdefault(cls.name, {"n_total": 0, "renamed": 0})
+                entry["n_total"] += res.n_total
+                entry["renamed"] += res.protocol.n_renamed
+        out[regime] = rows
+    return out
+
+
+def test_extended_protocol_family(benchmark):
+    results = benchmark.pedantic(_run, rounds=1, iterations=1)
+    print()
+    for regime, rows in results.items():
+        print(f"-- {regime}")
+        print(f"{'protocol':>9} {'N_tot':>8} {'renames':>8}")
+        for name, row in rows.items():
+            print(f"{name:>9} {row['n_total']:>8} {row['renamed']:>8}")
+            benchmark.extra_info[f"{regime}_{name}"] = row["n_total"]
+        # shape: each refinement is at least as frugal, on aggregate
+        assert rows["BCS-NS"]["n_total"] <= rows["BCS"]["n_total"]
+        assert rows["QBC-NS"]["n_total"] <= rows["QBC"]["n_total"]
+        assert rows["QBC-NS"]["n_total"] <= rows["BCS-NS"]["n_total"]
+        assert rows["BCS-NS"]["renamed"] > 0

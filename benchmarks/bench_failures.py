@@ -1,0 +1,75 @@
+"""Failure-rate sweep: checkpoint premium vs lost-work claims.
+
+Beyond the paper (its Section 6 future work): inject Poisson crash
+failures at increasing rates and measure, per protocol, the trade
+between failure-free overhead (N_tot) and failure cost (lost work,
+recovery downtime, availability).  Expected shape: TP's dense
+checkpoints shorten its rollback window; the index-based protocols pay
+a far smaller premium but their min-index line can lag, so they lose
+more work per crash.
+"""
+
+import os
+
+from repro.core.failures import run_with_failures
+from repro.protocols import BCSProtocol, QBCProtocol, TwoPhaseProtocol
+from repro.workload import WorkloadConfig
+
+
+def _sim_time() -> float:
+    return float(os.environ.get("REPRO_BENCH_SIM_TIME", "20000")) / 4
+
+
+INTERVALS = (2000.0, 500.0)
+
+
+def _run():
+    rows = {}
+    for cls in (TwoPhaseProtocol, BCSProtocol, QBCProtocol):
+        per_rate = {}
+        for interval in INTERVALS:
+            cfg = WorkloadConfig(
+                p_send=0.4,
+                p_switch=0.9,
+                t_switch=500.0,
+                sim_time=_sim_time(),
+                seed=3,
+            )
+            result = run_with_failures(
+                cfg, cls(cfg.n_hosts, cfg.n_mss), failure_mean_interval=interval
+            )
+            per_rate[interval] = result
+        rows[cls.name] = per_rate
+    return rows
+
+
+def test_failure_rate_sweep(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    print()
+    print(
+        f"{'protocol':>9} {'mean fail ivl':>14} {'failures':>9} "
+        f"{'N_tot':>7} {'lost work':>10} {'availability':>13}"
+    )
+    for name, per_rate in rows.items():
+        for interval, res in per_rate.items():
+            print(
+                f"{name:>9} {interval:>14.0f} {res.n_failures:>9} "
+                f"{res.protocol.n_total:>7} {res.total_lost_work:>10.1f} "
+                f"{100 * res.availability:>12.2f}%"
+            )
+            benchmark.extra_info[f"{name}_{interval:.0f}_lost"] = (
+                res.total_lost_work
+            )
+    # shape assertions
+    for name, per_rate in rows.items():
+        frequent, rare = per_rate[INTERVALS[1]], per_rate[INTERVALS[0]]
+        assert frequent.n_failures >= rare.n_failures
+    for interval in INTERVALS:
+        # TP's dense checkpoints give it the smallest rollback window
+        tp = rows["TP"][interval]
+        bcs = rows["BCS"][interval]
+        if tp.n_failures and bcs.n_failures:
+            assert (
+                tp.total_lost_work / tp.n_failures
+                <= bcs.total_lost_work / bcs.n_failures
+            )

@@ -1,0 +1,13 @@
+"""Paper Figure 3: N_tot vs T_switch, heterogeneous hosts H=50%, no disconnections (P_switch=1.0).
+
+Regenerates the figure's rows (mean N_tot per T_switch per protocol),
+prints the gains and an ASCII log-log plot, and asserts the paper's
+qualitative shape (TP worst, QBC <= BCS, gain growing with T_switch).
+Run with ``pytest benchmarks/bench_figure3.py --benchmark-only -s``.
+"""
+
+from benchmarks._common import run_figure_bench
+
+
+def test_figure3(benchmark):
+    run_figure_bench(3, benchmark)

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Failure recovery: how much computation does a crash undo?
+
+The paper defers this to future work ("evaluation of the recovery time
+and of the amount of undone computation due to a failure"); this example
+runs it.  A shared workload is checkpointed by four protocols; then we
+crash each host in turn and measure:
+
+* events rolled back across the system (undone computation),
+* worst per-host rollback time,
+* rollback-propagation passes (1 = the protocol's line was final; more
+  passes = cascading, the domino effect).
+
+Uncoordinated checkpointing has no on-the-fly line at all -- recovery
+must search, and the staircase patterns in the traffic make it cascade.
+
+Run:  python examples/failure_recovery.py
+"""
+
+from repro import WorkloadConfig, generate_trace
+from repro.core.consistency import annotate_replay
+from repro.core.recovery import minimal_rollback, protocol_line_rollback
+from repro.protocols import (
+    BCSProtocol,
+    QBCProtocol,
+    TwoPhaseProtocol,
+    UncoordinatedProtocol,
+)
+
+
+def main() -> None:
+    config = WorkloadConfig(
+        t_switch=500.0, p_switch=0.8, sim_time=5_000.0, seed=3
+    )
+    trace = generate_trace(config)
+    print(
+        f"workload: {len(trace)} events over {config.sim_time:g} time units\n"
+    )
+
+    protocols = {
+        "TP": TwoPhaseProtocol(config.n_hosts, config.n_mss),
+        "BCS": BCSProtocol(config.n_hosts, config.n_mss),
+        "QBC": QBCProtocol(config.n_hosts, config.n_mss),
+        "UNC(500)": UncoordinatedProtocol(config.n_hosts, config.n_mss, period=500.0),
+    }
+
+    print(
+        f"{'protocol':>9} {'ckpts':>6} {'mean undone':>12} "
+        f"{'worst undone':>13} {'worst rollback t':>17} {'passes':>7}"
+    )
+    for name, protocol in protocols.items():
+        run = annotate_replay(trace, protocol)
+        undone, times, passes = [], [], []
+        for failed_host in range(config.n_hosts):
+            if name.startswith("UNC"):
+                outcome = minimal_rollback(run, failed_host, trace.sim_time)
+            else:
+                outcome = protocol_line_rollback(
+                    run, protocol, failed_host, trace.sim_time
+                )
+            undone.append(outcome.total_undone_events)
+            times.append(outcome.max_rollback_time)
+            passes.append(outcome.iterations)
+        print(
+            f"{name:>9} {protocol.n_total:>6} "
+            f"{sum(undone) / len(undone):>12.1f} {max(undone):>13} "
+            f"{max(times):>17.1f} {max(passes):>7}"
+        )
+
+    print(
+        "\nReading: the CIC protocols pay checkpoints during failure-free"
+        "\nexecution to bound the rollback; uncoordinated checkpointing"
+        "\ntakes the fewest checkpoints but a single crash can undo orders"
+        "\nof magnitude more work (and recovery needs a multi-pass search)."
+    )
+
+
+if __name__ == "__main__":
+    main()

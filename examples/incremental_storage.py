@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Incremental checkpointing and MSS stable storage (paper Section 2.2).
+
+Walks the storage substrate end to end without the workload layer:
+
+1. a mobile host dirties pages as it computes,
+2. checkpoints ship only the dirty pages (deltas) to the current MSS,
+3. a cell switch makes the next delta's base live on another MSS, so
+   the new MSS fetches it over the wired network,
+4. the MSS reconstructs any checkpointed state by replaying the chain,
+5. once the recovery line advances, obsolete records are garbage
+   collected.
+
+Run:  python examples/incremental_storage.py
+"""
+
+import numpy as np
+
+from repro.core.consistency import max_consistent_index
+from repro.des import Environment, RandomStreams
+from repro.net import MobileSystem, NetworkParams
+from repro.storage import (
+    HostStateModel,
+    IncrementalCheckpointer,
+    collect_garbage,
+)
+
+
+def main() -> None:
+    env = Environment()
+    system = MobileSystem(
+        env, NetworkParams(n_hosts=2, n_mss=3, initial_placement=[0, 1]),
+        RandomStreams(1),
+    )
+    rng = np.random.default_rng(42)
+
+    # The host's volatile state: 64 pages of 4 KiB.
+    state = HostStateModel(host_id=0, n_pages=64, page_bytes=4096)
+    ckpt = IncrementalCheckpointer(state)
+
+    print("running 6 checkpoint intervals with ~6 dirty pages each...\n")
+    full_bytes_equivalent = 0
+    for index in range(6):
+        if index:
+            state.touch_random(rng, 6)
+        shipped = ckpt.cut(index)
+        pages = len(shipped) if isinstance(shipped, dict) else shipped.size_pages
+        kind = "full" if isinstance(shipped, dict) else "delta"
+        system.store_checkpoint(
+            host_id=0,
+            index=index,
+            reason="basic",
+            size_bytes=pages * state.page_bytes,
+            incremental=(kind == "delta"),
+            base_index=index - 1 if kind == "delta" else None,
+        )
+        full_bytes_equivalent += state.n_pages * state.page_bytes
+        print(
+            f"  checkpoint {index}: {kind}, {pages} pages "
+            f"({pages * state.page_bytes / 1024:.0f} KiB over the air)"
+        )
+        if index == 2:
+            system.switch_cell(0, 2)
+            print("  -- host 0 switched to cell 2 (next delta fetches its base)")
+
+    print(
+        f"\nincremental shipping: {ckpt.bytes_shipped / 1024:.0f} KiB vs "
+        f"{full_bytes_equivalent / 1024:.0f} KiB for full checkpoints "
+        f"({100 * (1 - ckpt.bytes_shipped / full_bytes_equivalent):.0f}% saved)"
+    )
+    print(f"cross-MSS base fetches after handoff: {system.checkpoint_fetches}")
+
+    # The MSS can materialise any checkpointed state.
+    reconstructed = ckpt.reconstruct(4)
+    print(
+        f"reconstructed checkpoint 4: {len(reconstructed)} pages, "
+        f"delta-chain length {ckpt.chain_length(4)}"
+    )
+
+    # Suppose the recovery line advanced to index 4 for every host:
+    cutoff = max_consistent_index([4, 5])
+    reclaimed = collect_garbage([s.storage for s in system.stations], cutoff)
+    remaining = sum(len(s.storage) for s in system.stations)
+    print(
+        f"\nGC at line index {cutoff}: reclaimed {reclaimed / 1024:.0f} KiB, "
+        f"{remaining} records remain"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""A long-running mobile service under crash failures.
+
+Closes the loop the paper leaves as future work: checkpointing is an
+*insurance premium* (N_tot transfers to the MSSs during failure-free
+operation) against *claims* (work lost + recovery downtime when a host
+crashes).  This example runs the same workload under TP, BCS and QBC
+with Poisson crash failures injected (mean inter-arrival 1 500 time
+units), executing the full rollback each time: protocol state restored
+from the line checkpoints, stale in-flight messages dropped by the
+transport, hosts paused for the recovery latency.
+
+Run:  python examples/long_running_service.py
+"""
+
+from repro import WorkloadConfig
+from repro.core.failures import run_with_failures
+from repro.protocols import BCSProtocol, QBCProtocol, TwoPhaseProtocol
+
+
+def main() -> None:
+    config = WorkloadConfig(
+        t_switch=1000.0,
+        p_switch=0.8,
+        heterogeneity=0.3,
+        sim_time=10_000.0,
+        seed=21,
+    )
+    print(
+        f"service horizon {config.sim_time:g} time units, Poisson crashes "
+        "every ~1500 time units\n"
+    )
+    print(
+        f"{'protocol':>9} {'ckpts':>6} {'fails':>6} {'lost work':>10} "
+        f"{'recovery σt':>12} {'stale msgs':>11} {'availability':>13}"
+    )
+    for cls in (TwoPhaseProtocol, BCSProtocol, QBCProtocol):
+        result = run_with_failures(
+            config,
+            cls(config.n_hosts, config.n_mss),
+            failure_mean_interval=1500.0,
+        )
+        print(
+            f"{result.protocol.name:>9} {result.protocol.n_total:>6} "
+            f"{result.n_failures:>6} {result.total_lost_work:>10.1f} "
+            f"{result.total_recovery_downtime:>12.3f} "
+            f"{result.stale_messages_dropped:>11} "
+            f"{100 * result.availability:>12.2f}%"
+        )
+
+    print(
+        "\nReading: recovery execution itself is cheap for all three (a"
+        "\nhandful of network legs, computed wired-side from the MSS-stored"
+        "\nindices) -- but the insurance terms differ.  TP pays ~20x the"
+        "\ncheckpoints, and each checkpoint anchors a fresh consistent line,"
+        "\nso its rollback window is short.  BCS/QBC pay a tiny premium but"
+        "\ntheir global line sits at min(sn): one slow (or long-disconnected)"
+        "\nhost pins everyone's rollback point in the past, so a crash"
+        "\nundoes more work.  Which contract wins depends on the failure"
+        "\nrate -- exactly the trade-off this harness lets you measure"
+        "\n(vary failure_mean_interval and compare lost work + N_tot)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Regenerate any figure of the paper from the command line.
+
+Examples
+--------
+Fast look at Figure 2 (homogeneous hosts with disconnections)::
+
+    python examples/paper_figures.py 2
+
+Closer to paper scale (slower)::
+
+    python examples/paper_figures.py 6 --sim-time 100000 --seeds 0 1 2
+
+The absolute counts scale with ``--sim-time``; the paper's conclusions
+are ordinal (who wins, by how much, where the gaps grow) and are
+asserted by the validation block printed at the end.
+"""
+
+import argparse
+
+from repro.experiments import figure_report, run_figure, validate_figure
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("figure", type=int, choices=range(1, 7))
+    parser.add_argument(
+        "--sim-time",
+        type=float,
+        default=20_000.0,
+        help="simulated time units per run (paper: ~1e5)",
+    )
+    parser.add_argument("--seeds", type=int, nargs="+", default=[0, 1])
+    parser.add_argument(
+        "--t-switch",
+        type=float,
+        nargs="+",
+        default=[100.0, 500.0, 1000.0, 5000.0, 10000.0],
+        help="T_switch sweep (x-axis)",
+    )
+    args = parser.parse_args()
+
+    result = run_figure(
+        args.figure,
+        sim_time=args.sim_time,
+        seeds=tuple(args.seeds),
+        t_switch_values=tuple(args.t_switch),
+    )
+    print(figure_report(result, figure=args.figure))
+    print()
+    print("shape validation against the paper's claims:")
+    print(validate_figure(result, spread_tolerance=0.5))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""repro: checkpointing protocols in distributed systems with mobile hosts.
+
+A from-scratch reproduction of Quaglia, Ciciani & Baldoni,
+*"Checkpointing Protocols in Distributed Systems with Mobile Hosts: a
+Performance Analysis"* (IPPS 1998): a discrete-event simulator of a
+mobile computing environment, the paper's three communication-induced
+checkpointing protocols (TP, BCS, QBC) plus baselines, consistency and
+recovery machinery, and the full experiment harness regenerating every
+figure of the paper's evaluation.
+
+Quickstart
+----------
+>>> from repro import WorkloadConfig, generate_trace, replay
+>>> from repro.protocols import BCSProtocol, QBCProtocol, TwoPhaseProtocol
+>>> cfg = WorkloadConfig(t_switch=1000.0, p_switch=0.8, sim_time=5000.0, seed=1)
+>>> trace = generate_trace(cfg)
+>>> for cls in (TwoPhaseProtocol, BCSProtocol, QBCProtocol):
+...     result = replay(trace, cls(cfg.n_hosts, cfg.n_mss))
+...     print(result.metrics.protocol, result.n_total)  # doctest: +SKIP
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record.
+"""
+
+from repro.core.metrics import CheckpointStats, ProtocolRunMetrics, gain_percent
+from repro.core.replay import ReplayResult, replay, replay_many
+from repro.core.trace import EventType, Trace, TraceEvent
+from repro.experiments.figures import run_figure
+from repro.workload.config import WorkloadConfig
+from repro.workload.driver import OnlineResult, generate_trace, run_online
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CheckpointStats",
+    "EventType",
+    "OnlineResult",
+    "ProtocolRunMetrics",
+    "ReplayResult",
+    "Trace",
+    "TraceEvent",
+    "WorkloadConfig",
+    "__version__",
+    "gain_percent",
+    "generate_trace",
+    "replay",
+    "replay_many",
+    "run_figure",
+    "run_online",
+]

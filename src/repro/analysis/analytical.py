@@ -1,0 +1,137 @@
+"""Closed-form approximations of the checkpoint counts.
+
+Back-of-envelope models that predict the simulator's output from the
+workload parameters -- useful as sanity checks on both the simulator and
+the protocols (the test suite asserts simulation and model agree), and
+to explain the *shape* of the paper's figures:
+
+**Basic checkpoints.**  A host's mobility cycle is: with probability
+``p_switch`` a residence ``Exp(T_i)`` ending in a cell switch; otherwise
+a residence ``Exp(T_i/3)`` ending in a disconnection followed by
+``Exp(D)`` away.  Every cycle produces exactly one basic checkpoint, so
+
+    rate_basic(i) = 1 / (p_switch * T_i
+                         + (1 - p_switch) * (T_i / 3 + D))
+
+which is why the index-based curves fall roughly as ``1/T_switch`` in
+the figures.
+
+**TP forced checkpoints.**  A consuming receive forces iff the host's
+last phase-relevant event was a send.  In steady state sends and
+consuming receives balance (every message is eventually consumed), so
+at a receive the previous relevant event is a send with probability
+about one half -- TP forces on ~half of all receives:
+
+    forced_TP ~= 0.5 * n_receives ~= 0.5 * p_send * ops
+
+independent of mobility.  That is the flat TP curve of the figures.
+
+**BCS forced checkpoints (upper bound).**  Every basic checkpoint
+increments an index; when communication is fast relative to mobility
+every increment propagates to all other ``n - 1`` hosts as one forced
+checkpoint each; slow communication coalesces several increments into
+one jump.  Hence
+
+    forced_BCS <= total_basics * (n - 1)
+
+with near-equality when the message rate per host far exceeds the basic
+rate.  QBC <= BCS (its increments are a subset, statistically).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.mobility.heterogeneity import residence_means
+from repro.workload.config import WorkloadConfig
+
+
+@dataclass(slots=True)
+class AnalyticalEstimates:
+    """Model predictions for one workload configuration."""
+
+    ops_per_host: float
+    n_sends: float
+    n_receives: float
+    basic_per_host: list[float]
+    total_basics: float
+    tp_forced: float
+    bcs_forced_upper: float
+
+    @property
+    def tp_total(self) -> float:
+        """Predicted TP N_tot (basics + forced)."""
+        return self.total_basics + self.tp_forced
+
+    @property
+    def bcs_total_upper(self) -> float:
+        """Upper bound on BCS N_tot (basics + forced bound)."""
+        return self.total_basics + self.bcs_forced_upper
+
+
+def connected_fraction(
+    t_residence: float, p_switch: float, disconnect_mean: float,
+    divisor: float = 3.0,
+) -> float:
+    """Expected fraction of time a host is connected."""
+    connected = p_switch * t_residence + (1 - p_switch) * t_residence / divisor
+    away = (1 - p_switch) * disconnect_mean
+    return connected / (connected + away)
+
+
+def basic_rate(
+    t_residence: float, p_switch: float, disconnect_mean: float,
+    divisor: float = 3.0,
+) -> float:
+    """Basic checkpoints per unit time for one host (one per mobility
+    cycle)."""
+    cycle = (
+        p_switch * t_residence
+        + (1 - p_switch) * (t_residence / divisor + disconnect_mean)
+    )
+    return 1.0 / cycle
+
+
+def estimate(config: WorkloadConfig) -> AnalyticalEstimates:
+    """Predict checkpoint counts for *config* (see module docstring)."""
+    config.validate()
+    means = residence_means(
+        config.n_hosts,
+        config.t_switch,
+        config.heterogeneity,
+        config.fast_factor,
+    )
+    frac = [
+        connected_fraction(
+            m,
+            config.p_switch,
+            config.disconnect_mean,
+            config.disconnect_residence_divisor,
+        )
+        for m in means
+    ]
+    # Hosts only execute operations while connected.
+    ops = [config.sim_time / config.internal_mean * f for f in frac]
+    n_sends = config.p_send * sum(ops)
+    # Receives consume what was sent (minus the undelivered tail).
+    n_receives = n_sends
+    basics = [
+        basic_rate(
+            m,
+            config.p_switch,
+            config.disconnect_mean,
+            config.disconnect_residence_divisor,
+        )
+        * config.sim_time
+        for m in means
+    ]
+    total_basics = sum(basics)
+    return AnalyticalEstimates(
+        ops_per_host=sum(ops) / config.n_hosts,
+        n_sends=n_sends,
+        n_receives=n_receives,
+        basic_per_host=basics,
+        total_basics=total_basics,
+        tp_forced=0.5 * n_receives,
+        bcs_forced_upper=total_basics * (config.n_hosts - 1),
+    )

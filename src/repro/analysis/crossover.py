@@ -1,0 +1,118 @@
+"""Cost crossover: when do TP's dense checkpoints pay for themselves?
+
+The failure-injection harness exposes the real contract behind the
+paper's comparison: TP takes ~20x the checkpoints of the index-based
+protocols, but each checkpoint anchors a *fresh* consistent line, so a
+crash undoes far less work; BCS/QBC pay a tiny failure-free premium but
+their min-index line lags.  Which protocol minimises total cost depends
+on the failure rate.
+
+This module sweeps the failure rate and finds the break-even under an
+explicit linear cost model:
+
+    total_cost = ckpt_unit_cost  * N_tot
+               + lost_unit_cost  * total_lost_work
+
+Both unit costs are parameters (a checkpoint costs wireless transfer +
+MSS storage; lost work costs recomputation).  The result reports, per
+failure interval, each protocol's cost and the cheapest protocol -- and
+the interval (if any) where the cheapest choice flips.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.core.failures import run_with_failures
+from repro.protocols.base import CheckpointingProtocol
+from repro.workload.config import WorkloadConfig
+
+
+@dataclass(slots=True)
+class CostPoint:
+    """Costs of one protocol at one failure interval."""
+
+    protocol: str
+    failure_mean_interval: float
+    n_failures: int
+    n_total: int
+    lost_work: float
+    total_cost: float
+
+
+@dataclass(slots=True)
+class CrossoverResult:
+    """Outcome of a failure-rate cost sweep."""
+
+    ckpt_unit_cost: float
+    lost_unit_cost: float
+    points: list[CostPoint] = field(default_factory=list)
+
+    def cheapest_at(self, interval: float) -> str:
+        """Protocol with the lowest total cost at *interval*."""
+        candidates = [p for p in self.points if p.failure_mean_interval == interval]
+        if not candidates:
+            raise ValueError(f"no data at interval {interval}")
+        return min(candidates, key=lambda p: p.total_cost).protocol
+
+    def intervals(self) -> list[float]:
+        """Failure intervals present in the sweep, in insertion order."""
+        seen: list[float] = []
+        for p in self.points:
+            if p.failure_mean_interval not in seen:
+                seen.append(p.failure_mean_interval)
+        return seen
+
+    def crossover_interval(self) -> float | None:
+        """First interval (sweeping from frequent failures to rare ones)
+        where the cheapest protocol changes; None when one protocol
+        dominates the whole sweep."""
+        order = sorted(self.intervals())
+        winners = [self.cheapest_at(iv) for iv in order]
+        for prev, curr, iv in zip(winners, winners[1:], order[1:]):
+            if prev != curr:
+                return iv
+        return None
+
+
+def cost_sweep(
+    config: WorkloadConfig,
+    protocol_factories: dict[str, Callable[[], CheckpointingProtocol]],
+    failure_intervals: Sequence[float],
+    ckpt_unit_cost: float = 1.0,
+    lost_unit_cost: float = 1.0,
+) -> CrossoverResult:
+    """Run every protocol at every failure interval and price the runs.
+
+    ``protocol_factories`` maps a display name to a zero-argument
+    factory producing a *fresh* protocol instance.
+    """
+    if ckpt_unit_cost < 0 or lost_unit_cost < 0:
+        raise ValueError("unit costs must be >= 0")
+    if not failure_intervals:
+        raise ValueError("need at least one failure interval")
+    result = CrossoverResult(
+        ckpt_unit_cost=ckpt_unit_cost, lost_unit_cost=lost_unit_cost
+    )
+    for interval in failure_intervals:
+        for name, factory in protocol_factories.items():
+            run = run_with_failures(
+                config, factory(), failure_mean_interval=interval
+            )
+            n_total = run.protocol.n_total
+            cost = (
+                ckpt_unit_cost * n_total
+                + lost_unit_cost * run.total_lost_work
+            )
+            result.points.append(
+                CostPoint(
+                    protocol=name,
+                    failure_mean_interval=interval,
+                    n_failures=run.n_failures,
+                    n_total=n_total,
+                    lost_work=run.total_lost_work,
+                    total_cost=cost,
+                )
+            )
+    return result

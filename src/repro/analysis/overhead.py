@@ -1,0 +1,112 @@
+"""Operational overhead model: energy, bandwidth and storage proxies.
+
+The paper motivates protocol selection with resource arguments it never
+quantifies -- battery drain, wireless channel contention, stable-storage
+traffic (Section 2.1 points a/b/e).  This model turns a protocol run
+into those proxies so scenarios (and the ablation benches) can report
+them:
+
+* every wireless transmission costs ``tx_energy`` per message plus
+  ``byte_energy`` per payload/piggyback byte;
+* every checkpoint ships its state over the wireless link -- either the
+  full state or, with incremental checkpointing, the expected dirty
+  fraction (plus occasional cross-MSS base fetches on the wired side,
+  which cost bandwidth but no MH battery);
+* piggybacked control integers are charged at 4 bytes each.
+
+All constants are explicit parameters: the point is comparing protocols
+under one consistent cost model, not absolute joule counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.metrics import ProtocolRunMetrics
+
+
+@dataclass(slots=True)
+class CostModel:
+    """Unit costs of the overhead model."""
+
+    #: Fixed energy per wireless transmission (battery units).
+    tx_energy: float = 1.0
+    #: Energy per byte sent over the wireless link.
+    byte_energy: float = 0.001
+    #: Bytes of application payload per message.
+    payload_bytes: int = 256
+    #: Bytes per piggybacked control integer.
+    int_bytes: int = 4
+    #: Full checkpoint state size in bytes.
+    checkpoint_bytes: int = 262_144  # 64 pages x 4 KiB
+    #: Fraction of the state dirtied per checkpoint interval when
+    #: incremental checkpointing is on.
+    dirty_fraction: float = 0.1
+
+    def validate(self) -> "CostModel":
+        """Check the unit costs; returns self (chainable)."""
+        if min(self.tx_energy, self.byte_energy) < 0:
+            raise ValueError("energies must be >= 0")
+        if not 0.0 < self.dirty_fraction <= 1.0:
+            raise ValueError("dirty_fraction must be in (0, 1]")
+        if min(self.payload_bytes, self.int_bytes, self.checkpoint_bytes) <= 0:
+            raise ValueError("byte sizes must be positive")
+        return self
+
+
+@dataclass(slots=True)
+class OverheadReport:
+    """Aggregate resource costs of one protocol run."""
+
+    protocol: str
+    #: Bytes moved over wireless links (messages + checkpoint uploads).
+    wireless_bytes: float
+    #: ... of which checkpoint uploads.
+    checkpoint_bytes: float
+    #: ... of which piggybacked control information.
+    piggyback_bytes: float
+    #: Total battery proxy.
+    energy: float
+
+    def as_row(self) -> dict:
+        """Flat dict (KiB-scaled) for table reporting."""
+        return {
+            "protocol": self.protocol,
+            "wireless_KiB": round(self.wireless_bytes / 1024, 1),
+            "checkpoint_KiB": round(self.checkpoint_bytes / 1024, 1),
+            "piggyback_KiB": round(self.piggyback_bytes / 1024, 1),
+            "energy": round(self.energy, 1),
+        }
+
+
+def estimate_overhead(
+    metrics: ProtocolRunMetrics,
+    model: CostModel | None = None,
+    incremental: bool = True,
+) -> OverheadReport:
+    """Convert run metrics into the resource proxies.
+
+    ``incremental`` applies the dirty-fraction discount to every
+    checkpoint after the first per host (the paper's Section 2.2
+    recommendation); full checkpointing ships the whole state each time.
+    """
+    model = (model or CostModel()).validate()
+    per_ckpt = (
+        model.checkpoint_bytes * model.dirty_fraction
+        if incremental
+        else model.checkpoint_bytes
+    )
+    n_ckpts = metrics.stats.n_total
+    ckpt_bytes = n_ckpts * per_ckpt
+    piggyback_bytes = metrics.piggyback_ints_total * model.int_bytes
+    msg_bytes = metrics.n_sends * model.payload_bytes + piggyback_bytes
+    wireless_bytes = msg_bytes + ckpt_bytes
+    transmissions = metrics.n_sends + n_ckpts
+    energy = transmissions * model.tx_energy + wireless_bytes * model.byte_energy
+    return OverheadReport(
+        protocol=metrics.protocol,
+        wireless_bytes=wireless_bytes,
+        checkpoint_bytes=ckpt_bytes,
+        piggyback_bytes=piggyback_bytes,
+        energy=energy,
+    )

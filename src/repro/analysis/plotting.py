@@ -1,0 +1,84 @@
+"""Terminal-friendly ASCII plots of figure sweeps.
+
+The paper's figures are log-log plots of ``N_tot`` vs ``T_switch`` with
+one curve per protocol; :func:`ascii_plot` renders the same picture in a
+report without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+#: Curve glyphs assigned to series in insertion order.
+_GLYPHS = "*+ox#@%&"
+
+
+def _transform(v: float, log: bool) -> float:
+    if log:
+        if v <= 0:
+            raise ValueError(f"log axis requires positive values, got {v}")
+        return math.log10(v)
+    return v
+
+
+def ascii_plot(
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    width: int = 64,
+    height: int = 20,
+    log_x: bool = True,
+    log_y: bool = True,
+    title: str = "",
+) -> str:
+    """Render curves of (x, y) points as an ASCII grid.
+
+    Parameters
+    ----------
+    series:
+        Name -> list of (x, y) points (need not be sorted).
+    width, height:
+        Plot-area size in characters.
+    log_x, log_y:
+        Use log10 axes (the paper's figures are log-log).
+    """
+    if not series:
+        raise ValueError("nothing to plot")
+    pts = [
+        (_transform(x, log_x), _transform(y, log_y))
+        for curve in series.values()
+        for x, y in curve
+    ]
+    if not pts:
+        raise ValueError("all series are empty")
+    xs, ys = zip(*pts)
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for (name, curve), glyph in zip(series.items(), _GLYPHS):
+        for x, y in curve:
+            cx = _transform(x, log_x)
+            cy = _transform(y, log_y)
+            col = round((cx - x_lo) / x_span * (width - 1))
+            row = height - 1 - round((cy - y_lo) / y_span * (height - 1))
+            grid[row][col] = glyph
+
+    lines = []
+    if title:
+        lines.append(title)
+    legend = "  ".join(
+        f"{glyph}={name}" for (name, _), glyph in zip(series.items(), _GLYPHS)
+    )
+    lines.append(legend)
+    y_top = 10**y_hi if log_y else y_hi
+    y_bot = 10**y_lo if log_y else y_lo
+    lines.append(f"{y_top:>10.4g} +" + "-" * width + "+")
+    for row in grid:
+        lines.append(" " * 11 + "|" + "".join(row) + "|")
+    lines.append(f"{y_bot:>10.4g} +" + "-" * width + "+")
+    x_left = 10**x_lo if log_x else x_lo
+    x_right = 10**x_hi if log_x else x_hi
+    lines.append(" " * 12 + f"{x_left:<.4g}" + " " * (width - 16) + f"{x_right:>.4g}")
+    return "\n".join(lines)

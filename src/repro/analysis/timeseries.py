@@ -1,0 +1,115 @@
+"""Time-series analysis of checkpoint activity.
+
+The paper reports single N_tot totals per run; a careful simulation
+study also wants to know that the measured rates are *stationary* (no
+warm-up bias) and how checkpointing activity evolves -- e.g. index-based
+forced checkpoints arrive in bursts when an index wave propagates.
+
+* :func:`rate_series` -- checkpoints per time unit over fixed windows;
+* :func:`warmup_cutoff` -- first window after which the running mean of
+  the remaining series stays inside a tolerance band of the final
+  steady mean (an MSER-flavoured truncation rule);
+* :func:`steady_state_rate` -- mean rate after warm-up truncation;
+* :func:`burstiness` -- index of dispersion of per-window counts
+  (1 = Poisson-like; > 1 = bursty).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.protocols.base import CheckpointingProtocol, TakenCheckpoint
+
+
+def _times(
+    checkpoints: Sequence[TakenCheckpoint],
+    reason: Optional[str] = None,
+) -> np.ndarray:
+    return np.array(
+        [
+            c.time
+            for c in checkpoints
+            if c.reason != "initial" and (reason is None or c.reason == reason)
+        ],
+        dtype=float,
+    )
+
+
+def window_counts(
+    protocol: CheckpointingProtocol,
+    sim_time: float,
+    window: float,
+    reason: Optional[str] = None,
+) -> np.ndarray:
+    """Checkpoints taken per window of length *window* (optionally only
+    "basic" or "forced" ones)."""
+    if window <= 0 or sim_time <= 0:
+        raise ValueError("window and sim_time must be positive")
+    times = _times(protocol.checkpoints, reason)
+    n_windows = max(1, int(np.ceil(sim_time / window)))
+    counts, _edges = np.histogram(
+        times, bins=n_windows, range=(0.0, n_windows * window)
+    )
+    return counts.astype(float)
+
+
+def rate_series(
+    protocol: CheckpointingProtocol,
+    sim_time: float,
+    window: float,
+    reason: Optional[str] = None,
+) -> list[tuple[float, float]]:
+    """(window midpoint, checkpoints per time unit) series."""
+    counts = window_counts(protocol, sim_time, window, reason)
+    return [
+        ((i + 0.5) * window, c / window) for i, c in enumerate(counts)
+    ]
+
+
+def warmup_cutoff(counts: Sequence[float], tolerance: float = 0.2) -> int:
+    """Index of the first window from which the running mean of the
+    remaining series stays within ``tolerance`` (relative) of the mean
+    of the second half of the series.
+
+    Returns 0 when the series is stationary from the start; returns
+    ``len(counts) - 1`` at worst.
+    """
+    counts = np.asarray(counts, dtype=float)
+    if counts.size == 0:
+        raise ValueError("empty series")
+    reference = counts[counts.size // 2 :].mean()
+    if reference == 0:
+        return 0
+    for start in range(counts.size):
+        tail_mean = counts[start:].mean()
+        if abs(tail_mean - reference) <= tolerance * reference:
+            return start
+    return counts.size - 1
+
+
+def steady_state_rate(
+    protocol: CheckpointingProtocol,
+    sim_time: float,
+    window: float,
+    reason: Optional[str] = None,
+    tolerance: float = 0.2,
+) -> float:
+    """Mean checkpoint rate after truncating the warm-up windows."""
+    counts = window_counts(protocol, sim_time, window, reason)
+    start = warmup_cutoff(counts, tolerance)
+    return float(counts[start:].mean() / window)
+
+
+def burstiness(counts: Sequence[float]) -> float:
+    """Index of dispersion (variance / mean) of per-window counts.
+
+    1 for a Poisson process; index-based forced checkpoints propagate in
+    waves and come out well above 1.
+    """
+    counts = np.asarray(counts, dtype=float)
+    if counts.size == 0:
+        raise ValueError("empty series")
+    mean = counts.mean()
+    return float(counts.var() / mean) if mean > 0 else 0.0

@@ -1,0 +1,226 @@
+"""Command-line interface: ``python -m repro <subcommand>``.
+
+Subcommands
+-----------
+``figure``
+    Run one of the paper's six figure sweeps, print the paper-style
+    report and the shape validation.
+``compare``
+    One workload, every replayable protocol, one table.
+``trace``
+    Generate a workload trace and save it (npz) for later replay.
+``replay``
+    Replay a saved trace through one or more protocols.
+``recovery``
+    Inject a failure on a workload and report the rollback costs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.workload.config import WorkloadConfig
+
+
+def _add_workload_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--hosts", type=int, default=10)
+    parser.add_argument("--mss", type=int, default=5)
+    parser.add_argument("--p-send", type=float, default=0.4)
+    parser.add_argument("--t-switch", type=float, default=1000.0)
+    parser.add_argument("--p-switch", type=float, default=0.8)
+    parser.add_argument("--heterogeneity", type=float, default=0.0)
+    parser.add_argument("--sim-time", type=float, default=10_000.0)
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _workload_from(args) -> WorkloadConfig:
+    return WorkloadConfig(
+        n_hosts=args.hosts,
+        n_mss=args.mss,
+        p_send=args.p_send,
+        t_switch=args.t_switch,
+        p_switch=args.p_switch,
+        heterogeneity=args.heterogeneity,
+        sim_time=args.sim_time,
+        seed=args.seed,
+    ).validate()
+
+
+def _cmd_figure(args) -> int:
+    from repro.experiments import figure_report, run_figure, validate_figure
+
+    result = run_figure(
+        args.number,
+        sim_time=args.sim_time,
+        seeds=tuple(args.seeds),
+        t_switch_values=tuple(args.sweep),
+    )
+    print(figure_report(result, figure=args.number))
+    report = validate_figure(result, spread_tolerance=args.spread_tolerance)
+    print()
+    print(report)
+    return 0 if report.ok else 1
+
+
+def _cmd_compare(args) -> int:
+    from repro.core.replay import replay
+    from repro.protocols.base import registry
+    from repro.workload.driver import generate_trace
+
+    cfg = _workload_from(args)
+    trace = generate_trace(cfg)
+    names = args.protocols or sorted(registry)
+    print(
+        f"{'protocol':>9} {'N_tot':>8} {'basic':>7} {'forced':>7} "
+        f"{'pg ints/msg':>12}"
+    )
+    for name in names:
+        if name not in registry:
+            print(f"unknown protocol {name!r}; known: {sorted(registry)}")
+            return 2
+        result = replay(trace, registry[name](cfg.n_hosts, cfg.n_mss))
+        s = result.metrics.stats
+        print(
+            f"{name:>9} {s.n_total:>8} {s.n_basic:>7} {s.n_forced:>7} "
+            f"{result.protocol.piggyback_ints:>12}"
+        )
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from repro.core.trace_io import save_trace
+    from repro.workload.driver import generate_trace
+
+    cfg = _workload_from(args)
+    trace = generate_trace(cfg)
+    save_trace(trace, args.out)
+    print(
+        f"wrote {args.out}: {len(trace)} events "
+        f"({trace.n_sends} sends, {trace.n_basic_triggers} basic triggers)"
+    )
+    return 0
+
+
+def _cmd_replay(args) -> int:
+    from repro.core.replay import replay
+    from repro.core.trace_io import load_trace
+    from repro.protocols.base import registry
+
+    trace = load_trace(args.trace)
+    for name in args.protocols:
+        if name not in registry:
+            print(f"unknown protocol {name!r}; known: {sorted(registry)}")
+            return 2
+        result = replay(trace, registry[name](trace.n_hosts, trace.n_mss))
+        s = result.metrics.stats
+        print(f"{name:>9}: N_tot={s.n_total} basic={s.n_basic} forced={s.n_forced}")
+    return 0
+
+
+def _cmd_recovery(args) -> int:
+    from repro.core.consistency import annotate_replay
+    from repro.core.recovery import minimal_rollback, protocol_line_rollback
+    from repro.protocols.base import registry
+    from repro.workload.driver import generate_trace
+
+    cfg = _workload_from(args)
+    trace = generate_trace(cfg)
+    protocol = registry[args.protocol](cfg.n_hosts, cfg.n_mss)
+    run = annotate_replay(trace, protocol)
+    failed = args.failed_host
+    try:
+        outcome = protocol_line_rollback(run, protocol, failed, trace.sim_time)
+        mode = "protocol recovery line"
+    except NotImplementedError:
+        outcome = minimal_rollback(run, failed, trace.sim_time)
+        mode = "rollback-propagation search"
+    print(f"failure of host {failed} under {args.protocol} ({mode}):")
+    print(f"  undone events total : {outcome.total_undone_events}")
+    print(f"  worst rollback time : {outcome.max_rollback_time:.1f}")
+    print(f"  in-transit messages : {outcome.in_transit}")
+    print(f"  propagation passes  : {outcome.iterations}")
+    return 0
+
+
+def _cmd_failures(args) -> int:
+    from repro.core.failures import run_with_failures
+    from repro.protocols.base import registry
+
+    cfg = _workload_from(args)
+    protocol = registry[args.protocol](cfg.n_hosts, cfg.n_mss)
+    result = run_with_failures(
+        cfg, protocol, failure_mean_interval=args.mean_interval
+    )
+    print(
+        f"{args.protocol} over {cfg.sim_time:g} time units with Poisson "
+        f"failures (mean interval {args.mean_interval:g}):"
+    )
+    print(f"  failures            : {result.n_failures}")
+    print(f"  checkpoints (N_tot) : {protocol.n_total}")
+    print(f"  lost work (time)    : {result.total_lost_work:.1f}")
+    print(f"  recovery downtime   : {result.total_recovery_downtime:.3f}")
+    print(f"  stale msgs dropped  : {result.stale_messages_dropped}")
+    print(f"  availability        : {100 * result.availability:.2f}%")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argparse tree for ``python -m repro``."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("figure", help="run one paper figure sweep")
+    p.add_argument("number", type=int, choices=range(1, 7))
+    p.add_argument("--sim-time", type=float, default=20_000.0)
+    p.add_argument("--seeds", type=int, nargs="+", default=[0, 1])
+    p.add_argument(
+        "--sweep", type=float, nargs="+", default=[100.0, 1000.0, 10000.0]
+    )
+    p.add_argument("--spread-tolerance", type=float, default=0.5)
+    p.set_defaults(fn=_cmd_figure)
+
+    p = sub.add_parser("compare", help="all protocols on one workload")
+    _add_workload_args(p)
+    p.add_argument("--protocols", nargs="+", default=None)
+    p.set_defaults(fn=_cmd_compare)
+
+    p = sub.add_parser("trace", help="generate and save a trace")
+    _add_workload_args(p)
+    p.add_argument("--out", required=True)
+    p.set_defaults(fn=_cmd_trace)
+
+    p = sub.add_parser("replay", help="replay a saved trace")
+    p.add_argument("--trace", required=True)
+    p.add_argument("--protocols", nargs="+", default=["TP", "BCS", "QBC"])
+    p.set_defaults(fn=_cmd_replay)
+
+    p = sub.add_parser("recovery", help="failure injection on a workload")
+    _add_workload_args(p)
+    p.add_argument("--protocol", default="QBC")
+    p.add_argument("--failed-host", type=int, default=0)
+    p.set_defaults(fn=_cmd_recovery)
+
+    p = sub.add_parser(
+        "failures", help="run with Poisson crashes and full rollback"
+    )
+    _add_workload_args(p)
+    p.add_argument("--protocol", default="QBC")
+    p.add_argument("--mean-interval", type=float, default=1500.0)
+    p.set_defaults(fn=_cmd_failures)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point: parse *argv* and dispatch; returns the exit code."""
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

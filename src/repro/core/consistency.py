@@ -1,0 +1,423 @@
+"""Consistency of global checkpoints: happens-before, orphans, lines.
+
+Definitions (paper Section 3): a message ``m`` from ``h_i`` to ``h_j``
+is *orphan* w.r.t. the pair ``(C_i, C_j)`` iff its receive occurred
+before ``C_j`` while its send occurred after ``C_i``.  A global
+checkpoint (one local checkpoint per host) is *consistent* iff no pair
+admits an orphan message.
+
+Positions, not timestamps
+-------------------------
+Whether a checkpoint covers an event is a question of *per-host event
+order*, not wall-clock time: a forced checkpoint is taken upon receipt
+**before** the message is delivered, so the message is received *after*
+that checkpoint even though both carry the same timestamp.  This module
+therefore re-runs a protocol over a trace while recording the exact
+interleaving of events and checkpoints per host
+(:func:`annotate_replay`), and all consistency queries work on those
+integer positions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.core.trace import EventType, Trace
+from repro.protocols.base import CheckpointingProtocol, TakenCheckpoint
+
+
+@dataclass(slots=True, frozen=True)
+class MessageRecord:
+    """Send/receive positions of one consumed message."""
+
+    msg_id: int
+    src: int
+    src_pos: int
+    dst: int
+    dst_pos: int
+
+
+@dataclass(slots=True, frozen=True)
+class LocalCheckpoint:
+    """A checkpoint pinned to its per-host position."""
+
+    host: int
+    #: Ordinal among this host's checkpoints (0 = initial checkpoint).
+    ordinal: int
+    #: Position in the host's event sequence; events with a smaller
+    #: position are covered by (happened before) this checkpoint.
+    position: int
+    record: TakenCheckpoint
+
+
+@dataclass
+class AnnotatedRun:
+    """A replayed trace with exact per-host event/checkpoint ordering."""
+
+    n_hosts: int
+    #: All consumed messages with their endpoint positions.
+    messages: list[MessageRecord] = field(default_factory=list)
+    #: Per host: checkpoints in the order taken, with positions.
+    checkpoints: list[list[LocalCheckpoint]] = field(default_factory=list)
+    #: Per host: total number of positions used (diagnostics).
+    sequence_length: list[int] = field(default_factory=list)
+    #: Global creation order of all (host, position) pairs -- the
+    #: topological order vector clocks are computed in.
+    order: list[tuple[int, int]] = field(default_factory=list)
+
+    def last_checkpoint(self, host: int) -> LocalCheckpoint:
+        """The host's most recent checkpoint."""
+        return self.checkpoints[host][-1]
+
+    def latest_with_index(self, host: int, index: int) -> Optional[LocalCheckpoint]:
+        """Most recent checkpoint of *host* carrying protocol index
+        *index* (QBC may have several; the last replaces the others)."""
+        found = None
+        for ck in self.checkpoints[host]:
+            if ck.record.index == index:
+                found = ck
+        return found
+
+    def first_with_index_at_least(
+        self, host: int, index: int
+    ) -> Optional[LocalCheckpoint]:
+        """First checkpoint with protocol index >= *index* (the BCS
+        "jump" completion rule)."""
+        best = None
+        for ck in self.checkpoints[host]:
+            if ck.record.index >= index:
+                if best is None or ck.position < best.position:
+                    best = ck
+        return best
+
+
+def annotate_replay(
+    trace: Trace, protocol: CheckpointingProtocol
+) -> AnnotatedRun:
+    """Replay *trace* through a fresh *protocol*, recording positions.
+
+    Checkpoints taken inside a hook are positioned **before** the event
+    that triggered the hook (the protocol checkpoints, then the event
+    completes) -- this matches the pseudocode of all the paper's
+    protocols.
+    """
+    if protocol.checkpoints and any(
+        c.reason != "initial" for c in protocol.checkpoints
+    ):
+        raise ValueError("annotate_replay needs a fresh protocol instance")
+    run = AnnotatedRun(
+        n_hosts=trace.n_hosts,
+        checkpoints=[[] for _ in range(trace.n_hosts)],
+        sequence_length=[0] * trace.n_hosts,
+    )
+    pos = run.sequence_length  # alias: next free position per host
+
+    def note_new_checkpoints() -> None:
+        taken = protocol.checkpoints
+        while len(taken) > note_counts[0]:
+            ck = taken[note_counts[0]]
+            note_counts[0] += 1
+            p = pos[ck.host]
+            pos[ck.host] += 1
+            run.order.append((ck.host, p))
+            run.checkpoints[ck.host].append(
+                LocalCheckpoint(
+                    host=ck.host,
+                    ordinal=len(run.checkpoints[ck.host]),
+                    position=p,
+                    record=ck,
+                )
+            )
+
+    note_counts = [0]
+    # Initial checkpoints (taken in the protocol constructor).
+    note_new_checkpoints()
+
+    in_flight: dict[int, tuple[object, int, int]] = {}  # piggyback, src, src_pos
+    for ev in trace.events:
+        et = ev.etype
+        if et is EventType.SEND:
+            piggyback = protocol.on_send(ev.host, ev.peer, ev.time)
+            note_new_checkpoints()  # e.g. periodic ckpt before send
+            p = pos[ev.host]
+            pos[ev.host] += 1
+            run.order.append((ev.host, p))
+            in_flight[ev.msg_id] = (piggyback, ev.host, p)
+        elif et is EventType.RECEIVE:
+            piggyback, src, src_pos = in_flight.pop(ev.msg_id)
+            protocol.on_receive(ev.host, piggyback, src, ev.time)
+            note_new_checkpoints()  # forced ckpt precedes delivery
+            p = pos[ev.host]
+            pos[ev.host] += 1
+            run.order.append((ev.host, p))
+            run.messages.append(
+                MessageRecord(
+                    msg_id=ev.msg_id,
+                    src=src,
+                    src_pos=src_pos,
+                    dst=ev.host,
+                    dst_pos=p,
+                )
+            )
+        elif et is EventType.CELL_SWITCH:
+            protocol.on_cell_switch(ev.host, ev.time, ev.cell)
+            note_new_checkpoints()
+        elif et is EventType.DISCONNECT:
+            protocol.on_disconnect(ev.host, ev.time)
+            note_new_checkpoints()
+        elif et is EventType.RECONNECT:
+            protocol.on_reconnect(ev.host, ev.time, ev.cell)
+            note_new_checkpoints()
+    return run
+
+
+# ---------------------------------------------------------------------------
+# consistency queries
+# ---------------------------------------------------------------------------
+
+#: A global checkpoint: one LocalCheckpoint per host.
+GlobalCheckpoint = dict[int, LocalCheckpoint]
+
+
+def find_orphans(run: AnnotatedRun, line: GlobalCheckpoint) -> list[MessageRecord]:
+    """Messages orphaned by *line*: received before the destination's
+    line checkpoint but sent after the source's line checkpoint."""
+    orphans = []
+    for m in run.messages:
+        c_src = line.get(m.src)
+        c_dst = line.get(m.dst)
+        if c_src is None or c_dst is None:
+            continue
+        if m.src_pos >= c_src.position and m.dst_pos < c_dst.position:
+            orphans.append(m)
+    return orphans
+
+
+def is_consistent(run: AnnotatedRun, line: GlobalCheckpoint) -> bool:
+    """True iff *line* admits no orphan message."""
+    return not find_orphans(run, line)
+
+
+def in_transit_messages(
+    run: AnnotatedRun, line: GlobalCheckpoint
+) -> list[MessageRecord]:
+    """Messages sent before the line but received after it (lost on
+    rollback unless logged; reported for completeness)."""
+    result = []
+    for m in run.messages:
+        c_src = line.get(m.src)
+        c_dst = line.get(m.dst)
+        if c_src is None or c_dst is None:
+            continue
+        if m.src_pos < c_src.position and m.dst_pos >= c_dst.position:
+            result.append(m)
+    return result
+
+
+def build_recovery_line(
+    run: AnnotatedRun, protocol: CheckpointingProtocol
+) -> GlobalCheckpoint:
+    """Materialise the protocol's on-the-fly recovery line on *run*.
+
+    For index-based protocols the line is, per host, the **latest**
+    checkpoint carrying index ``min_i sn_i`` -- or, after a jump, the
+    first checkpoint with a greater index (paper Section 4.2).  For TP
+    the last checkpoint of every host forms a consistent global
+    checkpoint.  The protocol's own ``recovery_line_indices`` supplies
+    the per-host index; this function resolves it to positions.
+    """
+    indices = protocol.recovery_line_indices()
+    line: GlobalCheckpoint = {}
+    for host, index in indices.items():
+        exact = run.latest_with_index(host, index)
+        ck = exact if exact is not None else run.first_with_index_at_least(host, index)
+        if ck is None:
+            raise ValueError(
+                f"host {host} has no checkpoint with index >= {index}"
+            )
+        line[host] = ck
+    return line
+
+
+def max_consistent_index(sns: Sequence[int]) -> int:
+    """The index-based recovery-line index: ``min_i sn_i``.
+
+    Exposed for the storage GC, which may reclaim anything strictly
+    older than each host's last checkpoint at or below this cutoff.
+    """
+    if not sns:
+        raise ValueError("need at least one sequence number")
+    return min(sns)
+
+
+def maximal_consistent_line(
+    run: AnnotatedRun,
+    start: Optional[GlobalCheckpoint] = None,
+) -> tuple[GlobalCheckpoint, int]:
+    """Find the most recent consistent line at or before *start* by
+    rollback propagation; returns (line, iterations).
+
+    This is the a-posteriori search an *uncoordinated* protocol is stuck
+    with: start from each host's last checkpoint and, while some message
+    is orphaned, roll its receiver back before the receive.  The
+    iteration count exposes the domino effect (CIC protocols converge in
+    one pass; uncoordinated ones can cascade to the initial state).
+    """
+    line = dict(start) if start is not None else {
+        h: run.last_checkpoint(h) for h in range(run.n_hosts)
+    }
+    iterations = 0
+    changed = True
+    while changed:
+        changed = False
+        iterations += 1
+        for m in find_orphans(run, line):
+            # The line mutates within this pass: skip orphans an earlier
+            # rollback already resolved (their receive is now uncovered).
+            if not (
+                m.src_pos >= line[m.src].position
+                and m.dst_pos < line[m.dst].position
+            ):
+                continue
+            # receiver must roll back before the receive of m
+            candidates = [
+                ck
+                for ck in run.checkpoints[m.dst]
+                if ck.position <= m.dst_pos and ck.position < line[m.dst].position
+            ]
+            if not candidates:
+                raise RuntimeError(
+                    f"no checkpoint of host {m.dst} precedes orphan receive; "
+                    "initial checkpoint missing?"
+                )
+            line[m.dst] = max(candidates, key=lambda ck: ck.position)
+            changed = True
+    return line, iterations
+
+
+# ---------------------------------------------------------------------------
+# vector clocks
+# ---------------------------------------------------------------------------
+
+
+class CausalOrder:
+    """Vector clocks over an annotated run: Lamport's happened-before.
+
+    Built once from an :class:`AnnotatedRun`, then answers
+    ``happens_before((host_a, pos_a), (host_b, pos_b))`` queries in O(1)
+    and exposes clocks for checkpoints.  Used by the property-test suite
+    to verify recovery lines against an independent definition of
+    consistency: a line is consistent iff no line checkpoint happens
+    before another line member's *covered* region in a way that orphans
+    a message -- i.e. the orphan criterion and the vector-clock
+    criterion must agree.
+    """
+
+    def __init__(self, run: AnnotatedRun):
+        self.run = run
+        n = run.n_hosts
+        recv_from: dict[tuple[int, int], tuple[int, int]] = {
+            (m.dst, m.dst_pos): (m.src, m.src_pos) for m in run.messages
+        }
+        clocks: dict[tuple[int, int], tuple[int, ...]] = {}
+        last: dict[int, list[int]] = {}
+        for host, pos in run.order:
+            vc = list(last.get(host, (0,) * n))
+            origin = recv_from.get((host, pos))
+            if origin is not None:
+                src_vc = clocks[origin]
+                for k in range(n):
+                    if src_vc[k] > vc[k]:
+                        vc[k] = src_vc[k]
+            vc[host] += 1
+            tup = tuple(vc)
+            clocks[(host, pos)] = tup
+            last[host] = vc
+        self._clocks = clocks
+
+    def clock(self, host: int, pos: int) -> tuple[int, ...]:
+        """Vector clock of the event at (host, pos)."""
+        return self._clocks[(host, pos)]
+
+    def happens_before(
+        self, a: tuple[int, int], b: tuple[int, int]
+    ) -> bool:
+        """Lamport happened-before between two (host, position) events."""
+        if a == b:
+            return False
+        va, vb = self._clocks[a], self._clocks[b]
+        return va[a[0]] <= vb[a[0]] and va != vb
+
+    def concurrent(self, a: tuple[int, int], b: tuple[int, int]) -> bool:
+        """Neither happens before the other."""
+        return (
+            a != b
+            and not self.happens_before(a, b)
+            and not self.happens_before(b, a)
+        )
+
+    def checkpoint_clock(self, ck: LocalCheckpoint) -> tuple[int, ...]:
+        """Vector clock of a checkpoint (as an event of its host)."""
+        return self._clocks[(ck.host, ck.position)]
+
+    def line_is_consistent(self, line: GlobalCheckpoint) -> bool:
+        """Independent consistency check: no line member happens before
+        another (checkpoints of a consistent global checkpoint must be
+        pairwise concurrent or unordered, Lamport [12] / paper Section 1).
+        """
+        members = list(line.values())
+        for i, a in enumerate(members):
+            for b in members[i + 1 :]:
+                pa = (a.host, a.position)
+                pb = (b.host, b.position)
+                if self.happens_before(pa, pb) or self.happens_before(pb, pa):
+                    return False
+        return True
+
+
+# ---------------------------------------------------------------------------
+# TP anchored lines
+# ---------------------------------------------------------------------------
+
+
+def virtual_now_checkpoint(run: AnnotatedRun, host: int) -> LocalCheckpoint:
+    """A stand-in for the checkpoint a host takes *on demand* at global-
+    checkpoint collection time: it covers every event of the host so
+    far.  Used by :func:`tp_anchored_line` for hosts whose required
+    checkpoint does not exist yet."""
+    from repro.protocols.base import TakenCheckpoint
+
+    return LocalCheckpoint(
+        host=host,
+        ordinal=len(run.checkpoints[host]),
+        position=run.sequence_length[host],
+        record=TakenCheckpoint(
+            host=host,
+            index=-1,
+            time=float("inf"),
+            reason="virtual",
+        ),
+    )
+
+
+def tp_anchored_line(
+    run: AnnotatedRun, protocol, anchor: int
+) -> GlobalCheckpoint:
+    """The consistent global checkpoint containing *anchor*'s latest TP
+    checkpoint (paper Section 4.1).
+
+    Per the dependency vectors recorded with that checkpoint, every
+    other host contributes its checkpoint with index ``CKPT_a[j] + 1``
+    -- the first one covering the interval the anchor depends on.  A
+    host that has not taken it yet contributes the checkpoint it would
+    take on demand (virtual-now): the two-phase rule (all receives of
+    an interval precede its first send) guarantees this closes the line
+    with no orphan and no cascading, which the property-test suite
+    verifies against the independent orphan checker.
+    """
+    line: GlobalCheckpoint = {anchor: run.last_checkpoint(anchor)}
+    for j, index in protocol.required_indices(anchor).items():
+        ck = run.first_with_index_at_least(j, index)
+        line[j] = ck if ck is not None else virtual_now_checkpoint(run, j)
+    return line

@@ -1,0 +1,95 @@
+"""Run metrics: the paper's N_tot and supporting overhead measures."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.protocols.base import CheckpointingProtocol
+
+
+@dataclass(slots=True)
+class CheckpointStats:
+    """Checkpoint counts of one protocol run."""
+
+    n_basic: int = 0
+    n_forced: int = 0
+    n_initial: int = 0
+    n_replaced: int = 0
+    per_host_total: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def n_total(self) -> int:
+        """The paper's N_tot (initial checkpoints excluded)."""
+        """The paper's N_tot (initial checkpoints excluded)."""
+        return self.n_basic + self.n_forced
+
+    @classmethod
+    def from_protocol(cls, protocol: "CheckpointingProtocol") -> "CheckpointStats":
+        """Aggregate the counters of a finished protocol run."""
+        per_host: dict[int, int] = {h: 0 for h in range(protocol.n_hosts)}
+        n_initial = 0
+        for ck in protocol.checkpoints:
+            if ck.reason == "initial":
+                n_initial += 1
+            else:
+                per_host[ck.host] += 1
+        return cls(
+            n_basic=protocol.n_basic,
+            n_forced=protocol.n_forced,
+            n_initial=n_initial,
+            n_replaced=protocol.n_replaced,
+            per_host_total=per_host,
+        )
+
+
+@dataclass(slots=True)
+class ProtocolRunMetrics:
+    """Everything one (trace, protocol) evaluation produces."""
+
+    protocol: str
+    stats: CheckpointStats
+    #: Sends observed in the trace.
+    n_sends: int = 0
+    #: Receive operations that actually consumed a message.
+    n_receives: int = 0
+    #: Total control integers shipped on application messages
+    #: (n_sends x per-message piggyback size) -- the paper's
+    #: scalability measure.
+    piggyback_ints_total: int = 0
+    sim_time: float = 0.0
+    seed: Optional[int] = None
+
+    @property
+    def n_total(self) -> int:
+        return self.stats.n_total
+
+    @property
+    def forced_per_send(self) -> float:
+        """Forced checkpoints per application message sent (intensity)."""
+        return self.stats.n_forced / self.n_sends if self.n_sends else 0.0
+
+    def as_row(self) -> dict:
+        """Flat dict for table/CSV reporting."""
+        return {
+            "protocol": self.protocol,
+            "n_total": self.n_total,
+            "n_basic": self.stats.n_basic,
+            "n_forced": self.stats.n_forced,
+            "n_replaced": self.stats.n_replaced,
+            "n_sends": self.n_sends,
+            "n_receives": self.n_receives,
+            "piggyback_ints": self.piggyback_ints_total,
+            "sim_time": self.sim_time,
+            "seed": self.seed,
+        }
+
+
+def gain_percent(baseline: float, improved: float) -> float:
+    """The paper's gain measure: how much *improved* undercuts *baseline*
+    in percent (e.g. 90.0 when an index protocol takes 10x fewer
+    checkpoints than TP)."""
+    if baseline == 0:
+        return 0.0
+    return 100.0 * (baseline - improved) / baseline

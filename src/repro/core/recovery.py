@@ -1,0 +1,145 @@
+"""Failure injection and rollback: the paper's stated future work.
+
+Section 6: "Future work is focused on the evaluation of the recovery
+time and of the amount of undone computation due to a failure."  This
+module implements that evaluation:
+
+* :func:`minimal_rollback` -- protocol-independent: anchor the failed
+  host at its last checkpoint, leave everyone else at their current
+  state, and propagate rollbacks until no orphan remains.  For CIC
+  protocols this converges immediately; for uncoordinated checkpointing
+  it exhibits the domino effect.
+* :func:`protocol_line_rollback` -- roll everyone back to the
+  protocol's own on-the-fly recovery line (what a real implementation
+  would do without any search).
+* :class:`RecoveryOutcome` -- undone computation per host (events and
+  time), orphan/in-transit counts, and the propagation iterations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.consistency import (
+    AnnotatedRun,
+    GlobalCheckpoint,
+    build_recovery_line,
+    in_transit_messages,
+    maximal_consistent_line,
+    tp_anchored_line,
+    virtual_now_checkpoint,
+)
+from repro.protocols.base import CheckpointingProtocol
+
+
+@dataclass(slots=True)
+class RecoveryOutcome:
+    """What a rollback to *line* costs."""
+
+    failed_host: int
+    line: GlobalCheckpoint
+    #: Per host: events undone (positions after the line checkpoint).
+    undone_events: dict[int, int] = field(default_factory=dict)
+    #: Per host: simulated time rolled back (run end - checkpoint time).
+    rollback_time: dict[int, float] = field(default_factory=dict)
+    #: Messages in transit across the line (would need replay/logging).
+    in_transit: int = 0
+    #: Rollback-propagation passes (1 = no cascading).
+    iterations: int = 1
+
+    @property
+    def total_undone_events(self) -> int:
+        """The paper's "amount of undone computation" proxy."""
+        return sum(self.undone_events.values())
+
+    @property
+    def max_rollback_time(self) -> float:
+        """Worst per-host time rolled back (recovery-time proxy)."""
+        return max(self.rollback_time.values(), default=0.0)
+
+
+def _outcome(
+    run: AnnotatedRun,
+    failed_host: int,
+    line: GlobalCheckpoint,
+    end_time: float,
+    iterations: int,
+) -> RecoveryOutcome:
+    undone = {}
+    rb_time = {}
+    for host, ck in line.items():
+        undone[host] = max(0, run.sequence_length[host] - ck.position)
+        when = ck.record.time
+        rb_time[host] = 0.0 if when == float("inf") else max(0.0, end_time - when)
+    return RecoveryOutcome(
+        failed_host=failed_host,
+        line=line,
+        undone_events=undone,
+        rollback_time=rb_time,
+        in_transit=len(in_transit_messages(run, line)),
+        iterations=iterations,
+    )
+
+
+def minimal_rollback(
+    run: AnnotatedRun, failed_host: int, end_time: float
+) -> RecoveryOutcome:
+    """Least-rollback recovery from a crash of *failed_host*.
+
+    The failed host restarts from its last checkpoint; every other host
+    keeps its current state unless orphans force it back (computed by
+    rollback propagation).  The iteration count exposes the domino
+    effect of uncoordinated checkpointing.
+    """
+    start: GlobalCheckpoint = {
+        h: (
+            run.last_checkpoint(h)
+            if h == failed_host
+            else virtual_now_checkpoint(run, h)
+        )
+        for h in range(run.n_hosts)
+    }
+    line, iterations = maximal_consistent_line(run, start)
+    return _outcome(run, failed_host, line, end_time, iterations)
+
+
+def protocol_line_rollback(
+    run: AnnotatedRun,
+    protocol: CheckpointingProtocol,
+    failed_host: int,
+    end_time: float,
+) -> RecoveryOutcome:
+    """Rollback to the protocol's own on-the-fly recovery line.
+
+    This is what a deployed system does without any graph search: the
+    index-based protocols roll every host back to the min-index line;
+    TP rolls back to the line anchored at the failed host's latest
+    checkpoint.  Raises for protocols without an on-the-fly line
+    (uncoordinated ones must use :func:`minimal_rollback`).
+    """
+    if hasattr(protocol, "required_indices"):  # TP's anchored construction
+        line = tp_anchored_line(run, protocol, failed_host)
+    else:
+        line = build_recovery_line(run, protocol)
+    return _outcome(run, failed_host, line, end_time, 1)
+
+
+def recoverable_in_transit(
+    run: AnnotatedRun,
+    line: GlobalCheckpoint,
+    system,
+) -> tuple[int, int]:
+    """(replayable, total) in-transit messages across *line*.
+
+    In-transit messages (sent before the line, received after it) are
+    lost by a plain rollback; with pessimistic message logging at the
+    MSSs (``NetworkParams.log_messages``) they can be replayed from the
+    wired side instead.  Returns how many of the line's in-transit
+    messages appear in some MSS log.
+    """
+    logged: set[int] = set()
+    for station in system.stations:
+        logged |= station.message_log
+    in_transit = in_transit_messages(run, line)
+    replayable = sum(1 for m in in_transit if m.msg_id in logged)
+    return replayable, len(in_transit)

@@ -1,0 +1,178 @@
+"""Recovery execution planning: what a real rollback costs on the wire.
+
+:mod:`repro.core.recovery` measures *undone computation*;
+this module measures the other half of the paper's future work, the
+**recovery time**: the control messages, checkpoint fetches and
+latencies of actually executing a rollback in the mobile architecture.
+
+The index-based protocols were selected exactly because this phase is
+light (paper Section 2.2, "Consistent Checkpoints Built On-The-Fly"):
+the recovery line is determined by the checkpoint *indices*, which the
+MSSs already hold in stable storage -- so the line is computed entirely
+on the wired side, without any wireless round trips.  The per-host work
+is then:
+
+1. **notify**: one located control message MSS -> host telling it which
+   checkpoint to restart from (wired hop when the initiating MSS is not
+   the host's current MSS, then one wireless leg);
+2. **reload**: the host's line checkpoint record may live at a *previous*
+   MSS (it checkpointed there before a handoff) -- then the current MSS
+   first fetches it over the wired network (one round trip), and finally
+   ships the state over the wireless link.
+
+Hosts disconnected at failure time cannot be notified; their stored
+disconnect checkpoint is part of the line already (paper Section 2.2,
+global-checkpoint-collection latency), so recovery *completes* without
+them and their notification is deferred to reconnection time.
+
+The plan is computed from a finished online run
+(:class:`repro.workload.driver.OnlineResult`): the storage distribution
+across MSSs and the hosts' current cells are exactly the state a real
+recovery would see.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.net.system import MobileSystem
+from repro.protocols.base import CheckpointingProtocol
+
+
+@dataclass(slots=True)
+class HostRecoveryStep:
+    """Recovery actions for one host."""
+
+    host: int
+    #: Checkpoint index the host restarts from.
+    restart_index: int
+    #: MSS holding the checkpoint record.
+    record_mss: Optional[int]
+    #: Host's current MSS (None while disconnected).
+    current_mss: Optional[int]
+    #: Wired fetch needed to move the record to the current MSS.
+    needs_fetch: bool
+    #: Notification deferred because the host is disconnected.
+    deferred: bool
+    #: Latency until this host has restarted (inf when deferred).
+    latency: float
+
+
+@dataclass(slots=True)
+class RecoveryPlan:
+    """Executable rollback plan + its cost."""
+
+    failed_host: int
+    initiator_mss: int
+    steps: list[HostRecoveryStep] = field(default_factory=list)
+    #: Wired-side messages used to compute the line (storage queries).
+    line_computation_messages: int = 0
+    #: Located control messages to hosts (notifications).
+    control_messages: int = 0
+    #: Wired checkpoint fetches (records stranded at previous MSSs).
+    checkpoint_fetches: int = 0
+
+    @property
+    def recovery_time(self) -> float:
+        """Time until every *reachable* host restarted."""
+        finite = [s.latency for s in self.steps if not s.deferred]
+        return max(finite, default=0.0)
+
+    @property
+    def deferred_hosts(self) -> list[int]:
+        """Hosts whose notification waits for their reconnection."""
+        return [s.host for s in self.steps if s.deferred]
+
+
+def plan_recovery(
+    system: MobileSystem,
+    protocol: CheckpointingProtocol,
+    failed_host: int,
+) -> RecoveryPlan:
+    """Plan the rollback after a crash of *failed_host*.
+
+    Requires a protocol with an on-the-fly recovery line: index-based
+    protocols use ``recovery_line_indices()``; TP uses its anchored
+    construction (``required_indices``).  The storage state must have
+    been populated by an online run (``run_online`` wires the protocol's
+    storage hook automatically).
+    """
+    host = system.hosts[failed_host]
+    # The failed host recovers through the MSS of the cell it was last
+    # seen in.
+    initiator_mss = (
+        host.mss_id
+        if host.is_connected
+        else system.directory.buffering_mss(failed_host)
+    )
+    assert initiator_mss is not None
+    lat = system.params.leg_latency
+
+    if hasattr(protocol, "required_indices"):
+        indices = dict(protocol.required_indices(failed_host))
+        # TP anchor restarts from its own latest checkpoint.
+        own = [c for c in protocol.checkpoints if c.host == failed_host]
+        indices[failed_host] = own[-1].index
+    else:
+        indices = protocol.recovery_line_indices()
+
+    plan = RecoveryPlan(failed_host=failed_host, initiator_mss=initiator_mss)
+    # Wired-side line computation: one storage query per other MSS.
+    plan.line_computation_messages = system.params.n_mss - 1
+    line_computed_at = 2 * lat  # query + reply over the wired fabric
+
+    for h, index in sorted(indices.items()):
+        current = system.directory.locate(h)
+        holder = _record_holder(system, h, index)
+        deferred = current is None
+        needs_fetch = (
+            not deferred and holder is not None and holder != current
+        )
+        if deferred:
+            latency = float("inf")
+        else:
+            latency = line_computed_at
+            if current != initiator_mss:
+                latency += lat  # wired hop for the notification
+            latency += lat  # wireless notification leg
+            if needs_fetch:
+                latency += 2 * lat  # wired fetch round trip
+                plan.checkpoint_fetches += 1
+            latency += lat  # wireless state download
+            plan.control_messages += 1
+        plan.steps.append(
+            HostRecoveryStep(
+                host=h,
+                restart_index=index,
+                record_mss=holder,
+                current_mss=current,
+                needs_fetch=needs_fetch,
+                deferred=deferred,
+                latency=latency,
+            )
+        )
+    return plan
+
+
+def _record_holder(
+    system: MobileSystem, host: int, index: int
+) -> Optional[int]:
+    """MSS holding the checkpoint (host, index); prefers an exact match,
+    falls back to the first record with a greater index (the jump rule),
+    then to the host's newest record anywhere."""
+    first_greater: Optional[tuple[int, int]] = None
+    newest: Optional[tuple[float, int]] = None
+    for station in system.stations:
+        if station.storage.get(host, index) is not None:
+            return station.mss_id
+        for rec in station.storage.records_for(host):
+            if rec.index > index and (
+                first_greater is None or rec.index < first_greater[0]
+            ):
+                first_greater = (rec.index, station.mss_id)
+            if newest is None or rec.taken_at > newest[0]:
+                newest = (rec.taken_at, station.mss_id)
+    if first_greater is not None:
+        return first_greater[1]
+    return newest[1] if newest else None

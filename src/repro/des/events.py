@@ -1,0 +1,283 @@
+"""Event primitives for the DES kernel.
+
+An :class:`Event` moves through three states:
+
+``untriggered`` --(succeed/fail)--> ``triggered (pending on agenda)``
+--(agenda pop)--> ``processed`` (callbacks ran).
+
+Callbacks receive the event itself; ``event.value`` carries the payload
+(or the exception, when :attr:`Event.failed` is true).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Optional
+
+from repro.des.core import PRIORITY_NORMAL, PRIORITY_URGENT
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.des.core import Environment
+
+#: Sentinel distinguishing "no value yet" from a legitimate ``None`` value.
+_PENDING = object()
+
+
+class EventAlreadyTriggered(RuntimeError):
+    """Raised when succeed/fail is called twice on the same event."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`repro.des.process.Process.interrupt`.
+
+    The interrupting cause is available as :attr:`cause`.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence in simulated time.
+
+    Parameters
+    ----------
+    env:
+        Owning environment.
+
+    Notes
+    -----
+    Triggering (``succeed``/``fail``) *schedules* the event; its callbacks
+    run when the agenda reaches it, which for a zero delay is still a
+    distinct later step.  This mirrors SimPy semantics and avoids
+    re-entrant callback chains.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_scheduled_at", "defused")
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = _PENDING
+        self._ok: bool = True
+        self._scheduled_at: Optional[float] = None
+        #: When a failed event's exception was consumed by someone.
+        self.defused: bool = False
+
+    # -- state ----------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once succeed/fail was called (value is decided)."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True when the event succeeded (only meaningful if triggered)."""
+        return self._ok
+
+    @property
+    def failed(self) -> bool:
+        """True when the event carries an exception."""
+        return self.triggered and not self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event payload (or exception for failed events)."""
+        if self._value is _PENDING:
+            raise AttributeError(f"{self!r} has not been triggered yet")
+        return self._value
+
+    # -- triggering ------------------------------------------------------
+    def succeed(self, value: Any = None, priority: int = PRIORITY_NORMAL) -> "Event":
+        """Trigger successfully with *value* and schedule callbacks."""
+        if self._value is not _PENDING:
+            raise EventAlreadyTriggered(repr(self))
+        self._ok = True
+        self._value = value
+        self.env.schedule(self, 0.0, priority)
+        return self
+
+    def fail(self, exception: BaseException, priority: int = PRIORITY_NORMAL) -> "Event":
+        """Trigger as failed, carrying *exception*."""
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"fail() needs an exception, got {exception!r}")
+        if self._value is not _PENDING:
+            raise EventAlreadyTriggered(repr(self))
+        self._ok = False
+        self._value = exception
+        self.env.schedule(self, 0.0, priority)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Trigger with the state of another (triggered) event."""
+        if event.ok:
+            self.succeed(event.value)
+        else:
+            self.fail(event.value)
+
+    # -- callbacks ---------------------------------------------------------
+    def add_callback(self, fn: Callable[["Event"], None]) -> "Event":
+        """Attach *fn*; runs immediately if the event already processed."""
+        if self.callbacks is None:
+            fn(self)
+        else:
+            self.callbacks.append(fn)
+        return self
+
+    def _fire(self) -> None:
+        """Agenda hook: run and clear callbacks (single shot)."""
+        callbacks, self.callbacks = self.callbacks, None
+        if callbacks:
+            for fn in callbacks:
+                fn(self)
+        if self.failed and not self.defused:
+            # Nobody consumed the failure: surface it like SimPy does.
+            raise self._value
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = (
+            "processed"
+            if self.processed
+            else ("triggered" if self.triggered else "pending")
+        )
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires automatically after a fixed delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(
+        self,
+        env: "Environment",
+        delay: float,
+        value: Any = None,
+        priority: int = PRIORITY_NORMAL,
+    ):
+        if delay < 0:
+            raise ValueError(f"negative timeout delay {delay!r}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env.schedule(self, delay, priority)
+
+
+class FunctionCall(Event):
+    """Lean scheduled callback: fires ``fn()`` after *delay*.
+
+    The fast path behind :meth:`Environment.call_later`; skips the
+    callback-list machinery of generic events (one allocation instead of
+    three on the simulator's hottest loop).
+    """
+
+    __slots__ = ("fn",)
+
+    def __init__(self, env, delay: float, fn, priority: int = PRIORITY_NORMAL):
+        super().__init__(env)
+        self.fn = fn
+        self._value = None  # pre-triggered, like Timeout
+        env.schedule(self, delay, priority)
+
+    def _fire(self) -> None:
+        self.callbacks = None
+        self.fn()
+
+
+class _Condition(Event):
+    """Shared machinery for :class:`AllOf` / :class:`AnyOf`."""
+
+    __slots__ = ("events", "_pending_count")
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        self.events: tuple[Event, ...] = tuple(events)
+        for ev in self.events:
+            if ev.env is not env:
+                raise ValueError("all condition events must share one Environment")
+        self._pending_count = sum(1 for ev in self.events if not ev.processed)
+        failed_child = next(
+            (ev for ev in self.events if ev.processed and ev.failed), None
+        )
+        if failed_child is not None:
+            failed_child.defused = True
+            self.fail(failed_child.value, priority=PRIORITY_URGENT)
+        elif not self.events or self._immediately_done():
+            # Everything already settled: trigger via urgent no-delay event.
+            self._settle()
+        else:
+            for ev in self.events:
+                if not ev.processed:
+                    ev.add_callback(self._on_child)
+
+    # subclass hooks -----------------------------------------------------
+    def _immediately_done(self) -> bool:
+        raise NotImplementedError
+
+    def _is_done(self) -> bool:
+        raise NotImplementedError
+
+    # ---------------------------------------------------------------------
+    def _on_child(self, ev: Event) -> None:
+        if self.triggered:
+            if ev.failed:
+                ev.defused = True
+            return
+        if ev.failed:
+            ev.defused = True
+            self.fail(ev.value, priority=PRIORITY_URGENT)
+            return
+        self._pending_count -= 1
+        if self._is_done():
+            self._settle()
+
+    def _settle(self) -> None:
+        if not self.triggered:
+            self.succeed(self._collect(), priority=PRIORITY_URGENT)
+
+    def _collect(self) -> dict[Event, Any]:
+        return {ev: ev.value for ev in self.events if ev.processed and ev.ok}
+
+
+class AllOf(_Condition):
+    """Triggers when every child event has succeeded.
+
+    Value is a dict mapping each child event to its value.  Fails as soon
+    as any child fails.
+    """
+
+    __slots__ = ()
+
+    def _immediately_done(self) -> bool:
+        return all(ev.processed and ev.ok for ev in self.events)
+
+    def _is_done(self) -> bool:
+        return self._pending_count == 0
+
+
+class AnyOf(_Condition):
+    """Triggers when at least one child event has succeeded."""
+
+    __slots__ = ()
+
+    def _immediately_done(self) -> bool:
+        return any(ev.processed and ev.ok for ev in self.events)
+
+    def _is_done(self) -> bool:
+        return self._pending_count < len(self.events)
+
+
+def all_of(env: "Environment", events: Iterable[Event]) -> AllOf:
+    """Convenience constructor for :class:`AllOf`."""
+    return AllOf(env, events)
+
+
+def any_of(env: "Environment", events: Iterable[Event]) -> AnyOf:
+    """Convenience constructor for :class:`AnyOf`."""
+    return AnyOf(env, events)

@@ -1,0 +1,133 @@
+"""Generator-coroutine processes.
+
+A :class:`Process` drives a Python generator that ``yield``\\ s
+:class:`~repro.des.events.Event` objects.  The process suspends until the
+yielded event fires, then resumes with the event's value (or has the
+event's exception thrown into it).  A process is itself an event that
+triggers with the generator's return value, so processes compose:
+``yield env.process(child())`` waits for the child.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator, Optional
+
+from repro.des.core import PRIORITY_URGENT
+from repro.des.events import Event, Interrupt
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.des.core import Environment
+
+
+class Process(Event):
+    """Execution wrapper around a generator of events.
+
+    Parameters
+    ----------
+    env:
+        Owning environment.
+    generator:
+        A generator yielding :class:`Event` instances.
+
+    Examples
+    --------
+    >>> def worker(env, log):
+    ...     yield env.timeout(3)
+    ...     log.append(env.now)
+    ...     return "done"
+    >>> env, log = Environment(), []   # doctest: +SKIP
+    """
+
+    __slots__ = ("generator", "_target", "name")
+
+    def __init__(self, env: "Environment", generator: Generator, name: str = ""):
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise TypeError(f"Process needs a generator, got {generator!r}")
+        super().__init__(env)
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        #: The event this process is currently waiting on (None when ready).
+        self._target: Optional[Event] = None
+        # Kick the generator off at the current time via an urgent event.
+        bootstrap = Event(env)
+        bootstrap.callbacks.append(self._resume)
+        bootstrap.succeed(priority=PRIORITY_URGENT)
+
+    # ------------------------------------------------------------------
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        Interrupting a dead process raises ``RuntimeError``.  The event
+        the process was waiting on stays pending; the process may re-wait
+        on it after handling the interrupt.
+        """
+        if not self.is_alive:
+            raise RuntimeError(f"cannot interrupt dead process {self.name!r}")
+        ev = Event(self.env)
+        ev.callbacks.append(self._do_interrupt)
+        ev._ok = False
+        ev._value = Interrupt(cause)
+        ev.defused = True  # the interrupt is delivered, never "unhandled"
+        self.env.schedule(ev, 0.0, PRIORITY_URGENT)
+
+    # ------------------------------------------------------------------
+    def _do_interrupt(self, event: Event) -> None:
+        if not self.is_alive:  # died between scheduling and delivery
+            return
+        # Detach from the waited-on event so a later trigger doesn't
+        # double-resume us.
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:  # pragma: no cover - already detached
+                pass
+        self._target = None
+        self._step(event.value, failed=True)
+
+    def _resume(self, event: Event) -> None:
+        self._target = None
+        if event.failed:
+            event.defused = True
+            self._step(event.value, failed=True)
+        else:
+            self._step(event.value, failed=False)
+
+    def _step(self, value: Any, failed: bool) -> None:
+        """Advance the generator by one yield."""
+        self.env._active_process = self
+        try:
+            if failed:
+                target = self.generator.throw(value)
+            else:
+                target = self.generator.send(value)
+        except StopIteration as stop:
+            self.succeed(stop.value, priority=PRIORITY_URGENT)
+            return
+        except Interrupt as exc:
+            # Unhandled interrupt kills the process "successfully failed".
+            self.fail(exc, priority=PRIORITY_URGENT)
+            return
+        except BaseException as exc:
+            self.fail(exc, priority=PRIORITY_URGENT)
+            return
+        finally:
+            self.env._active_process = None
+        if not isinstance(target, Event):
+            raise TypeError(
+                f"process {self.name!r} yielded {target!r}; expected an Event"
+            )
+        if target.env is not self.env:
+            raise ValueError(
+                f"process {self.name!r} yielded an event from another Environment"
+            )
+        self._target = target
+        target.add_callback(self._resume)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "dead" if self.triggered else "alive"
+        return f"<Process {self.name!r} {state}>"

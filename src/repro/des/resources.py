@@ -1,0 +1,155 @@
+"""Shared-resource primitives: :class:`Resource` and :class:`Store`.
+
+These are the queueing blocks used by the network substrate (channel
+capacity, per-host inboxes).  Both hand out *request events*: a process
+yields the returned event and resumes once the request is granted.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Any, Callable, Optional
+
+from repro.des.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.des.core import Environment
+
+
+class Request(Event):
+    """Grant event for one unit of a :class:`Resource`."""
+
+    __slots__ = ("resource",)
+
+    def __init__(self, env: "Environment", resource: "Resource"):
+        super().__init__(env)
+        self.resource = resource
+
+    # context-manager sugar: ``with res.request() as req: yield req``
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.resource.release(self)
+
+
+class Resource:
+    """A counted resource with FIFO waiters.
+
+    Parameters
+    ----------
+    env:
+        Owning environment.
+    capacity:
+        Number of simultaneous holders (default 1 -- a mutex).
+    """
+
+    def __init__(self, env: "Environment", capacity: int = 1):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.users: list[Request] = []
+        self.queue: deque[Request] = deque()
+
+    @property
+    def count(self) -> int:
+        """Number of current holders."""
+        return len(self.users)
+
+    def request(self) -> Request:
+        """Ask for one unit; the returned event fires when granted."""
+        req = Request(self.env, self)
+        if len(self.users) < self.capacity:
+            self.users.append(req)
+            req.succeed()
+        else:
+            self.queue.append(req)
+        return req
+
+    def release(self, request: Request) -> None:
+        """Return a previously granted unit (idempotent for queued reqs)."""
+        try:
+            self.users.remove(request)
+        except ValueError:
+            # Never granted: drop it from the wait queue if still there.
+            try:
+                self.queue.remove(request)
+            except ValueError:
+                pass
+            return
+        if self.queue:
+            nxt = self.queue.popleft()
+            self.users.append(nxt)
+            nxt.succeed()
+
+
+class StoreGet(Event):
+    """Pending retrieval from a :class:`Store`."""
+
+    __slots__ = ("filter",)
+
+    def __init__(self, env: "Environment", filter: Optional[Callable[[Any], bool]]):
+        super().__init__(env)
+        self.filter = filter
+
+
+class Store:
+    """An unbounded (or bounded) FIFO buffer of Python objects.
+
+    ``put`` never blocks unless *capacity* is reached, in which case it
+    raises (the mobile-network substrate sizes its buffers explicitly and
+    treats overflow as a modelling error rather than back-pressure).
+
+    ``get`` returns an event that fires with the oldest matching item;
+    optional *filter* gets selective retrieval (used e.g. to pull a
+    specific control message).
+    """
+
+    def __init__(self, env: "Environment", capacity: float = float("inf")):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.items: deque[Any] = deque()
+        self._getters: deque[StoreGet] = deque()
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def put(self, item: Any) -> None:
+        """Insert *item*, waking the first compatible waiting getter."""
+        if len(self.items) >= self.capacity:
+            raise OverflowError(f"Store capacity {self.capacity} exceeded")
+        self.items.append(item)
+        self._dispatch()
+
+    def get(self, filter: Optional[Callable[[Any], bool]] = None) -> StoreGet:
+        """Return an event firing with the next (matching) item."""
+        ev = StoreGet(self.env, filter)
+        self._getters.append(ev)
+        self._dispatch()
+        return ev
+
+    def try_get(
+        self, filter: Optional[Callable[[Any], bool]] = None
+    ) -> tuple[bool, Any]:
+        """Non-blocking get: ``(True, item)`` or ``(False, None)``."""
+        for idx, item in enumerate(self.items):
+            if filter is None or filter(item):
+                del self.items[idx]
+                return True, item
+        return False, None
+
+    def _dispatch(self) -> None:
+        """Match waiting getters against buffered items (FIFO-fair)."""
+        made_progress = True
+        while made_progress and self._getters and self.items:
+            made_progress = False
+            for gi, getter in enumerate(self._getters):
+                ok, item = self.try_get(getter.filter)
+                if ok:
+                    del self._getters[gi]
+                    getter.succeed(item)
+                    made_progress = True
+                    break

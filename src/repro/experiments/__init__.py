@@ -1,0 +1,36 @@
+"""Experiment harness: the paper's Section 5 performance study.
+
+* :mod:`repro.experiments.config` -- sweep configuration.
+* :mod:`repro.experiments.runner` -- single points and full sweeps,
+  optionally fanned out over a process pool.
+* :mod:`repro.experiments.figures` -- one entry per paper figure.
+* :mod:`repro.experiments.report` -- paper-style tables, gains, plots.
+* :mod:`repro.experiments.validation` -- the paper's qualitative claims
+  checked against measured sweeps.
+"""
+
+from repro.experiments.config import SweepConfig
+from repro.experiments.figures import FIGURE_PARAMS, run_figure
+from repro.experiments.report import figure_report, gains_table, points_table
+from repro.experiments.runner import (
+    PointResult,
+    SweepResult,
+    run_point,
+    run_sweep,
+)
+from repro.experiments.validation import validate_figure, validate_paper_claims
+
+__all__ = [
+    "FIGURE_PARAMS",
+    "PointResult",
+    "SweepConfig",
+    "SweepResult",
+    "figure_report",
+    "gains_table",
+    "points_table",
+    "run_figure",
+    "run_point",
+    "run_sweep",
+    "validate_figure",
+    "validate_paper_claims",
+]

@@ -1,0 +1,59 @@
+"""Sweep configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.workload.config import WorkloadConfig
+from repro.workload.scenarios import T_SWITCH_SWEEP
+
+#: Protocol names evaluated by default (the paper's three).
+DEFAULT_PROTOCOLS = ("TP", "BCS", "QBC")
+
+
+@dataclass(slots=True)
+class SweepConfig:
+    """One ``N_tot`` vs ``T_switch`` sweep (= one paper figure).
+
+    Parameters
+    ----------
+    base:
+        Workload parameters shared by every point (``t_switch`` and
+        ``seed`` are overridden per point/run).
+    t_switch_values:
+        The x-axis (paper: log-spaced 100..10000).
+    protocols:
+        Names from :data:`repro.protocols.base.registry`.
+    seeds:
+        One run per seed per point; results are averaged and the
+        within-4% agreement is checked.
+    workers:
+        Process-pool width for the sweep; 0/1 = run serially.
+    """
+
+    base: WorkloadConfig = field(default_factory=WorkloadConfig)
+    t_switch_values: Sequence[float] = T_SWITCH_SWEEP
+    protocols: Sequence[str] = DEFAULT_PROTOCOLS
+    seeds: Sequence[int] = (0, 1, 2)
+    workers: int = 0
+
+    def validate(self) -> "SweepConfig":
+        """Check the sweep parameters; returns self (chainable)."""
+        from repro.protocols.base import registry
+
+        self.base.validate()
+        if not self.t_switch_values:
+            raise ValueError("need at least one t_switch value")
+        if any(t <= 0 for t in self.t_switch_values):
+            raise ValueError("t_switch values must be positive")
+        unknown = [p for p in self.protocols if p not in registry]
+        if unknown:
+            raise ValueError(
+                f"unknown protocols {unknown}; known: {sorted(registry)}"
+            )
+        if not self.seeds:
+            raise ValueError("need at least one seed")
+        if self.workers < 0:
+            raise ValueError("workers must be >= 0")
+        return self

@@ -1,0 +1,86 @@
+"""The paper's six figures as runnable sweep definitions.
+
+Every figure plots ``N_tot`` (total checkpoints over the run) against
+the mean cell-residence time ``T_switch`` of the slowest hosts, for TP,
+BCS and QBC, with ``P_s = 0.4``:
+
+====== ========== =====
+figure  P_switch    H
+====== ========== =====
+1        1.0        0%
+2        0.8        0%
+3        1.0       50%
+4        0.8       50%
+5        1.0       30%
+6        0.8       30%
+====== ========== =====
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.experiments.config import DEFAULT_PROTOCOLS, SweepConfig
+from repro.experiments.runner import SweepResult, run_sweep
+from repro.workload.config import WorkloadConfig
+from repro.workload.scenarios import T_SWITCH_SWEEP
+
+#: figure -> (p_switch, heterogeneity)
+FIGURE_PARAMS: dict[int, tuple[float, float]] = {
+    1: (1.0, 0.0),
+    2: (0.8, 0.0),
+    3: (1.0, 0.5),
+    4: (0.8, 0.5),
+    5: (1.0, 0.3),
+    6: (0.8, 0.3),
+}
+
+
+def figure_sweep_config(
+    figure: int,
+    sim_time: float,
+    seeds: Sequence[int] = (0, 1, 2),
+    t_switch_values: Sequence[float] = T_SWITCH_SWEEP,
+    protocols: Sequence[str] = DEFAULT_PROTOCOLS,
+    workers: int = 0,
+) -> SweepConfig:
+    """Sweep configuration reproducing one paper figure.
+
+    ``sim_time`` is explicit because the paper-scale horizon (1e5) takes
+    minutes per sweep in pure Python; benches use a shorter horizon and
+    EXPERIMENTS.md records which was used where.
+    """
+    if figure not in FIGURE_PARAMS:
+        raise ValueError(f"the paper has figures 1..6, got {figure}")
+    p_switch, heterogeneity = FIGURE_PARAMS[figure]
+    base = WorkloadConfig(
+        p_send=0.4,
+        p_switch=p_switch,
+        heterogeneity=heterogeneity,
+        sim_time=sim_time,
+    )
+    return SweepConfig(
+        base=base,
+        t_switch_values=tuple(t_switch_values),
+        protocols=tuple(protocols),
+        seeds=tuple(seeds),
+        workers=workers,
+    ).validate()
+
+
+def run_figure(
+    figure: int,
+    sim_time: float = 20_000.0,
+    seeds: Sequence[int] = (0, 1, 2),
+    t_switch_values: Optional[Sequence[float]] = None,
+    workers: int = 0,
+) -> SweepResult:
+    """Run one paper figure end to end and return the sweep result."""
+    cfg = figure_sweep_config(
+        figure,
+        sim_time=sim_time,
+        seeds=seeds,
+        t_switch_values=tuple(t_switch_values or T_SWITCH_SWEEP),
+        workers=workers,
+    )
+    return run_sweep(cfg)

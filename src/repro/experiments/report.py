@@ -1,0 +1,108 @@
+"""Paper-style reporting: tables, gains, ASCII figures."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.analysis.plotting import ascii_plot
+from repro.core.metrics import gain_percent
+from repro.experiments.runner import SweepResult
+
+
+def points_table(result: SweepResult) -> str:
+    """The rows behind one figure: mean N_tot per (t_switch, protocol),
+    plus the basic/forced split and the multi-seed spread."""
+    protocols = list(result.protocols())
+    header = (
+        f"{'T_switch':>9} "
+        + " ".join(f"{p:>10}" for p in protocols)
+        + "   (mean N_tot; spread over seeds in %)"
+    )
+    lines = [header]
+    for point in result.points:
+        cells = []
+        for name in protocols:
+            s = point.summary(name)
+            cells.append(f"{s.mean:>10.1f}")
+        spreads = ", ".join(
+            f"{name} {100 * point.summary(name).relative_spread:.1f}%"
+            for name in protocols
+        )
+        lines.append(f"{point.t_switch:>9.0f} " + " ".join(cells) + f"   [{spreads}]")
+    return "\n".join(lines)
+
+
+def gains_table(result: SweepResult) -> str:
+    """The paper's headline numbers: index-based gain over TP and QBC's
+    gain over BCS at each sweep point."""
+    protocols = set(result.protocols())
+    lines = [f"{'T_switch':>9} {'BCS vs TP':>12} {'QBC vs TP':>12} {'QBC vs BCS':>12}"]
+    for point in result.points:
+        def mean(name: str) -> float:
+            return point.mean_total(name)
+
+        bcs_tp = (
+            gain_percent(mean("TP"), mean("BCS"))
+            if {"TP", "BCS"} <= protocols
+            else float("nan")
+        )
+        qbc_tp = (
+            gain_percent(mean("TP"), mean("QBC"))
+            if {"TP", "QBC"} <= protocols
+            else float("nan")
+        )
+        qbc_bcs = (
+            gain_percent(mean("BCS"), mean("QBC"))
+            if {"BCS", "QBC"} <= protocols
+            else float("nan")
+        )
+        lines.append(
+            f"{point.t_switch:>9.0f} {bcs_tp:>11.1f}% {qbc_tp:>11.1f}% "
+            f"{qbc_bcs:>11.1f}%"
+        )
+    return "\n".join(lines)
+
+
+def figure_report(result: SweepResult, figure: int | None = None) -> str:
+    """Full report of one sweep: parameters, table, gains, ASCII plot."""
+    base = result.config.base
+    title = (
+        f"Ps={base.p_send} Pswitch={base.p_switch} "
+        f"H={int(100 * base.heterogeneity)}% sim_time={base.sim_time:g}"
+    )
+    if figure is not None:
+        title = f"Figure {figure}: {title}"
+    series = {name: result.curve(name) for name in result.protocols()}
+    plot = ascii_plot(series, title="N_tot vs T_switch (log-log)")
+    return "\n".join(
+        [
+            title,
+            "",
+            points_table(result),
+            "",
+            "Gains (reduction of N_tot):",
+            gains_table(result),
+            "",
+            plot,
+        ]
+    )
+
+
+def overhead_table(
+    rows: Sequence[dict],
+) -> str:
+    """Control-information overhead comparison (piggyback integers and
+    control messages), for the Section 2 discussion."""
+    header = (
+        f"{'protocol':>10} {'N_tot':>8} {'pg ints/msg':>12} "
+        f"{'pg ints total':>14} {'ctrl msgs':>10}"
+    )
+    lines = [header]
+    for row in rows:
+        lines.append(
+            f"{row['protocol']:>10} {row['n_total']:>8} "
+            f"{row.get('piggyback_per_msg', 0):>12} "
+            f"{row.get('piggyback_ints', 0):>14} "
+            f"{row.get('control_messages', 0):>10}"
+        )
+    return "\n".join(lines)

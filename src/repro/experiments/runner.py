@@ -1,0 +1,163 @@
+"""Sweep execution.
+
+One *point* = one ``t_switch`` value: generate one trace per seed, then
+replay every protocol over each trace (the paper's common-random-numbers
+comparison -- all protocols see identical schedules).  A *sweep* runs
+all points of a figure, optionally fanned out over a process pool
+(trace generation dominates the cost and parallelises embarrassingly).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from multiprocessing import get_context
+from typing import Sequence
+
+from repro.analysis.stats import SampleSummary, summarize
+from repro.core.replay import replay
+from repro.experiments.config import SweepConfig
+from repro.protocols.base import registry
+from repro.workload.config import WorkloadConfig
+from repro.workload.driver import generate_trace
+
+
+@dataclass(slots=True)
+class RunOutcome:
+    """Counts of one (seed, protocol) run at one point."""
+
+    seed: int
+    protocol: str
+    n_total: int
+    n_basic: int
+    n_forced: int
+    n_replaced: int
+    n_sends: int
+    piggyback_ints: int
+
+
+@dataclass(slots=True)
+class PointResult:
+    """All runs at one ``t_switch`` value."""
+
+    t_switch: float
+    runs: list[RunOutcome] = field(default_factory=list)
+
+    def totals(self, protocol: str) -> list[int]:
+        """N_tot of every run of *protocol* at this point."""
+        return [r.n_total for r in self.runs if r.protocol == protocol]
+
+    def summary(self, protocol: str) -> SampleSummary:
+        """Multi-seed summary statistics for *protocol*."""
+        return summarize([float(v) for v in self.totals(protocol)])
+
+    def mean_total(self, protocol: str) -> float:
+        """Mean N_tot over the seeds for *protocol*."""
+        return self.summary(protocol).mean
+
+
+@dataclass(slots=True)
+class SweepResult:
+    """A full figure sweep."""
+
+    config: SweepConfig
+    points: list[PointResult] = field(default_factory=list)
+
+    def curve(self, protocol: str) -> list[tuple[float, float]]:
+        """(t_switch, mean N_tot) series for one protocol."""
+        return [(p.t_switch, p.mean_total(protocol)) for p in self.points]
+
+    def protocols(self) -> Sequence[str]:
+        """Protocol names this sweep evaluated."""
+        return self.config.protocols
+
+    def to_csv(self, path) -> None:
+        """Write every run's raw counts as CSV (one row per
+        (t_switch, seed, protocol)) for downstream plotting."""
+        import csv
+
+        fields = [
+            "t_switch",
+            "seed",
+            "protocol",
+            "n_total",
+            "n_basic",
+            "n_forced",
+            "n_replaced",
+            "n_sends",
+            "piggyback_ints",
+        ]
+        with open(path, "w", newline="") as fh:
+            writer = csv.DictWriter(fh, fieldnames=fields)
+            writer.writeheader()
+            for point in self.points:
+                for run in point.runs:
+                    writer.writerow(
+                        {
+                            "t_switch": point.t_switch,
+                            "seed": run.seed,
+                            "protocol": run.protocol,
+                            "n_total": run.n_total,
+                            "n_basic": run.n_basic,
+                            "n_forced": run.n_forced,
+                            "n_replaced": run.n_replaced,
+                            "n_sends": run.n_sends,
+                            "piggyback_ints": run.piggyback_ints,
+                        }
+                    )
+
+
+def _evaluate_point(
+    base: WorkloadConfig,
+    t_switch: float,
+    seeds: Sequence[int],
+    protocols: Sequence[str],
+) -> PointResult:
+    """Worker body: one point, all seeds, all protocols."""
+    point = PointResult(t_switch=t_switch)
+    for seed in seeds:
+        cfg = base.with_(t_switch=t_switch, seed=seed)
+        trace = generate_trace(cfg)
+        for name in protocols:
+            protocol = registry[name](cfg.n_hosts, cfg.n_mss)
+            result = replay(trace, protocol, seed=seed)
+            stats = result.metrics.stats
+            point.runs.append(
+                RunOutcome(
+                    seed=seed,
+                    protocol=name,
+                    n_total=stats.n_total,
+                    n_basic=stats.n_basic,
+                    n_forced=stats.n_forced,
+                    n_replaced=stats.n_replaced,
+                    n_sends=result.metrics.n_sends,
+                    piggyback_ints=result.metrics.piggyback_ints_total,
+                )
+            )
+    return point
+
+
+def _pool_task(args: tuple) -> PointResult:  # pragma: no cover - subprocess
+    return _evaluate_point(*args)
+
+
+def run_point(
+    config: SweepConfig, t_switch: float
+) -> PointResult:
+    """Evaluate a single ``t_switch`` point of *config*."""
+    config.validate()
+    return _evaluate_point(config.base, t_switch, config.seeds, config.protocols)
+
+
+def run_sweep(config: SweepConfig) -> SweepResult:
+    """Run the whole sweep; uses a process pool when ``workers > 1``."""
+    config.validate()
+    tasks = [
+        (config.base, t, tuple(config.seeds), tuple(config.protocols))
+        for t in config.t_switch_values
+    ]
+    if config.workers > 1:
+        with get_context("spawn").Pool(config.workers) as pool:
+            points = pool.map(_pool_task, tasks)
+    else:
+        points = [_evaluate_point(*task) for task in tasks]
+    return SweepResult(config=config, points=list(points))

@@ -1,0 +1,38 @@
+"""Mobility models.
+
+The paper's model (Section 5.1): upon entering a cell an MH pre-decides
+its next move -- with probability ``P_switch`` it will *switch* to
+another cell after an exponentially distributed residence time with mean
+``T_switch``; otherwise it *disconnects* after Exp(``T_switch``/3) and
+stays away for Exp(1000).  Heterogeneity ``H`` gives a fraction of the
+hosts a 10x shorter mean residence time.
+
+Cell choice is pluggable (:class:`~repro.mobility.models.CellChooser`):
+uniform over the other cells (default, matching the paper's uniform
+assumptions), a random walk on a cell-adjacency graph, or a Markov
+chain -- the "several models ... for the hosts mobility" of the
+abstract.
+"""
+
+from repro.mobility.heterogeneity import residence_means, split_fast_slow
+from repro.mobility.models import (
+    CellChooser,
+    GraphWalkCellChooser,
+    MarkovCellChooser,
+    MobilityDecision,
+    MoveKind,
+    PaperMobilityModel,
+    UniformCellChooser,
+)
+
+__all__ = [
+    "CellChooser",
+    "GraphWalkCellChooser",
+    "MarkovCellChooser",
+    "MobilityDecision",
+    "MoveKind",
+    "PaperMobilityModel",
+    "UniformCellChooser",
+    "residence_means",
+    "split_fast_slow",
+]

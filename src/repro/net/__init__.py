@@ -1,0 +1,41 @@
+"""Mobile network substrate.
+
+Implements the system model of the paper's Section 3: ``n`` mobile hosts
+(MHs) reach the wired network through ``r`` mobile support stations
+(MSSs), each MSS serving one wireless cell.  Every application message
+travels MH -> current MSS (wireless), MSS -> MSS (wired, skipped when
+src/dst share a cell), MSS -> MH (wireless); each traversed leg costs a
+fixed latency (0.01 time units in the paper).
+
+Public pieces:
+
+* :class:`~repro.net.message.Message` / control-message kinds,
+* :class:`~repro.net.host.MobileHost` runtime state + inbox,
+* :class:`~repro.net.mss.MobileSupportStation` with buffering for
+  disconnected hosts and a stable-storage bay,
+* :class:`~repro.net.location.LocationDirectory`,
+* :class:`~repro.net.channels.Channel` latency/accounting,
+* :class:`~repro.net.system.MobileSystem` tying it all together
+  (send / handoff / disconnect / reconnect).
+"""
+
+from repro.net.channels import Channel, ChannelStats
+from repro.net.host import HostState, MobileHost
+from repro.net.location import LocationDirectory
+from repro.net.message import ControlKind, Message, MessageKind
+from repro.net.mss import MobileSupportStation
+from repro.net.system import MobileSystem, NetworkParams
+
+__all__ = [
+    "Channel",
+    "ChannelStats",
+    "ControlKind",
+    "HostState",
+    "LocationDirectory",
+    "Message",
+    "MessageKind",
+    "MobileHost",
+    "MobileSupportStation",
+    "MobileSystem",
+    "NetworkParams",
+]

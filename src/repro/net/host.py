@@ -1,0 +1,106 @@
+"""Mobile-host runtime state.
+
+A :class:`MobileHost` is a passive record manipulated by
+:class:`~repro.net.system.MobileSystem`: it tracks the host's current
+cell, connection state, and the FIFO inbox of application messages
+awaiting an explicit *receive operation* (paper Section 5.1: on each
+communication step the host performs a send with probability ``P_s``,
+otherwise a receive).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING, Optional
+
+from repro.des.core import Environment
+from repro.des.resources import Store
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.message import Message
+
+
+class HostState(enum.Enum):
+    """Connection state of a mobile host."""
+
+    ACTIVE = "active"
+    DISCONNECTED = "disconnected"
+
+
+class MobileHost:
+    """State of one mobile host.
+
+    Parameters
+    ----------
+    env:
+        Simulation environment.
+    host_id:
+        Index in ``range(n_hosts)``.
+    mss_id:
+        Identifier of the MSS whose cell the host starts in.
+    """
+
+    __slots__ = (
+        "env",
+        "host_id",
+        "mss_id",
+        "state",
+        "inbox",
+        "sent_count",
+        "received_count",
+        "handoff_count",
+        "disconnect_count",
+        "wireless_sends",
+    )
+
+    def __init__(self, env: Environment, host_id: int, mss_id: int):
+        self.env = env
+        self.host_id = host_id
+        self.mss_id = mss_id
+        self.state = HostState.ACTIVE
+        #: Application messages delivered over the air, awaiting an
+        #: explicit receive operation.
+        self.inbox: Store = Store(env)
+        self.sent_count = 0
+        self.received_count = 0
+        self.handoff_count = 0
+        self.disconnect_count = 0
+        #: Wireless transmissions originated by this host (energy proxy).
+        self.wireless_sends = 0
+
+    @property
+    def is_connected(self) -> bool:
+        """True while the host is reachable in some cell."""
+        return self.state is HostState.ACTIVE
+
+    def try_receive(self) -> Optional["Message"]:
+        """Consume the oldest inbox message, or ``None`` if empty.
+
+        This is the non-blocking receive operation used by the paper
+        workload (see DESIGN.md "Model decisions").
+        """
+        ok, msg = self.inbox.try_get()
+        if not ok:
+            return None
+        self.received_count += 1
+        return msg
+
+    def receive_event(self):
+        """Blocking receive: an event that fires with the next message.
+
+        Offered for the ``block_on_empty_receive`` workload variant.
+        """
+        ev = self.inbox.get()
+
+        def _count(event):
+            if event.ok:
+                self.received_count += 1
+
+        ev.add_callback(_count)
+        return ev
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<MobileHost h{self.host_id} cell={self.mss_id} "
+            f"{self.state.value} inbox={len(self.inbox)}>"
+        )

@@ -1,0 +1,59 @@
+"""Location management.
+
+The paper's point (d): delivering anything to a mobile host first costs
+a *location* step.  The directory maps each host to its current MSS; it
+is updated by handoff/disconnect/reconnect and counts lookups so the
+experiment layer can report location cost.  A message routed to a stale
+MSS (the host moved while the message was in flight) triggers a
+*forwarding* hop, also counted here.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class LocationDirectory:
+    """Host -> current-MSS mapping with lookup/forward accounting."""
+
+    def __init__(self, n_hosts: int, initial_mss: list[int]):
+        if len(initial_mss) != n_hosts:
+            raise ValueError(
+                f"initial_mss has {len(initial_mss)} entries for {n_hosts} hosts"
+            )
+        self._current: list[Optional[int]] = list(initial_mss)
+        #: MSS that buffers for a disconnected host (its last cell).
+        self._home_while_disconnected: list[Optional[int]] = [None] * n_hosts
+        self.lookup_count = 0
+        self.update_count = 0
+        self.forward_count = 0
+
+    def locate(self, host_id: int) -> Optional[int]:
+        """Current MSS of *host_id*; ``None`` while disconnected."""
+        self.lookup_count += 1
+        return self._current[host_id]
+
+    def buffering_mss(self, host_id: int) -> Optional[int]:
+        """MSS holding buffered traffic for a disconnected host."""
+        return self._home_while_disconnected[host_id]
+
+    def moved(self, host_id: int, new_mss: int) -> None:
+        """Record a cell switch."""
+        self._current[host_id] = new_mss
+        self.update_count += 1
+
+    def disconnected(self, host_id: int) -> None:
+        """Record a voluntary disconnection (last MSS becomes buffer)."""
+        self._home_while_disconnected[host_id] = self._current[host_id]
+        self._current[host_id] = None
+        self.update_count += 1
+
+    def reconnected(self, host_id: int, mss_id: int) -> None:
+        """Record a reconnection into cell *mss_id*."""
+        self._current[host_id] = mss_id
+        self._home_while_disconnected[host_id] = None
+        self.update_count += 1
+
+    def note_forward(self) -> None:
+        """Count one stale-location forwarding hop."""
+        self.forward_count += 1

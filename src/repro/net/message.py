@@ -1,0 +1,99 @@
+"""Message types exchanged in the mobile system.
+
+Application messages carry a protocol *piggyback* (the communication-
+induced checkpointing control information: a single integer index for
+BCS/QBC, dependency vectors for TP).  Control messages implement the
+handoff/disconnection protocols and, for the coordinated baselines,
+markers and coordination rounds.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+
+class MessageKind(enum.Enum):
+    """Top-level classification of a network message."""
+
+    APPLICATION = "app"
+    CONTROL = "ctrl"
+
+
+class ControlKind(enum.Enum):
+    """Sub-kinds of control messages (paper Sections 2-3)."""
+
+    #: Handoff leg 1: MH tells the MSS it is leaving.
+    HANDOFF_LEAVE = "handoff_leave"
+    #: Handoff leg 2: MH registers with the new MSS.
+    HANDOFF_JOIN = "handoff_join"
+    #: Voluntary disconnection notice to the current MSS.
+    DISCONNECT = "disconnect"
+    #: Reconnection notice (also flushes buffered messages).
+    RECONNECT = "reconnect"
+    #: Chandy-Lamport marker (coordinated baseline).
+    MARKER = "marker"
+    #: Coordinated-protocol request/ack pair (Koo-Toueg etc.).
+    CKPT_REQUEST = "ckpt_request"
+    CKPT_ACK = "ckpt_ack"
+    #: Fetch of a checkpoint between MSSs after a cell switch.
+    CKPT_FETCH = "ckpt_fetch"
+
+
+_msg_counter = itertools.count()
+
+
+@dataclass(slots=True)
+class Message:
+    """A message travelling through the mobile system.
+
+    Parameters
+    ----------
+    src, dst:
+        Host identifiers (``int`` indices).  Control messages addressed
+        to an MSS use ``dst_mss`` instead and leave ``dst`` as ``None``.
+    kind:
+        Application or control.
+    payload:
+        Application payload (opaque).
+    piggyback:
+        Protocol control information attached by the checkpointing
+        protocol of the sender (e.g. ``{"sn": 3}`` for index-based
+        protocols).
+    piggyback_ints:
+        Size of the piggyback measured in integers -- the paper's
+        scalability argument (TP carries two n-vectors, index-based
+        protocols one integer).
+    """
+
+    src: int
+    dst: Optional[int]
+    kind: MessageKind = MessageKind.APPLICATION
+    control: Optional[ControlKind] = None
+    dst_mss: Optional[int] = None
+    payload: Any = None
+    piggyback: dict[str, Any] = field(default_factory=dict)
+    piggyback_ints: int = 0
+    #: Unique id; also used to pair send/receive events in traces.
+    msg_id: int = field(default_factory=lambda: next(_msg_counter))
+    #: Simulation time of the send operation (stamped by MobileSystem).
+    sent_at: float = float("nan")
+    #: Number of network legs traversed so far (diagnostics).
+    hops: int = 0
+
+    @property
+    def is_application(self) -> bool:
+        """True for application messages (the ones protocols act on)."""
+        return self.kind is MessageKind.APPLICATION
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        tag = self.control.value if self.control else "app"
+        return f"<Message #{self.msg_id} {tag} {self.src}->{self.dst}>"
+
+
+def reset_message_ids() -> None:
+    """Restart the global message-id counter (test isolation helper)."""
+    global _msg_counter
+    _msg_counter = itertools.count()

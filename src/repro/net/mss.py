@@ -1,0 +1,85 @@
+"""Mobile support stations.
+
+An MSS is the wired-network access point of every MH currently in its
+cell (paper Section 1).  It:
+
+* forwards application messages between the wireless and wired sides,
+* buffers messages addressed to hosts that disconnected from its cell,
+  delivering them at reconnection (at-least-once semantics),
+* hosts a :class:`~repro.storage.stable.StableStorage` bay for the
+  checkpoints of the MHs it serves,
+* serves checkpoint fetches from other MSSs after handoffs.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import TYPE_CHECKING
+
+from repro.storage.stable import StableStorage
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.message import Message
+
+
+class MobileSupportStation:
+    """One MSS / cell."""
+
+    __slots__ = (
+        "mss_id",
+        "registered",
+        "buffered",
+        "storage",
+        "forwarded_messages",
+        "buffered_messages",
+        "message_log",
+    )
+
+    def __init__(self, mss_id: int):
+        self.mss_id = mss_id
+        #: Host ids currently registered in this cell.
+        self.registered: set[int] = set()
+        #: Messages held for disconnected hosts, per host id.
+        self.buffered: dict[int, list["Message"]] = defaultdict(list)
+        self.storage = StableStorage(mss_id)
+        self.forwarded_messages = 0
+        self.buffered_messages = 0
+        #: Pessimistic message log (msg ids seen at this MSS), enabling
+        #: replay of in-transit messages after a rollback.  Populated
+        #: only when NetworkParams.log_messages is on.
+        self.message_log: set[int] = set()
+
+    # -- registration ------------------------------------------------------
+    def register(self, host_id: int) -> None:
+        """A host entered this cell (initial placement, handoff join, or
+        reconnection)."""
+        self.registered.add(host_id)
+
+    def deregister(self, host_id: int) -> None:
+        """A host left this cell (handoff leave or disconnection)."""
+        self.registered.discard(host_id)
+
+    def serves(self, host_id: int) -> bool:
+        """True while *host_id* is registered in this cell."""
+        return host_id in self.registered
+
+    # -- buffering for disconnected hosts -----------------------------------
+    def buffer_message(self, msg: "Message") -> None:
+        """Hold *msg* for a disconnected host last seen in this cell."""
+        assert msg.dst is not None
+        self.buffered[msg.dst].append(msg)
+        self.buffered_messages += 1
+
+    def drain_buffer(self, host_id: int) -> list["Message"]:
+        """Release (in arrival order) everything held for *host_id*."""
+        return self.buffered.pop(host_id, [])
+
+    def pending_for(self, host_id: int) -> int:
+        """Number of messages buffered for a disconnected host."""
+        return len(self.buffered.get(host_id, ()))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<MSS {self.mss_id} hosts={sorted(self.registered)} "
+            f"ckpts={len(self.storage)}>"
+        )

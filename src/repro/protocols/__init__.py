@@ -1,0 +1,56 @@
+"""Checkpointing protocols.
+
+The paper's three communication-induced protocols adapted to mobile
+hosts:
+
+* :class:`~repro.protocols.tp.TwoPhaseProtocol` (TP) -- Acharya-Badrinath,
+* :class:`~repro.protocols.bcs.BCSProtocol` -- Briatico-Ciuffoletti-
+  Simoncini index-based,
+* :class:`~repro.protocols.qbc.QBCProtocol` -- Quaglia-Baldoni-Ciciani
+  index-based with checkpoint equivalence/replacement,
+
+plus baselines discussed in the paper's Section 2 (implemented for the
+overhead/ablation experiments):
+
+* :class:`~repro.protocols.uncoordinated.UncoordinatedProtocol`
+  (periodic independent checkpoints; domino-prone),
+* :class:`~repro.protocols.chandy_lamport.ChandyLamportCoordinator`
+  (marker-based coordinated snapshots; online-mode only),
+* :class:`~repro.protocols.koo_toueg.KooTouegProtocol` (blocking
+  minimal coordination, online-mode only),
+* :class:`~repro.protocols.prakash_singhal.PrakashSinghalProtocol`
+  (dependency-subset coordination, online-mode only),
+* :class:`~repro.protocols.bqf.BQFProtocol` -- Baldoni-Quaglia-Fornara
+  index-based variant with lazy index advance (extension).
+"""
+
+from repro.protocols.base import (
+    CheckpointingProtocol,
+    TakenCheckpoint,
+    registry,
+)
+from repro.protocols.bcs import BCSProtocol
+from repro.protocols.bqf import BQFProtocol
+from repro.protocols.chandy_lamport import run_chandy_lamport
+from repro.protocols.koo_toueg import run_koo_toueg
+from repro.protocols.nosend import NoSendBCSProtocol, NoSendQBCProtocol
+from repro.protocols.prakash_singhal import run_prakash_singhal
+from repro.protocols.qbc import QBCProtocol
+from repro.protocols.tp import TwoPhaseProtocol
+from repro.protocols.uncoordinated import UncoordinatedProtocol
+
+__all__ = [
+    "BCSProtocol",
+    "BQFProtocol",
+    "CheckpointingProtocol",
+    "NoSendBCSProtocol",
+    "NoSendQBCProtocol",
+    "QBCProtocol",
+    "TakenCheckpoint",
+    "TwoPhaseProtocol",
+    "UncoordinatedProtocol",
+    "registry",
+    "run_chandy_lamport",
+    "run_koo_toueg",
+    "run_prakash_singhal",
+]

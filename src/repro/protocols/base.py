@@ -1,0 +1,220 @@
+"""Protocol base class shared by replay and online execution.
+
+A checkpointing protocol is a deterministic state machine over the five
+per-host hooks below.  It never touches the network itself; the driver
+(trace replay or the online simulation) invokes the hooks and carries
+the returned piggyback to the matching receive.
+
+Hook contract
+-------------
+
+* ``on_send(host, dst, now) -> piggyback`` -- called at a send
+  operation; the return value rides on the message.
+* ``on_receive(host, piggyback, src, now)`` -- called when the host
+  *consumes* the message (the paper's "upon the receipt" processing).
+* ``on_cell_switch(host, now, new_cell)`` / ``on_disconnect(host, now)``
+  -- the two basic-checkpoint triggers.
+* ``on_reconnect(host, now, cell)`` -- bookkeeping only.
+
+Checkpoints are reported through :meth:`CheckpointingProtocol.take`,
+which records a :class:`TakenCheckpoint` and forwards to an optional
+``storage_hook`` (wired to
+:meth:`repro.net.system.MobileSystem.store_checkpoint` in online mode).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+
+@dataclass(slots=True)
+class TakenCheckpoint:
+    """One checkpoint taken during a run.
+
+    Mutable only through :meth:`CheckpointingProtocol.rename_last`: the
+    no-send skip rule relabels an existing checkpoint with a higher
+    index (a metadata-only operation at the MSS -- no state transfer),
+    so ``index`` can grow after the fact while everything else is
+    fixed at take time.
+    """
+
+    host: int
+    index: int
+    time: float
+    #: "initial", "basic" or "forced" (paper terminology).
+    reason: str
+    #: True when this checkpoint *replaced* its predecessor at the same
+    #: index (QBC's equivalence rule).
+    replaced: bool = False
+    #: Protocol metadata snapshotted with the checkpoint (TP records its
+    #: dependency vectors here); None when the protocol has none.
+    metadata: Optional[dict[str, Any]] = None
+
+
+#: Signature of the storage callback: (host, index, reason, metadata).
+StorageHook = Callable[[int, int, str, dict[str, Any]], None]
+
+
+class CheckpointingProtocol:
+    """Common machinery: checkpoint log, counters, storage forwarding."""
+
+    #: Short name used in reports ("TP", "BCS", "QBC", ...).
+    name: str = "base"
+    #: Whether the protocol can be evaluated by pure trace replay
+    #: (communication-induced ones can; coordinated ones need online
+    #: mode because their control messages perturb the schedule).
+    replayable: bool = True
+
+    def __init__(self, n_hosts: int, n_mss: int = 1):
+        if n_hosts < 1:
+            raise ValueError(f"n_hosts must be >= 1, got {n_hosts}")
+        self.n_hosts = n_hosts
+        self.n_mss = n_mss
+        self.checkpoints: list[TakenCheckpoint] = []
+        self.n_basic = 0
+        self.n_forced = 0
+        self.n_replaced = 0
+        #: Metadata-only relabels (no state transfer; not in N_tot).
+        self.n_renamed = 0
+        self.storage_hook: Optional[StorageHook] = None
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def take(
+        self,
+        host: int,
+        index: int,
+        reason: str,
+        now: float,
+        replaced: bool = False,
+        metadata: Optional[dict[str, Any]] = None,
+    ) -> TakenCheckpoint:
+        """Record (and persist, when wired) one checkpoint."""
+        ck = TakenCheckpoint(
+            host=host,
+            index=index,
+            time=now,
+            reason=reason,
+            replaced=replaced,
+            metadata=metadata,
+        )
+        self.checkpoints.append(ck)
+        if reason == "basic":
+            self.n_basic += 1
+        elif reason == "forced":
+            self.n_forced += 1
+        if replaced:
+            self.n_replaced += 1
+        if self.storage_hook is not None:
+            self.storage_hook(host, index, reason, dict(metadata or {}))
+        return ck
+
+    def rename_last(self, host: int, new_index: int, now: float) -> TakenCheckpoint:
+        """Relabel *host*'s most recent checkpoint with *new_index*.
+
+        The no-send equivalence rule (cf. Helary et al. and the
+        checkpoint-equivalence formalisation of [6, 14]): when a host
+        has sent nothing since its last checkpoint, that checkpoint can
+        stand in the recovery line at a higher index -- the MSS just
+        updates the stored index, no state crosses the wireless link.
+        Does NOT count toward N_tot; tracked in ``n_renamed``.
+        """
+        for ck in reversed(self.checkpoints):
+            if ck.host == host:
+                if new_index <= ck.index:
+                    raise ValueError(
+                        f"rename must increase the index "
+                        f"({ck.index} -> {new_index})"
+                    )
+                ck.index = new_index
+                self.n_renamed += 1
+                if self.storage_hook is not None:
+                    self.storage_hook(host, new_index, "rename", {})
+                return ck
+        raise ValueError(f"host {host} has no checkpoint to rename")
+
+    @property
+    def n_total(self) -> int:
+        """The paper's N_tot: basic + forced (initial ones excluded)."""
+        return self.n_basic + self.n_forced
+
+    def checkpoints_of(self, host: int) -> list[TakenCheckpoint]:
+        """This host's checkpoints in the order taken."""
+        return [c for c in self.checkpoints if c.host == host]
+
+    # ------------------------------------------------------------------
+    # piggyback size accounting (paper's scalability argument)
+    # ------------------------------------------------------------------
+    @property
+    def piggyback_ints(self) -> int:
+        """Control integers piggybacked per application message."""
+        return 0
+
+    # ------------------------------------------------------------------
+    # hooks (default: no-ops; subclasses override what they need)
+    # ------------------------------------------------------------------
+    def on_send(self, host: int, dst: int, now: float) -> Any:
+        """Send operation at *host* towards *dst*; returns piggyback."""
+        return None
+
+    def on_receive(self, host: int, piggyback: Any, src: int, now: float) -> None:
+        """Receive-operation processing of a consumed message."""
+
+    def on_cell_switch(self, host: int, now: float, new_cell: int) -> None:
+        """Basic-checkpoint trigger: the host switched cells."""
+
+    def on_disconnect(self, host: int, now: float) -> None:
+        """Basic-checkpoint trigger: voluntary disconnection."""
+
+    def on_reconnect(self, host: int, now: float, cell: int) -> None:
+        """Reconnection (no checkpoint in any of the paper's protocols)."""
+
+    # ------------------------------------------------------------------
+    def recovery_line_indices(self) -> dict[int, int]:
+        """Map host -> checkpoint index forming the most recent
+        consistent global checkpoint this protocol guarantees.
+
+        Subclasses implementing an on-the-fly recovery-line rule
+        override this; the base implementation raises.
+        """
+        raise NotImplementedError(
+            f"{self.name} does not build recovery lines on the fly"
+        )
+
+    def rollback_to(self, indices: dict[int, int], now: float) -> None:
+        """Restore the protocol's volatile per-host state to the
+        recovery line *indices* (host -> checkpoint index).
+
+        Used by failure injection (:mod:`repro.core.failures`): after a
+        rollback every host's live protocol variables must equal what
+        was recorded with its line checkpoint.  The checkpoint *log*
+        stays intact -- those checkpoints were really taken and count
+        toward N_tot.
+        """
+        raise NotImplementedError(
+            f"{self.name} does not support live rollback"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<{type(self).__name__} hosts={self.n_hosts} "
+            f"basic={self.n_basic} forced={self.n_forced}>"
+        )
+
+
+#: Registry of replayable protocol factories, keyed by report name.
+registry: dict[str, Callable[..., CheckpointingProtocol]] = {}
+
+
+def register(name: str):
+    """Class decorator adding a protocol to :data:`registry`."""
+
+    def deco(cls):
+        """Register *cls* under the decorator's name."""
+        registry[name] = cls
+        cls.name = name
+        return cls
+
+    return deco

@@ -1,0 +1,29 @@
+"""Chandy-Lamport coordinated snapshots (baseline, online-mode only).
+
+The paper's Section 2 uses Chandy-Lamport [8] to illustrate why plain
+coordinated checkpointing fits mobile systems poorly: every snapshot
+round must *locate* each mobile host (point d), floods control messages
+through contended wireless cells (points a/b/e), and does not scale
+with the number of hosts (point f).
+
+The executable implementation lives in :mod:`repro.core.online`
+(coordinated baselines cannot be trace-replayed -- their markers perturb
+the schedule); this module provides the convenience entry point.
+"""
+
+from __future__ import annotations
+
+from repro.core.online import CoordinatedResult, CoordinatedScheme, run_coordinated
+from repro.workload.config import WorkloadConfig
+
+
+def run_chandy_lamport(
+    config: WorkloadConfig, snapshot_interval: float, initiator: int = 0
+) -> CoordinatedResult:
+    """Run the workload under periodic Chandy-Lamport snapshots."""
+    return run_coordinated(
+        config,
+        CoordinatedScheme.CHANDY_LAMPORT,
+        snapshot_interval,
+        initiator=initiator,
+    )

@@ -1,0 +1,33 @@
+"""Koo-Toueg blocking coordinated checkpointing (baseline, online only).
+
+Koo-Toueg [11] coordinates only the initiator's *dependents* (hosts it
+received messages from since its last checkpoint) through a blocking
+two-phase exchange: checkpoint request -> tentative checkpoint + ack ->
+commit.  Participants must withhold application sends between the
+tentative checkpoint and the commit; in a mobile setting that blocked
+time is paid on high-latency located wireless paths, which is the
+paper's argument against blocking coordination.
+
+Executable implementation: :mod:`repro.core.online`.
+"""
+
+from __future__ import annotations
+
+from repro.core.online import CoordinatedResult, CoordinatedScheme, run_coordinated
+from repro.workload.config import WorkloadConfig
+
+
+def run_koo_toueg(
+    config: WorkloadConfig, snapshot_interval: float, initiator: int = 0
+) -> CoordinatedResult:
+    """Run the workload under periodic Koo-Toueg coordination.
+
+    The result's ``blocked_time`` aggregates the send-blocking windows
+    (one round trip per participant per round).
+    """
+    return run_coordinated(
+        config,
+        CoordinatedScheme.KOO_TOUEG,
+        snapshot_interval,
+        initiator=initiator,
+    )

@@ -1,0 +1,115 @@
+"""QBC: the Quaglia-Baldoni-Ciciani optimisation of BCS.
+
+Paper Section 4.2.  QBC adds a *receive number* ``rn_i`` recording the
+largest sequence number received on application messages.  At a basic
+checkpoint:
+
+* if ``rn_i = sn_i`` the checkpoint starts a new index (as in BCS);
+* if ``rn_i < sn_i`` the new checkpoint is *equivalent* to its
+  predecessor with respect to the current recovery line -- it does not
+  depend on any checkpoint with index ``sn_i`` -- so it keeps index
+  ``sn_i`` and **replaces** the predecessor in the line.
+
+Sequence numbers therefore grow more slowly than under BCS, which
+reduces the forced checkpoints caused by ``m.sn > sn_i`` receives; the
+gain is largest when some hosts take basic checkpoints much more often
+than others (heterogeneous mobility, disconnections).
+
+Invariants maintained here and checked in the property-test suite:
+``rn_i <= sn_i`` at all times, and on any shared trace
+``sn_i(QBC) <= sn_i(BCS)`` pointwise.  Note the *forced-count*
+reduction is an expectation under realistic workloads, not a pointwise
+theorem: QBC can be forced by a message whose index BCS had already
+reached through an earlier basic increment (hypothesis finds such
+schedules), but across the paper's workloads QBC's slower index growth
+wins -- the integration suite asserts the statistical dominance.
+"""
+
+from __future__ import annotations
+
+from repro.protocols.base import CheckpointingProtocol, register
+
+
+@register("QBC")
+class QBCProtocol(CheckpointingProtocol):
+    """Index-based protocol with checkpoint equivalence/replacement."""
+
+    def __init__(self, n_hosts: int, n_mss: int = 1):
+        super().__init__(n_hosts, n_mss)
+        self.sn = [0] * n_hosts
+        #: Largest index received with an application message; -1 before
+        #: any receive (paper: rn_i := -1 at init).
+        self.rn = [-1] * n_hosts
+        for host in range(n_hosts):
+            self.take(host, 0, "initial", 0.0, metadata={"rn": -1})
+
+    @property
+    def piggyback_ints(self) -> int:
+        return 1  # same single integer as BCS: the optimisation is free
+
+    # ------------------------------------------------------------------
+    def on_send(self, host: int, dst: int, now: float) -> int:
+        return self.sn[host]
+
+    def on_receive(self, host: int, piggyback: int, src: int, now: float) -> None:
+        m_sn = piggyback
+        if m_sn > self.rn[host]:
+            self.rn[host] = m_sn
+        if m_sn > self.sn[host]:
+            self.sn[host] = m_sn
+            self.take(host, m_sn, "forced", now, metadata={"rn": self.rn[host]})
+        assert self.rn[host] <= self.sn[host], "QBC invariant rn <= sn violated"
+
+    def _basic(self, host: int, now: float) -> None:
+        if self.rn[host] == self.sn[host]:
+            # The current checkpoint interval depends on the line at
+            # sn_i: a new index must start.
+            self.sn[host] += 1
+            self.take(
+                host, self.sn[host], "basic", now,
+                metadata={"rn": self.rn[host]},
+            )
+        else:
+            # rn < sn: the new checkpoint is equivalent to its
+            # predecessor w.r.t. the recovery line and replaces it.
+            self.take(
+                host, self.sn[host], "basic", now, replaced=True,
+                metadata={"rn": self.rn[host]},
+            )
+
+    def on_cell_switch(self, host: int, now: float, new_cell: int) -> None:
+        self._basic(host, now)
+
+    def on_disconnect(self, host: int, now: float) -> None:
+        self._basic(host, now)
+
+    # ------------------------------------------------------------------
+    def rollback_to(self, indices: dict[int, int], now: float) -> None:
+        """Restore ``sn`` and ``rn`` to the line checkpoints' recorded
+        values.  ``rn`` must be the value *at checkpoint time* -- the
+        restored state really did receive those indices, so resetting rn
+        lower would let the equivalence rule replace a checkpoint the
+        line depends on."""
+        for host, index in indices.items():
+            self.sn[host] = index
+            restored_rn = -1
+            for ck in self.checkpoints:  # latest record at that index wins
+                if ck.host == host and ck.index == index:
+                    restored_rn = ck.metadata["rn"]
+            self.rn[host] = restored_rn
+            assert self.rn[host] <= self.sn[host]
+
+    # ------------------------------------------------------------------
+    def recovery_line_indices(self) -> dict[int, int]:
+        """Same rule as BCS (paper: "a consistent global checkpoint can
+        be built by using the same rule of the BCS protocol"), except a
+        replaced checkpoint means the *latest* one at that index stands
+        in for its predecessors."""
+        line_index = min(self.sn)
+        contribution: dict[int, int] = {}
+        for host in range(self.n_hosts):
+            candidates = [
+                c.index for c in self.checkpoints_of(host) if c.index >= line_index
+            ]
+            contribution[host] = min(candidates)
+        return contribution

@@ -1,0 +1,33 @@
+"""Stable-storage substrate at the mobile support stations.
+
+The paper's mobility point (a): MH local storage is vulnerable, so every
+checkpoint is transferred to the *current MSS's* stable storage.  This
+package provides:
+
+* :class:`~repro.storage.stable.StableStorage` -- per-MSS checkpoint
+  repository (:class:`~repro.storage.stable.CheckpointRecord`).
+* :class:`~repro.storage.incremental.IncrementalCheckpointer` and the
+  dirty-page :class:`~repro.storage.incremental.HostStateModel` -- the
+  incremental checkpointing technique of Section 2.2, including
+  reconstruction at the MSS and cross-MSS base fetches after a handoff.
+* :func:`~repro.storage.gc.collect_garbage` -- reclamation of checkpoints
+  made obsolete by an advancing recovery line.
+"""
+
+from repro.storage.gc import collect_garbage, obsolete_records
+from repro.storage.incremental import (
+    CheckpointDelta,
+    HostStateModel,
+    IncrementalCheckpointer,
+)
+from repro.storage.stable import CheckpointRecord, StableStorage
+
+__all__ = [
+    "CheckpointDelta",
+    "CheckpointRecord",
+    "HostStateModel",
+    "IncrementalCheckpointer",
+    "StableStorage",
+    "collect_garbage",
+    "obsolete_records",
+]

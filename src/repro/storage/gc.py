@@ -1,0 +1,66 @@
+"""Garbage collection of obsolete checkpoints.
+
+Once the recovery line has advanced past index ``L`` for every host, no
+rollback can ever target a checkpoint with index ``< L``; those records
+(and the wired-storage space they occupy) can be reclaimed.  The paper's
+setting makes this valuable: MSS stable storage is a shared resource and
+"the reduction of the number of checkpoints" (Section 2.2) applies to
+retained state too.
+
+The index-based recovery-line rule (BCS/QBC) makes the cutoff simple:
+the minimum over hosts of the highest checkpoint index is a consistent
+line, so anything strictly older than each host's *last checkpoint at or
+below the cutoff* is collectable.  We keep, per host, the newest record
+with ``index <= cutoff`` (the line member, honouring the first-after-jump
+rule from below) plus everything newer.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.storage.stable import CheckpointRecord, StableStorage
+
+
+def obsolete_records(
+    records: Iterable[CheckpointRecord], cutoff_index: int
+) -> list[CheckpointRecord]:
+    """Return records provably useless for any future rollback.
+
+    A record of host ``h`` is obsolete iff some *newer* record of ``h``
+    still has ``index <= cutoff_index`` (that newer one dominates it as
+    a line member).
+    """
+    by_host: dict[int, list[CheckpointRecord]] = {}
+    for rec in records:
+        by_host.setdefault(rec.host_id, []).append(rec)
+    victims: list[CheckpointRecord] = []
+    for recs in by_host.values():
+        recs.sort(key=lambda r: r.index)
+        eligible = [r for r in recs if r.index <= cutoff_index]
+        if len(eligible) > 1:
+            victims.extend(eligible[:-1])  # keep only the newest eligible
+    return victims
+
+
+def collect_garbage(storages: Iterable[StableStorage], cutoff_index: int) -> int:
+    """Drop obsolete records from every storage; return bytes reclaimed.
+
+    ``cutoff_index`` must come from the recovery-line machinery (e.g.
+    ``min over hosts of max checkpoint index``); passing a too-large
+    cutoff silently deletes nothing *incorrect* only if that contract is
+    honoured, so callers should derive it via
+    :func:`repro.core.consistency.max_consistent_index`.
+    """
+    storages = list(storages)
+    by_mss = {s.mss_id: s for s in storages}
+    # Decide obsolescence over the union: a host's records may be spread
+    # across MSSs after handoffs, and per-storage decisions would keep
+    # one stale record per MSS.
+    everything = [rec for s in storages for rec in s.all_records()]
+    reclaimed = 0
+    for victim in obsolete_records(everything, cutoff_index):
+        removed = by_mss[victim.mss_id].remove(victim.host_id, victim.index)
+        if removed is not None:
+            reclaimed += removed.size_bytes
+    return reclaimed

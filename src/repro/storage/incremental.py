@@ -1,0 +1,181 @@
+"""Incremental checkpointing (paper Section 2.2).
+
+Transferring a full MH state over the wireless link on every checkpoint
+is expensive (battery, channel).  Incremental checkpointing ships only
+the pages dirtied since the previous checkpoint; the MSS reconstructs
+the full state by applying the delta to the stored predecessor.  If a
+cell switch moved the host away from the MSS that holds the predecessor,
+the new MSS must first *fetch* that base over the wired network.
+
+The model here is a page-granular dirty-bit abstraction:
+:class:`HostStateModel` mutates pages as the application runs;
+:class:`IncrementalCheckpointer` cuts full or delta checkpoints and can
+reconstruct any checkpointed state from a chain of deltas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass(slots=True)
+class CheckpointDelta:
+    """Dirty pages captured by one incremental checkpoint."""
+
+    host_id: int
+    index: int
+    base_index: Optional[int]
+    #: page number -> page content version
+    pages: dict[int, int]
+
+    @property
+    def size_pages(self) -> int:
+        """Number of pages shipped by this delta."""
+        return len(self.pages)
+
+
+class HostStateModel:
+    """Page-granular model of a mobile host's volatile state.
+
+    Parameters
+    ----------
+    host_id:
+        Owning host.
+    n_pages:
+        Address-space size in pages.
+    page_bytes:
+        Bytes per page (cost accounting).
+    """
+
+    def __init__(self, host_id: int, n_pages: int = 64, page_bytes: int = 4096):
+        if n_pages < 1:
+            raise ValueError(f"n_pages must be >= 1, got {n_pages}")
+        self.host_id = host_id
+        self.n_pages = n_pages
+        self.page_bytes = page_bytes
+        #: content version per page; bumped on every write
+        self._pages = [0] * n_pages
+        self._dirty: set[int] = set(range(n_pages))  # everything dirty at start
+
+    def touch(self, page: int) -> None:
+        """Write to *page* (marks it dirty)."""
+        if not 0 <= page < self.n_pages:
+            raise IndexError(f"page {page} out of range 0..{self.n_pages - 1}")
+        self._pages[page] += 1
+        self._dirty.add(page)
+
+    def touch_random(self, rng, count: int) -> None:
+        """Dirty *count* random pages (application write model)."""
+        for page in rng.integers(0, self.n_pages, size=count):
+            self.touch(int(page))
+
+    @property
+    def dirty_pages(self) -> set[int]:
+        """Pages written since the last checkpoint cut."""
+        return set(self._dirty)
+
+    def snapshot(self) -> dict[int, int]:
+        """Full copy of the current page versions."""
+        return {i: v for i, v in enumerate(self._pages)}
+
+    def cut_delta(self, index: int, base_index: Optional[int]) -> CheckpointDelta:
+        """Capture dirty pages as a delta and clear the dirty set."""
+        delta = CheckpointDelta(
+            host_id=self.host_id,
+            index=index,
+            base_index=base_index,
+            pages={p: self._pages[p] for p in sorted(self._dirty)},
+        )
+        self._dirty.clear()
+        return delta
+
+
+class IncrementalCheckpointer:
+    """Maintains the delta chain of one host and reconstructs states.
+
+    The checkpointer mirrors what the MSS-side agent does: it remembers
+    which checkpoint index each delta was based on and can replay the
+    chain ``full_base -> delta -> ... -> delta`` to materialise any
+    checkpointed state.
+    """
+
+    def __init__(self, state: HostStateModel, full_every: int = 0):
+        self.state = state
+        #: Take a full (non-incremental) checkpoint every N cuts
+        #: (0 = only the first checkpoint is full).
+        self.full_every = full_every
+        self._chain: dict[int, CheckpointDelta] = {}
+        self._full: dict[int, dict[int, int]] = {}
+        self._last_index: Optional[int] = None
+        self._cuts = 0
+        self.bytes_shipped = 0
+
+    @property
+    def last_index(self) -> Optional[int]:
+        """Index of the most recent cut (None before the first)."""
+        return self._last_index
+
+    def cut(self, index: int) -> CheckpointDelta | dict[int, int]:
+        """Take checkpoint *index*; returns the shipped object.
+
+        The first cut (and every ``full_every``-th when configured) ships
+        a full snapshot; all others ship dirty-page deltas.
+        """
+        if index in self._chain or index in self._full:
+            raise ValueError(f"checkpoint index {index} already cut")
+        if self._last_index is not None and index <= self._last_index:
+            raise ValueError(
+                f"checkpoint indices must increase: {index} after {self._last_index}"
+            )
+        take_full = self._last_index is None or (
+            self.full_every > 0 and self._cuts % self.full_every == 0
+        )
+        self._cuts += 1
+        if take_full:
+            snap = self.state.snapshot()
+            self.state._dirty.clear()
+            self._full[index] = snap
+            self._last_index = index
+            self.bytes_shipped += len(snap) * self.state.page_bytes
+            return snap
+        delta = self.state.cut_delta(index, base_index=self._last_index)
+        self._chain[index] = delta
+        self._last_index = index
+        self.bytes_shipped += delta.size_pages * self.state.page_bytes
+        return delta
+
+    def reconstruct(self, index: int) -> dict[int, int]:
+        """Materialise the full state at checkpoint *index*.
+
+        Raises ``KeyError`` if *index* was never cut.
+        """
+        if index in self._full:
+            return dict(self._full[index])
+        if index not in self._chain:
+            raise KeyError(f"no checkpoint with index {index}")
+        # Walk back to the nearest full snapshot, then replay forward.
+        path: list[CheckpointDelta] = []
+        cursor: Optional[int] = index
+        while cursor is not None and cursor not in self._full:
+            delta = self._chain[cursor]
+            path.append(delta)
+            cursor = delta.base_index
+        if cursor is None:
+            raise KeyError(f"delta chain for index {index} has no full base")
+        state = dict(self._full[cursor])
+        for delta in reversed(path):
+            state.update(delta.pages)
+        return state
+
+    def chain_length(self, index: int) -> int:
+        """Number of deltas that must be applied to materialise *index*
+        (0 when it is a full snapshot) -- the reconstruction-cost proxy."""
+        length = 0
+        cursor: Optional[int] = index
+        while cursor is not None and cursor not in self._full:
+            length += 1
+            cursor = self._chain[cursor].base_index
+        if cursor is None:
+            raise KeyError(f"delta chain for index {index} has no full base")
+        return length

@@ -1,0 +1,112 @@
+"""Per-MSS stable storage for mobile-host checkpoints.
+
+Checkpoints are keyed by ``(host_id, index)``.  The *index* is the
+protocol's checkpoint numbering: the sequence number for BCS/QBC, the
+per-host checkpoint count for TP.  Each record also notes whether it is
+a full snapshot or an incremental delta, so reconstruction cost can be
+modelled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+
+@dataclass(slots=True)
+class CheckpointRecord:
+    """One stored local checkpoint of one mobile host."""
+
+    host_id: int
+    index: int
+    taken_at: float
+    #: MSS that holds this record.
+    mss_id: int
+    #: "basic" (cell switch / disconnect) or "forced" (protocol-induced),
+    #: matching the paper's terminology.
+    reason: str = "basic"
+    #: Bytes written to stable storage for this record.
+    size_bytes: int = 0
+    #: True when the record is an incremental delta over ``base_index``.
+    incremental: bool = False
+    base_index: Optional[int] = None
+    #: Protocol metadata snapshotted with the checkpoint (e.g. the TP
+    #: dependency vectors, which the protocol records on stable storage).
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def key(self) -> tuple[int, int]:
+        """Storage key: ``(host_id, index)``."""
+        return (self.host_id, self.index)
+
+
+class StableStorage:
+    """Checkpoint repository of one MSS.
+
+    Also tracks bytes written and fetch traffic so experiments can report
+    storage/transfer overhead (paper Section 2.2).
+    """
+
+    def __init__(self, mss_id: int):
+        self.mss_id = mss_id
+        self._records: dict[tuple[int, int], CheckpointRecord] = {}
+        #: Most recent record per host (insertion order = time order).
+        self._latest: dict[int, CheckpointRecord] = {}
+        self.bytes_written = 0
+        self.fetches_served = 0
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, key: tuple[int, int]) -> bool:
+        return key in self._records
+
+    def store(self, record: CheckpointRecord) -> None:
+        """Persist *record*.  Re-storing an existing key overwrites it
+        (QBC's checkpoint *replacement* does exactly this)."""
+        if record.mss_id != self.mss_id:
+            raise ValueError(
+                f"record for MSS {record.mss_id} stored at MSS {self.mss_id}"
+            )
+        self._records[record.key] = record
+        prev = self._latest.get(record.host_id)
+        if prev is None or record.taken_at >= prev.taken_at:
+            self._latest[record.host_id] = record
+        self.bytes_written += record.size_bytes
+
+    def get(self, host_id: int, index: int) -> Optional[CheckpointRecord]:
+        """Fetch one record, or None."""
+        return self._records.get((host_id, index))
+
+    def latest(self, host_id: int) -> Optional[CheckpointRecord]:
+        """Most recently taken record of *host_id* held here."""
+        return self._latest.get(host_id)
+
+    def records_for(self, host_id: int) -> list[CheckpointRecord]:
+        """All records of *host_id*, ordered by checkpoint index."""
+        return sorted(
+            (r for r in self._records.values() if r.host_id == host_id),
+            key=lambda r: r.index,
+        )
+
+    def all_records(self) -> list[CheckpointRecord]:
+        """Every record, ordered by (host, index)."""
+        return sorted(self._records.values(), key=lambda r: r.key)
+
+    def remove(self, host_id: int, index: int) -> Optional[CheckpointRecord]:
+        """Delete and return one record (used by GC and by checkpoint
+        migration after a handoff)."""
+        rec = self._records.pop((host_id, index), None)
+        if rec is not None and self._latest.get(host_id) is rec:
+            remaining = self.records_for(host_id)
+            self._latest.pop(host_id, None)
+            if remaining:
+                self._latest[host_id] = max(remaining, key=lambda r: r.taken_at)
+        return rec
+
+    def serve_fetch(self, host_id: int, index: int) -> Optional[CheckpointRecord]:
+        """Another MSS requests a record (handoff base transfer)."""
+        rec = self.get(host_id, index)
+        if rec is not None:
+            self.fetches_served += 1
+        return rec

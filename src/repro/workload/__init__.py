@@ -1,0 +1,26 @@
+"""Workload: the paper's application/mobility model and trace generation.
+
+* :class:`~repro.workload.config.WorkloadConfig` -- every knob of the
+  paper's Section 5.1 simulation model.
+* :func:`~repro.workload.driver.generate_trace` -- run the full mobile
+  system simulation and emit a protocol-independent
+  :class:`~repro.core.trace.Trace`.
+* :func:`~repro.workload.driver.run_online` -- same workload with a
+  checkpointing protocol embedded in the simulation (supports
+  non-negligible checkpoint latency).
+* :mod:`~repro.workload.scenarios` -- named configurations for each of
+  the paper's figures.
+"""
+
+from repro.workload.config import WorkloadConfig
+from repro.workload.driver import OnlineResult, generate_trace, run_online
+from repro.workload.scenarios import figure_config, paper_scenarios
+
+__all__ = [
+    "OnlineResult",
+    "WorkloadConfig",
+    "figure_config",
+    "generate_trace",
+    "paper_scenarios",
+    "run_online",
+]

@@ -1,0 +1,124 @@
+"""Workload configuration: every knob of the paper's Section 5.1 model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Optional
+
+#: Run length used by the paper's figures (the OCR dropped the literal;
+#: see DESIGN.md for the inference).
+SIM_TIME_PAPER = 100_000.0
+
+
+@dataclass(slots=True)
+class WorkloadConfig:
+    """Parameters of one simulated mobile computation.
+
+    Defaults reproduce the paper's environment: 5 MSSs, 10 MHs,
+    Exp(1.0) internal events, ``P_s = 0.4``, 0.01 legs, Exp(1000)
+    disconnections, residence pre-decision with ``P_switch``.
+    """
+
+    # -- system dimensions -------------------------------------------------
+    n_hosts: int = 10
+    n_mss: int = 5
+    # -- application model --------------------------------------------------
+    #: Mean of the exponential internal-event execution time.
+    internal_mean: float = 1.0
+    #: Probability a communication step is a send (else a receive).
+    p_send: float = 0.4
+    #: If True a receive operation with an empty inbox blocks until a
+    #: message arrives; the paper runs use the non-blocking reading
+    #: (see DESIGN.md "Model decisions").
+    block_on_empty_receive: bool = False
+    #: Destination sampling: True (default) draws among currently
+    #: *connected* other hosts (the paper's "while being active" model
+    #: reading -- reproduces the paper's Figure 4 shape); False draws
+    #: among all other hosts, buffering traffic for disconnected ones at
+    #: their MSS (an ablation; the reconnect-time buffered-message flood
+    #: erodes QBC's advantage -- see DESIGN.md).
+    send_to_connected_only: bool = True
+    # -- mobility ------------------------------------------------------------
+    #: Mean cell-residence time of the *slow* hosts (the x-axis of all
+    #: paper figures).
+    t_switch: float = 1000.0
+    #: Probability the next move is a switch (1.0 = never disconnect).
+    p_switch: float = 1.0
+    #: Fraction of fast hosts (mean residence t_switch / fast_factor).
+    heterogeneity: float = 0.0
+    fast_factor: float = 10.0
+    #: Mean disconnection duration.
+    disconnect_mean: float = 1000.0
+    #: Residence before a disconnection is Exp(t_switch / this).
+    disconnect_residence_divisor: float = 3.0
+    #: Cell-choice model: "uniform" (paper) or "graph" (extension).
+    cell_chooser: str = "uniform"
+    # -- network -------------------------------------------------------------
+    leg_latency: float = 0.01
+    duplicate_prob: float = 0.0
+    #: Pessimistic message logging at the source MSS (in-transit
+    #: messages become replayable after a rollback).
+    log_messages_at_mss: bool = False
+    # -- incremental checkpointing (paper Section 2.2) -----------------------
+    #: Model host state as dirty pages and ship only deltas (online
+    #: mode); sizes land in the MSS storage records.
+    incremental_checkpointing: bool = False
+    #: Pages of volatile state per host and bytes per page.
+    state_pages: int = 64
+    page_bytes: int = 4096
+    #: Pages dirtied by each application operation.
+    dirty_pages_per_op: int = 2
+    #: Wireless bandwidth in bytes per time unit; ``inf`` keeps
+    #: checkpoint transfers instantaneous (the paper's default).  With a
+    #: finite value, each checkpoint pauses the host for
+    #: shipped_bytes / bandwidth (composes with ``ckpt_latency``).
+    wireless_bandwidth: float = float("inf")
+    # -- run ------------------------------------------------------------------
+    sim_time: float = SIM_TIME_PAPER
+    seed: int = 0
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    def validate(self) -> "WorkloadConfig":
+        """Check every parameter; returns self (chainable)."""
+        if self.n_hosts < 2:
+            raise ValueError("need at least 2 hosts")
+        if self.n_mss < 2 and self.cell_chooser == "uniform":
+            raise ValueError("uniform cell switching needs at least 2 MSSs")
+        if self.internal_mean <= 0:
+            raise ValueError("internal_mean must be positive")
+        if not 0.0 <= self.p_send <= 1.0:
+            raise ValueError("p_send must be in [0, 1]")
+        if self.t_switch <= 0:
+            raise ValueError("t_switch must be positive")
+        if not 0.0 <= self.p_switch <= 1.0:
+            raise ValueError("p_switch must be in [0, 1]")
+        if not 0.0 <= self.heterogeneity <= 1.0:
+            raise ValueError("heterogeneity must be in [0, 1]")
+        if self.sim_time <= 0:
+            raise ValueError("sim_time must be positive")
+        if self.state_pages < 1 or self.page_bytes < 1:
+            raise ValueError("state_pages and page_bytes must be positive")
+        if self.dirty_pages_per_op < 0:
+            raise ValueError("dirty_pages_per_op must be >= 0")
+        if self.wireless_bandwidth <= 0:
+            raise ValueError("wireless_bandwidth must be positive")
+        return self
+
+    def with_(self, **changes) -> "WorkloadConfig":
+        """Functional update (does not mutate self)."""
+        return replace(self, **changes)
+
+    def meta(self) -> dict[str, Any]:
+        """Metadata dict recorded into generated traces."""
+        return {
+            "seed": self.seed,
+            "n_hosts": self.n_hosts,
+            "n_mss": self.n_mss,
+            "p_send": self.p_send,
+            "t_switch": self.t_switch,
+            "p_switch": self.p_switch,
+            "heterogeneity": self.heterogeneity,
+            "sim_time": self.sim_time,
+            "send_to_connected_only": self.send_to_connected_only,
+        }

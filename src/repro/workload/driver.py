@@ -1,0 +1,416 @@
+"""Workload driver: runs the paper's application/mobility model.
+
+Two entry points share one engine:
+
+* :func:`generate_trace` -- run the mobile-system simulation *without*
+  any protocol and emit the protocol-independent
+  :class:`~repro.core.trace.Trace` used by the replay comparison.
+* :func:`run_online` -- run the same workload with a checkpointing
+  protocol embedded: piggybacks ride real messages and an optional
+  non-zero checkpoint latency pauses the host after every checkpoint
+  (the paper's robustness check on instantaneous insertion).
+
+Per-host loops (paper Section 5.1):
+
+* **application**: wait Exp(``internal_mean``) (the internal event),
+  then communicate -- send to a uniform random other host with
+  probability ``p_send``, otherwise perform a receive operation that
+  consumes the oldest inbox message (no-op when empty unless
+  ``block_on_empty_receive``).
+* **mobility**: on entering a cell pre-decide switch (prob
+  ``p_switch``, residence Exp(T_i)) or disconnect (residence
+  Exp(T_i/3), away Exp(``disconnect_mean``)); disconnected hosts pause
+  their application loop and reconnect into the same cell.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.metrics import CheckpointStats, ProtocolRunMetrics
+from repro.core.trace import EventType, Trace, TraceEvent
+from repro.des.core import Environment
+from repro.des.rng import RandomStreams
+from repro.mobility.heterogeneity import residence_means
+from repro.mobility.models import MoveKind, PaperMobilityModel, make_cell_chooser
+from repro.net.system import MobileSystem, NetworkParams
+from repro.protocols.base import CheckpointingProtocol
+from repro.workload.config import WorkloadConfig
+
+
+@dataclass(slots=True)
+class OnlineResult:
+    """Outcome of an online (protocol-in-the-loop) run."""
+
+    trace: Trace
+    protocol: CheckpointingProtocol
+    metrics: ProtocolRunMetrics
+    system: MobileSystem
+    #: Stable-storage bytes reclaimed by online GC (0 when disabled).
+    gc_bytes_reclaimed: int = 0
+    #: Bytes shipped over the wireless links for checkpoints (full
+    #: snapshots, or dirty-page deltas under incremental checkpointing).
+    bytes_shipped: int = 0
+
+
+class _Driver:
+    """One simulated run; see module docstring for the model."""
+
+    def __init__(
+        self,
+        config: WorkloadConfig,
+        protocol: Optional[CheckpointingProtocol] = None,
+        ckpt_latency: float = 0.0,
+        gc_interval: Optional[float] = None,
+    ):
+        config.validate()
+        if ckpt_latency < 0:
+            raise ValueError("ckpt_latency must be >= 0")
+        if gc_interval is not None and gc_interval <= 0:
+            raise ValueError("gc_interval must be positive")
+        if protocol is not None and protocol.n_hosts != config.n_hosts:
+            raise ValueError(
+                f"protocol sized for {protocol.n_hosts} hosts, "
+                f"config has {config.n_hosts}"
+            )
+        self.config = config
+        self.protocol = protocol
+        self.ckpt_latency = ckpt_latency
+        self.env = Environment()
+        self.rng = RandomStreams(config.seed)
+        self.system = MobileSystem(
+            self.env,
+            NetworkParams(
+                n_hosts=config.n_hosts,
+                n_mss=config.n_mss,
+                leg_latency=config.leg_latency,
+                duplicate_prob=config.duplicate_prob,
+                log_messages=config.log_messages_at_mss,
+            ),
+            self.rng,
+        )
+        self.mobility = PaperMobilityModel(
+            residence_means(
+                config.n_hosts,
+                config.t_switch,
+                config.heterogeneity,
+                config.fast_factor,
+            ),
+            p_switch=config.p_switch,
+            disconnect_mean=config.disconnect_mean,
+            disconnect_residence_divisor=config.disconnect_residence_divisor,
+        )
+        self.chooser = make_cell_chooser(config.cell_chooser, config.n_mss)
+        self.events: list[TraceEvent] = []
+        self._app_paused = [False] * config.n_hosts
+        self.n_sends = 0
+        self.n_receives = 0
+        self.gc_interval = gc_interval
+        self.gc_bytes_reclaimed = 0
+        #: Checkpoint-transfer pause owed per host (latency + bytes/bw).
+        self._pending_pause = [0.0] * config.n_hosts
+        #: Incremental-checkpointing machinery (paper Section 2.2).
+        self._checkpointers = None
+        self._cut_ordinal = [0] * config.n_hosts
+        self._last_stored_index: list[Optional[int]] = [None] * config.n_hosts
+        self.bytes_shipped = 0
+        if protocol is not None:
+            if config.incremental_checkpointing:
+                from repro.storage.incremental import (
+                    HostStateModel,
+                    IncrementalCheckpointer,
+                )
+
+                self._checkpointers = [
+                    IncrementalCheckpointer(
+                        HostStateModel(
+                            h, n_pages=config.state_pages,
+                            page_bytes=config.page_bytes,
+                        )
+                    )
+                    for h in range(config.n_hosts)
+                ]
+            # Checkpoints persist at the current MSS's stable storage
+            # (paper Section 2.2, point (a)); QBC replacements overwrite
+            # the record at the same (host, index).
+            protocol.storage_hook = self._on_checkpoint
+            # The initial checkpoints were taken in the protocol's
+            # constructor, before the hook existed: persist them now.
+            for ck in protocol.checkpoints:
+                self._on_checkpoint(ck.host, ck.index, ck.reason, ck.metadata or {})
+
+    # ------------------------------------------------------------------
+    # checkpoint persistence + transfer-cost accounting (online mode)
+    # ------------------------------------------------------------------
+    def _on_checkpoint(self, host, index, reason, metadata) -> None:
+        """Every protocol checkpoint lands here: persist it at the
+        current MSS and charge the host the wireless transfer cost."""
+        if reason == "rename":
+            # metadata-only relabel: store a fresh record at the new
+            # index, ship nothing, no pause
+            self.system.store_checkpoint(
+                host, index, reason, metadata=dict(metadata), size_bytes=0
+            )
+            self._last_stored_index[host] = index
+            return
+        incremental = False
+        base_index = None
+        if self._checkpointers is not None:
+            ck = self._checkpointers[host]
+            shipped = ck.cut(self._cut_ordinal[host])
+            self._cut_ordinal[host] += 1
+            if isinstance(shipped, dict):  # full snapshot (first cut)
+                size_bytes = len(shipped) * self.config.page_bytes
+            else:
+                size_bytes = shipped.size_pages * self.config.page_bytes
+                incremental = True
+                base_index = self._last_stored_index[host]
+        else:
+            # full checkpointing ships the host's whole modelled state
+            size_bytes = self.config.state_pages * self.config.page_bytes
+        self.bytes_shipped += size_bytes
+        self.system.store_checkpoint(
+            host,
+            index,
+            reason,
+            metadata=dict(metadata),
+            size_bytes=size_bytes,
+            incremental=incremental,
+            base_index=base_index,
+        )
+        self._last_stored_index[host] = index
+        pause = self.ckpt_latency
+        if self.config.wireless_bandwidth != float("inf"):
+            pause += size_bytes / self.config.wireless_bandwidth
+        self._pending_pause[host] += pause
+
+    def _ckpt_pause(self, host: int) -> float:
+        """Consume the transfer pause owed by *host*."""
+        pause = self._pending_pause[host]
+        self._pending_pause[host] = 0.0
+        return pause
+
+    # ------------------------------------------------------------------
+    # application loop
+    # ------------------------------------------------------------------
+    def _schedule_app(self, host: int, extra: float = 0.0) -> None:
+        delay = (
+            self.rng.exponential(f"app/internal/{host}", self.config.internal_mean)
+            + extra
+        )
+        self.env.call_later(delay, lambda: self._app_step(host))
+
+    def _app_step(self, host: int) -> None:
+        h = self.system.hosts[host]
+        if not h.is_connected:
+            self._app_paused[host] = True
+            return
+        if self._checkpointers is not None and self.config.dirty_pages_per_op:
+            # the internal event mutates part of the host's state
+            self._checkpointers[host].state.touch_random(
+                self.rng.stream(f"app/pages/{host}"),
+                self.config.dirty_pages_per_op,
+            )
+        if self.rng.bernoulli(f"app/op/{host}", self.config.p_send):
+            self._do_send(host)
+            self._schedule_app(host, extra=self._ckpt_pause(host))
+        else:
+            msg = h.try_receive()
+            if msg is not None:
+                self._consume(host, msg)
+                self._schedule_app(host, extra=self._ckpt_pause(host))
+            elif self.config.block_on_empty_receive:
+                ev = h.receive_event()
+                ev.add_callback(lambda e: self._blocked_receive_done(host, e))
+            else:
+                # Empty inbox: the receive operation is a no-op.
+                self._schedule_app(host)
+
+    def _blocked_receive_done(self, host: int, event) -> None:
+        self._consume(host, event.value)
+        self._schedule_app(host, extra=self._ckpt_pause(host))
+
+    def _do_send(self, host: int) -> None:
+        if self.config.send_to_connected_only:
+            others = [
+                h for h in self.system.connected_hosts() if h != host
+            ]
+            if not others:
+                return  # nobody reachable: the send operation is a no-op
+            dst = others[self.rng.choice_index(f"app/dst/{host}", len(others))]
+        else:
+            dst = self.rng.choice_other(
+                f"app/dst/{host}", self.config.n_hosts, host
+            )
+        piggyback = {}
+        pg_ints = 0
+        if self.protocol is not None:
+            piggyback = {"pg": self.protocol.on_send(host, dst, self.env.now)}
+            pg_ints = self.protocol.piggyback_ints
+        msg = self.system.send_application(
+            host, dst, piggyback=piggyback, piggyback_ints=pg_ints
+        )
+        self.n_sends += 1
+        self.events.append(
+            TraceEvent(
+                time=self.env.now,
+                etype=EventType.SEND,
+                host=host,
+                msg_id=msg.msg_id,
+                peer=dst,
+            )
+        )
+
+    def _consume(self, host: int, msg) -> None:
+        if self.protocol is not None:
+            self.protocol.on_receive(host, msg.piggyback["pg"], msg.src, self.env.now)
+        self.n_receives += 1
+        self.events.append(
+            TraceEvent(
+                time=self.env.now,
+                etype=EventType.RECEIVE,
+                host=host,
+                msg_id=msg.msg_id,
+                peer=msg.src,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # mobility loop
+    # ------------------------------------------------------------------
+    def _enter_cell(self, host: int) -> None:
+        decision = self.mobility.decide(host, self.rng)
+        if decision.kind is MoveKind.SWITCH:
+            self.env.call_later(decision.residence, lambda: self._do_switch(host))
+        else:
+            self.env.call_later(
+                decision.residence,
+                lambda: self._do_disconnect(host, decision.away_time),
+            )
+
+    def _do_switch(self, host: int) -> None:
+        old = self.system.hosts[host].mss_id
+        new = self.chooser.next_cell(host, old, self.rng)
+        self.events.append(
+            TraceEvent(
+                time=self.env.now,
+                etype=EventType.CELL_SWITCH,
+                host=host,
+                peer=old,
+                cell=new,
+            )
+        )
+        if self.protocol is not None:
+            self.protocol.on_cell_switch(host, self.env.now, new)
+        self.system.switch_cell(host, new)
+        self._enter_cell(host)
+
+    def _do_disconnect(self, host: int, away_time: float) -> None:
+        self.events.append(
+            TraceEvent(time=self.env.now, etype=EventType.DISCONNECT, host=host)
+        )
+        if self.protocol is not None:
+            self.protocol.on_disconnect(host, self.env.now)
+        self.system.disconnect(host)
+        self.env.call_later(away_time, lambda: self._do_reconnect(host))
+
+    def _do_reconnect(self, host: int) -> None:
+        self.system.reconnect(host)
+        cell = self.system.hosts[host].mss_id
+        self.events.append(
+            TraceEvent(
+                time=self.env.now, etype=EventType.RECONNECT, host=host, cell=cell
+            )
+        )
+        if self.protocol is not None:
+            self.protocol.on_reconnect(host, self.env.now, cell)
+        if self._app_paused[host]:
+            self._app_paused[host] = False
+            self._schedule_app(host)
+        self._enter_cell(host)
+
+    # ------------------------------------------------------------------
+    # storage garbage collection (index-based protocols only)
+    # ------------------------------------------------------------------
+    def _gc_tick(self) -> None:
+        from repro.storage.gc import collect_garbage
+
+        cutoff = min(self.protocol.sn)
+        self.gc_bytes_reclaimed += collect_garbage(
+            [s.storage for s in self.system.stations], cutoff
+        )
+        self.env.call_later(self.gc_interval, self._gc_tick)
+
+    # ------------------------------------------------------------------
+    def run(self) -> Trace:
+        for host in range(self.config.n_hosts):
+            self._schedule_app(host)
+            self._enter_cell(host)
+        if self.gc_interval is not None:
+            if self.protocol is None or not hasattr(self.protocol, "sn"):
+                raise ValueError(
+                    "gc_interval needs an index-based protocol (with .sn): "
+                    "the recovery-line cutoff comes from min(sn)"
+                )
+            self.env.call_later(self.gc_interval, self._gc_tick)
+        self.env.run(until=self.config.sim_time)
+        return Trace(
+            n_hosts=self.config.n_hosts,
+            n_mss=self.config.n_mss,
+            events=self.events,
+            sim_time=self.config.sim_time,
+            meta=self.config.meta(),
+        )
+
+
+def generate_trace(config: WorkloadConfig) -> Trace:
+    """Simulate the mobile system and return its event trace.
+
+    The trace is protocol-independent (the paper's instantaneous-
+    checkpoint assumption) and fully determined by ``config`` including
+    its ``seed``.
+    """
+    return _Driver(config).run()
+
+
+def run_online(
+    config: WorkloadConfig,
+    protocol: CheckpointingProtocol,
+    ckpt_latency: float = 0.0,
+    gc_interval: Optional[float] = None,
+) -> OnlineResult:
+    """Run the workload with *protocol* embedded in the simulation.
+
+    ``ckpt_latency`` > 0 makes every checkpoint pause the host's
+    application loop by that amount before the next operation -- the
+    "non negligible" checkpoint-time scenario of Section 5.1.
+
+    Checkpoints persist in the current MSS's stable storage (including
+    the cross-MSS base migration after handoffs).  With ``gc_interval``
+    set (index-based protocols only), obsolete records below the
+    recovery-line cutoff ``min(sn)`` are reclaimed periodically; the
+    reclaimed bytes are reported on the returned system's driver.
+    """
+    driver = _Driver(
+        config, protocol=protocol, ckpt_latency=ckpt_latency,
+        gc_interval=gc_interval,
+    )
+    trace = driver.run()
+    metrics = ProtocolRunMetrics(
+        protocol=protocol.name,
+        stats=CheckpointStats.from_protocol(protocol),
+        n_sends=driver.n_sends,
+        n_receives=driver.n_receives,
+        piggyback_ints_total=driver.n_sends * protocol.piggyback_ints,
+        sim_time=config.sim_time,
+        seed=config.seed,
+    )
+    return OnlineResult(
+        trace=trace,
+        protocol=protocol,
+        metrics=metrics,
+        system=driver.system,
+        gc_bytes_reclaimed=driver.gc_bytes_reclaimed,
+        bytes_shipped=driver.bytes_shipped,
+    )

@@ -1,0 +1,56 @@
+"""Named scenarios: the exact parameter sets behind the paper's figures.
+
+All six figures share ``P_s = 0.4`` and sweep ``T_switch`` of the slow
+hosts; they differ in ``P_switch`` (1.0 = never disconnect vs 0.8) and
+heterogeneity ``H`` (0%, 30%, 50%).
+"""
+
+from __future__ import annotations
+
+from repro.workload.config import WorkloadConfig
+
+#: T_switch sweep of the figures' x-axis (log-spaced 100 .. 10000).
+T_SWITCH_SWEEP = (100.0, 200.0, 500.0, 1000.0, 2000.0, 5000.0, 10000.0)
+
+#: (p_switch, heterogeneity) per figure number.
+_FIGURES: dict[int, tuple[float, float]] = {
+    1: (1.0, 0.0),
+    2: (0.8, 0.0),
+    3: (1.0, 0.5),
+    4: (0.8, 0.5),
+    5: (1.0, 0.3),
+    6: (0.8, 0.3),
+}
+
+
+def figure_config(
+    figure: int,
+    t_switch: float,
+    sim_time: float | None = None,
+    seed: int = 0,
+) -> WorkloadConfig:
+    """Workload configuration for one point of one paper figure."""
+    try:
+        p_switch, heterogeneity = _FIGURES[figure]
+    except KeyError:
+        raise ValueError(
+            f"the paper has figures 1..6, got {figure}"
+        ) from None
+    cfg = WorkloadConfig(
+        p_send=0.4,
+        t_switch=t_switch,
+        p_switch=p_switch,
+        heterogeneity=heterogeneity,
+        seed=seed,
+    )
+    if sim_time is not None:
+        cfg = cfg.with_(sim_time=sim_time)
+    return cfg.validate()
+
+
+def paper_scenarios() -> dict[int, dict[str, float]]:
+    """Figure number -> its distinguishing parameters (for reports)."""
+    return {
+        fig: {"p_send": 0.4, "p_switch": ps, "heterogeneity": h}
+        for fig, (ps, h) in _FIGURES.items()
+    }

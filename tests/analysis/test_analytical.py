@@ -1,0 +1,75 @@
+"""The analytical model must agree with the simulator (repro.analysis.analytical)."""
+
+import pytest
+
+from repro.analysis.analytical import basic_rate, connected_fraction, estimate
+from repro.core.replay import replay
+from repro.protocols import BCSProtocol, TwoPhaseProtocol
+from repro.workload import WorkloadConfig, generate_trace
+
+
+def test_connected_fraction_limits():
+    # never disconnecting -> always connected
+    assert connected_fraction(1000.0, 1.0, 1000.0) == 1.0
+    # always disconnecting with long aways -> mostly away
+    assert connected_fraction(300.0, 0.0, 10000.0) < 0.01
+
+
+def test_basic_rate_no_disconnections():
+    # one switch per residence: rate = 1 / T
+    assert basic_rate(500.0, 1.0, 1000.0) == pytest.approx(1 / 500.0)
+
+
+def test_basic_rate_with_disconnections():
+    # cycle = 0.5*300 + 0.5*(100 + 1000) = 700
+    assert basic_rate(300.0, 0.5, 1000.0) == pytest.approx(1 / 700.0)
+
+
+@pytest.mark.parametrize("p_switch", [1.0, 0.8])
+def test_model_predicts_sends_and_basics(p_switch):
+    cfg = WorkloadConfig(
+        t_switch=500.0, p_switch=p_switch, sim_time=8000.0, seed=1
+    )
+    model = estimate(cfg)
+    trace = generate_trace(cfg)
+    assert trace.n_sends == pytest.approx(model.n_sends, rel=0.15)
+    assert trace.n_basic_triggers == pytest.approx(model.total_basics, rel=0.35)
+
+
+def test_model_predicts_tp_forced_within_band():
+    """TP forces on ~half the consuming receives."""
+    cfg = WorkloadConfig(t_switch=2000.0, p_switch=1.0, sim_time=6000.0, seed=2)
+    trace = generate_trace(cfg)
+    result = replay(trace, TwoPhaseProtocol(cfg.n_hosts, cfg.n_mss))
+    predicted = 0.5 * trace.n_receives
+    assert result.metrics.stats.n_forced == pytest.approx(predicted, rel=0.15)
+
+
+def test_bcs_forced_upper_bound_holds():
+    for seed in range(3):
+        cfg = WorkloadConfig(
+            t_switch=1000.0, p_switch=0.9, sim_time=6000.0, seed=seed
+        )
+        trace = generate_trace(cfg)
+        result = replay(trace, BCSProtocol(cfg.n_hosts, cfg.n_mss))
+        model = estimate(cfg)
+        assert result.metrics.stats.n_forced <= model.bcs_forced_upper * 1.2
+
+
+def test_bcs_bound_near_tight_when_communication_fast():
+    """Message rate (~4/unit) >> basic rate (1/1000): every increment
+    should force almost everyone."""
+    cfg = WorkloadConfig(t_switch=1000.0, p_switch=1.0, sim_time=10000.0, seed=3)
+    trace = generate_trace(cfg)
+    result = replay(trace, BCSProtocol(cfg.n_hosts, cfg.n_mss))
+    bound = trace.n_basic_triggers * (cfg.n_hosts - 1)
+    assert result.metrics.stats.n_forced >= 0.7 * bound
+
+
+def test_model_explains_figure_shape():
+    """The model reproduces the figures' qualitative shape: TP flat in
+    T_switch, index-based falling ~1/T."""
+    lo = estimate(WorkloadConfig(t_switch=100.0, p_switch=1.0, sim_time=1e4))
+    hi = estimate(WorkloadConfig(t_switch=10000.0, p_switch=1.0, sim_time=1e4))
+    assert lo.tp_forced == pytest.approx(hi.tp_forced, rel=0.01)
+    assert hi.total_basics == pytest.approx(lo.total_basics / 100.0, rel=0.01)

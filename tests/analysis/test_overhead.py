@@ -1,0 +1,68 @@
+"""Tests for the overhead/energy model (repro.analysis.overhead)."""
+
+import pytest
+
+from repro.analysis.overhead import CostModel, estimate_overhead
+from repro.core.metrics import CheckpointStats, ProtocolRunMetrics
+
+
+def metrics(n_sends=100, n_forced=10, n_basic=5, piggyback_total=100, name="BCS"):
+    stats = CheckpointStats(n_basic=n_basic, n_forced=n_forced)
+    return ProtocolRunMetrics(
+        protocol=name,
+        stats=stats,
+        n_sends=n_sends,
+        n_receives=n_sends,
+        piggyback_ints_total=piggyback_total,
+        sim_time=1000.0,
+    )
+
+
+def test_cost_model_validation():
+    with pytest.raises(ValueError):
+        CostModel(dirty_fraction=0.0).validate()
+    with pytest.raises(ValueError):
+        CostModel(tx_energy=-1.0).validate()
+    with pytest.raises(ValueError):
+        CostModel(payload_bytes=0).validate()
+
+
+def test_incremental_cheaper_than_full():
+    m = metrics()
+    inc = estimate_overhead(m, incremental=True)
+    full = estimate_overhead(m, incremental=False)
+    assert inc.checkpoint_bytes < full.checkpoint_bytes
+    assert inc.energy < full.energy
+    assert inc.checkpoint_bytes == pytest.approx(0.1 * full.checkpoint_bytes)
+
+
+def test_piggyback_bytes_scale_with_ints():
+    small = estimate_overhead(metrics(piggyback_total=100))
+    large = estimate_overhead(metrics(piggyback_total=2000, name="TP"))
+    assert large.piggyback_bytes == 20 * small.piggyback_bytes
+
+
+def test_more_checkpoints_cost_more_energy():
+    few = estimate_overhead(metrics(n_forced=10))
+    many = estimate_overhead(metrics(n_forced=1000))
+    assert many.energy > few.energy
+    assert many.checkpoint_bytes > few.checkpoint_bytes
+
+
+def test_report_row_shape():
+    row = estimate_overhead(metrics()).as_row()
+    assert set(row) == {
+        "protocol",
+        "wireless_KiB",
+        "checkpoint_KiB",
+        "piggyback_KiB",
+        "energy",
+    }
+    assert row["protocol"] == "BCS"
+
+
+def test_zero_activity_zero_cost():
+    report = estimate_overhead(metrics(n_sends=0, n_forced=0, n_basic=0,
+                                       piggyback_total=0))
+    assert report.energy == 0.0
+    assert report.wireless_bytes == 0.0

@@ -1,0 +1,50 @@
+"""Tests for ASCII plotting (repro.analysis.plotting)."""
+
+import pytest
+
+from repro.analysis import ascii_plot
+
+
+def test_plot_renders_all_series_glyphs():
+    out = ascii_plot(
+        {
+            "TP": [(100.0, 5000.0), (1000.0, 5500.0)],
+            "BCS": [(100.0, 500.0), (1000.0, 100.0)],
+        },
+        title="demo",
+    )
+    assert "demo" in out
+    assert "*=TP" in out and "+=BCS" in out
+    assert "*" in out and "+" in out
+
+
+def test_plot_axis_labels_log():
+    out = ascii_plot({"a": [(10.0, 1.0), (1000.0, 100.0)]})
+    assert "10" in out and "1e+03" in out or "1000" in out
+
+
+def test_plot_rejects_empty():
+    with pytest.raises(ValueError):
+        ascii_plot({})
+    with pytest.raises(ValueError):
+        ascii_plot({"a": []})
+
+
+def test_log_axis_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        ascii_plot({"a": [(0.0, 1.0)]})
+    # linear axes accept zero fine
+    out = ascii_plot({"a": [(0.0, 0.0), (1.0, 1.0)]}, log_x=False, log_y=False)
+    assert "|" in out
+
+
+def test_single_point_degenerate_span():
+    out = ascii_plot({"a": [(10.0, 10.0)]})
+    assert "*" in out
+
+
+def test_plot_dimensions():
+    out = ascii_plot({"a": [(1.0, 1.0), (10.0, 10.0)]}, width=30, height=8)
+    grid_rows = [l for l in out.splitlines() if l.strip().startswith("|")]
+    assert len(grid_rows) == 8
+    assert all(len(row.strip()) == 32 for row in grid_rows)  # |...30...|

@@ -1,0 +1,91 @@
+"""Tests for checkpoint time-series analysis (repro.analysis.timeseries)."""
+
+import pytest
+
+from repro.analysis.timeseries import (
+    burstiness,
+    rate_series,
+    steady_state_rate,
+    warmup_cutoff,
+    window_counts,
+)
+from repro.core.replay import replay
+from repro.protocols import BCSProtocol, TwoPhaseProtocol
+from repro.workload import WorkloadConfig, generate_trace
+
+
+@pytest.fixture(scope="module")
+def run():
+    cfg = WorkloadConfig(t_switch=300.0, p_switch=0.9, sim_time=4000.0, seed=2)
+    trace = generate_trace(cfg)
+    return cfg, replay(trace, BCSProtocol(cfg.n_hosts, cfg.n_mss)).protocol
+
+
+def test_window_counts_sum_to_n_total(run):
+    cfg, protocol = run
+    counts = window_counts(protocol, cfg.sim_time, window=200.0)
+    assert counts.sum() == protocol.n_total
+
+
+def test_window_counts_by_reason_partition(run):
+    cfg, protocol = run
+    basic = window_counts(protocol, cfg.sim_time, 200.0, reason="basic")
+    forced = window_counts(protocol, cfg.sim_time, 200.0, reason="forced")
+    total = window_counts(protocol, cfg.sim_time, 200.0)
+    assert (basic + forced == total).all()
+
+
+def test_window_validation(run):
+    cfg, protocol = run
+    with pytest.raises(ValueError):
+        window_counts(protocol, cfg.sim_time, window=0.0)
+
+
+def test_rate_series_midpoints(run):
+    cfg, protocol = run
+    series = rate_series(protocol, cfg.sim_time, window=500.0)
+    assert series[0][0] == 250.0
+    assert len(series) == 8
+    assert all(rate >= 0 for _, rate in series)
+
+
+def test_warmup_cutoff_stationary_series():
+    assert warmup_cutoff([5.0, 5.2, 4.8, 5.1, 5.0, 4.9]) == 0
+
+
+def test_warmup_cutoff_detects_transient():
+    counts = [50.0, 20.0] + [5.0] * 10
+    cut = warmup_cutoff(counts, tolerance=0.2)
+    assert 1 <= cut <= 3
+
+
+def test_warmup_cutoff_validation():
+    with pytest.raises(ValueError):
+        warmup_cutoff([])
+
+
+def test_steady_state_rate_close_to_naive_rate(run):
+    cfg, protocol = run
+    rate = steady_state_rate(protocol, cfg.sim_time, window=400.0)
+    naive = protocol.n_total / cfg.sim_time
+    assert rate == pytest.approx(naive, rel=0.35)
+
+
+def test_forced_checkpoints_are_bursty():
+    """Index waves make BCS's forced checkpoints much more dispersed
+    than a Poisson process, and more dispersed than TP's (which track
+    smooth communication)."""
+    cfg = WorkloadConfig(t_switch=1000.0, p_switch=1.0, sim_time=6000.0, seed=4)
+    trace = generate_trace(cfg)
+    bcs = replay(trace, BCSProtocol(cfg.n_hosts, cfg.n_mss)).protocol
+    tp = replay(trace, TwoPhaseProtocol(cfg.n_hosts, cfg.n_mss)).protocol
+    b_bcs = burstiness(window_counts(bcs, cfg.sim_time, 10.0, reason="forced"))
+    b_tp = burstiness(window_counts(tp, cfg.sim_time, 10.0, reason="forced"))
+    assert b_bcs > 1.5
+    assert b_bcs > b_tp
+
+
+def test_burstiness_validation():
+    with pytest.raises(ValueError):
+        burstiness([])
+    assert burstiness([0.0, 0.0]) == 0.0

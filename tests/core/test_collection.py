@@ -1,0 +1,80 @@
+"""Tests for wired-side global checkpoint collection (repro.core.collection)."""
+
+import pytest
+
+from repro.core.collection import collect_global_checkpoint
+from repro.core.online import run_online
+from repro.protocols import BCSProtocol, QBCProtocol, TwoPhaseProtocol
+from repro.workload import WorkloadConfig
+
+
+def online(cls, **kw):
+    defaults = dict(sim_time=1200.0, seed=8, t_switch=150.0, p_switch=0.9)
+    defaults.update(kw)
+    cfg = WorkloadConfig(**defaults)
+    return cfg, run_online(cfg, cls(cfg.n_hosts, cfg.n_mss))
+
+
+def test_index_collection_complete_and_matches_line():
+    cfg, result = online(BCSProtocol)
+    coll = collect_global_checkpoint(result.system, result.protocol)
+    assert coll.complete
+    line = result.protocol.recovery_line_indices()
+    assert len(coll.components) == cfg.n_hosts
+    for comp in coll.components:
+        assert comp.index >= line[comp.host]
+
+
+def test_index_collection_pays_scan_queries():
+    cfg, result = online(QBCProtocol)
+    coll = collect_global_checkpoint(result.system, result.protocol)
+    assert coll.scan_queries == cfg.n_mss - 1
+    assert coll.total_round_trips >= coll.scan_queries
+    assert coll.latency_legs >= 2
+
+
+def test_tp_collection_uses_loc_vector():
+    cfg, result = online(TwoPhaseProtocol, sim_time=800.0)
+    coll = collect_global_checkpoint(
+        result.system, result.protocol, anchor=0
+    )
+    assert coll.complete
+    assert coll.scan_queries == 0  # LOC replaces the broadcast scan
+    direct = [c for c in coll.components if c.located_directly]
+    assert direct, "LOC vector never used"
+
+
+def test_tp_collection_cheaper_queries_than_index_scan():
+    """The paper's point of LOC: retrieval without a wired broadcast."""
+    cfg, tp_result = online(TwoPhaseProtocol, sim_time=800.0)
+    _, bcs_result = online(BCSProtocol, sim_time=800.0)
+    tp = collect_global_checkpoint(tp_result.system, tp_result.protocol, anchor=2)
+    bcs = collect_global_checkpoint(bcs_result.system, bcs_result.protocol)
+    assert tp.scan_queries < bcs.scan_queries
+
+
+def test_collection_completes_with_disconnected_hosts():
+    """Section 2.2: the disconnect checkpoint stands in, so collection
+    never waits for an unreachable host."""
+    cfg, result = online(BCSProtocol, p_switch=0.3, sim_time=2500.0)
+    disconnected = [
+        h.host_id for h in result.system.hosts if not h.is_connected
+    ]
+    if not disconnected:
+        pytest.skip("no host disconnected at the horizon for this seed")
+    coll = collect_global_checkpoint(result.system, result.protocol)
+    assert coll.complete
+
+
+def test_collector_mss_validation():
+    cfg, result = online(BCSProtocol, sim_time=300.0)
+    with pytest.raises(ValueError):
+        collect_global_checkpoint(result.system, result.protocol, collector_mss=99)
+
+
+def test_local_components_cost_no_fetch():
+    cfg, result = online(BCSProtocol, sim_time=600.0)
+    coll = collect_global_checkpoint(result.system, result.protocol)
+    for comp in coll.components:
+        if comp.found_at_mss == coll.collector_mss:
+            assert comp.wired_round_trips == 0

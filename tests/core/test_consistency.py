@@ -1,0 +1,270 @@
+"""Unit tests for consistency machinery (repro.core.consistency)."""
+
+import pytest
+
+from repro.core.consistency import (
+    CausalOrder,
+    annotate_replay,
+    build_recovery_line,
+    find_orphans,
+    in_transit_messages,
+    is_consistent,
+    max_consistent_index,
+    maximal_consistent_line,
+)
+from repro.core.trace import EventType, build_trace
+from repro.protocols import (
+    BCSProtocol,
+    QBCProtocol,
+    TwoPhaseProtocol,
+    UncoordinatedProtocol,
+)
+
+S, R, C, D = (
+    EventType.SEND,
+    EventType.RECEIVE,
+    EventType.CELL_SWITCH,
+    EventType.DISCONNECT,
+)
+
+
+def test_annotate_positions_forced_before_receive():
+    trace = build_trace(
+        2,
+        2,
+        [
+            (1.0, C, 0, -1, 0, 1),  # h0 basic -> sn 1
+            (2.0, S, 0, 1, 1),
+            (3.0, R, 1, 1, 0),  # h1 forced at sn 1, then receives
+        ],
+    )
+    run = annotate_replay(trace, BCSProtocol(2))
+    forced = run.checkpoints[1][-1]
+    assert forced.record.reason == "forced"
+    msg = run.messages[0]
+    assert forced.position < msg.dst_pos  # checkpoint precedes delivery
+
+
+def test_annotate_requires_fresh_protocol():
+    trace = build_trace(2, 2, [])
+    p = BCSProtocol(2)
+    p.on_cell_switch(0, 1.0, 1)
+    with pytest.raises(ValueError, match="fresh protocol"):
+        annotate_replay(trace, p)
+
+
+def test_orphan_detection_manual_line():
+    trace = build_trace(
+        2,
+        2,
+        [
+            (1.0, S, 0, 1, 1),
+            (2.0, R, 1, 1, 0),
+            (3.0, C, 1, -1, 0, 1),  # h1 checkpoints after receiving
+        ],
+    )
+    run = annotate_replay(trace, BCSProtocol(2))
+    # Line: h0 initial checkpoint (before its send), h1 after receive.
+    line = {0: run.checkpoints[0][0], 1: run.checkpoints[1][-1]}
+    orphans = find_orphans(run, line)
+    assert len(orphans) == 1 and orphans[0].msg_id == 1
+    assert not is_consistent(run, line)
+
+
+def test_in_transit_detection():
+    trace = build_trace(
+        2,
+        2,
+        [
+            (1.0, S, 0, 1, 1),
+            (2.0, C, 0, -1, 0, 1),  # h0 checkpoints after sending
+            (3.0, R, 1, 1, 0),
+        ],
+    )
+    run = annotate_replay(trace, BCSProtocol(2))
+    line = {0: run.checkpoints[0][-1], 1: run.checkpoints[1][0]}
+    assert is_consistent(run, line)  # in-transit is fine, not orphan
+    assert len(in_transit_messages(run, line)) == 1
+
+
+def test_bcs_recovery_line_consistent_on_cascade():
+    trace = build_trace(
+        3,
+        2,
+        [
+            (1.0, C, 0, -1, 0, 1),
+            (2.0, S, 0, 1, 1),
+            (3.0, R, 1, 1, 0),
+            (4.0, S, 1, 2, 2),
+            (5.0, R, 2, 2, 1),
+            (6.0, S, 2, 3, 0),
+            (7.0, R, 0, 3, 2),
+        ],
+    )
+    protocol = BCSProtocol(3)
+    run = annotate_replay(trace, protocol)
+    line = build_recovery_line(run, protocol)
+    assert is_consistent(run, line)
+    assert CausalOrder(run).line_is_consistent(line)
+
+
+def test_qbc_replaced_checkpoint_line_still_consistent():
+    trace = build_trace(
+        2,
+        2,
+        [
+            (1.0, C, 0, -1, 0, 1),  # QBC: replaced ckpt at index 0
+            (2.0, S, 0, 1, 1),
+            (3.0, R, 1, 1, 0),
+            (4.0, C, 0, -1, 1, 0),  # another replacement
+        ],
+    )
+    protocol = QBCProtocol(2)
+    run = annotate_replay(trace, protocol)
+    line = build_recovery_line(run, protocol)
+    assert is_consistent(run, line)
+
+
+def test_tp_anchored_line_consistent():
+    from repro.core.consistency import tp_anchored_line
+
+    trace = build_trace(
+        2,
+        2,
+        [
+            (1.0, S, 0, 1, 1),
+            (2.0, S, 1, 2, 0),
+            (3.0, R, 1, 1, 0),  # h1 in SEND phase -> forced
+            (4.0, R, 0, 2, 1),  # h0 in SEND phase -> forced
+        ],
+    )
+    protocol = TwoPhaseProtocol(2)
+    run = annotate_replay(trace, protocol)
+    for anchor in (0, 1):
+        line = tp_anchored_line(run, protocol, anchor)
+        assert is_consistent(run, line)
+
+
+def test_tp_naive_latest_cut_can_be_inconsistent():
+    """The counterexample that motivates TP's dependency vectors: h1
+    sends and never checkpoints again, so the all-latest cut orphans its
+    message, while the anchored line (with a virtual on-demand
+    checkpoint for h1) is consistent."""
+    from repro.core.consistency import tp_anchored_line
+
+    trace = build_trace(
+        2,
+        2,
+        [
+            (1.0, S, 1, 1, 0),
+            (2.0, R, 0, 1, 1),
+            (3.0, C, 0, -1, 0, 1),  # h0 checkpoints after receiving
+        ],
+    )
+    protocol = TwoPhaseProtocol(2)
+    run = annotate_replay(trace, protocol)
+    naive = {h: run.last_checkpoint(h) for h in range(2)}
+    assert not is_consistent(run, naive)
+    anchored = tp_anchored_line(run, protocol, anchor=0)
+    assert is_consistent(run, anchored)
+    assert anchored[1].record.reason == "virtual"
+
+
+def test_max_consistent_index():
+    assert max_consistent_index([3, 5, 4]) == 3
+    with pytest.raises(ValueError):
+        max_consistent_index([])
+
+
+def test_maximal_consistent_line_converges_fast_for_cic():
+    trace = build_trace(
+        2,
+        2,
+        [
+            (1.0, C, 0, -1, 0, 1),
+            (2.0, S, 0, 1, 1),
+            (3.0, R, 1, 1, 0),
+        ],
+    )
+    run = annotate_replay(trace, BCSProtocol(2))
+    line, iterations = maximal_consistent_line(run)
+    assert is_consistent(run, line)
+    assert iterations <= 2
+
+
+def test_maximal_consistent_line_domino_for_uncoordinated():
+    """The classic domino staircase (Randell [15]): each host checkpoints
+    between a receive and its next send, so rolling anyone back cascades
+    all the way to the initial state."""
+    events = [
+        (1.0, S, 0, 100, 1),
+        (2.0, R, 1, 100, 0),
+        (2.5, C, 1, -1, 1, 0),  # h1 checkpoint (cell switch trigger)
+        (3.0, S, 1, 101, 0),
+        (4.0, R, 0, 101, 1),
+        (4.5, C, 0, -1, 0, 1),  # h0 checkpoint
+        (5.0, S, 0, 102, 1),
+        (6.0, R, 1, 102, 0),
+        (6.5, C, 1, -1, 0, 1),
+        (7.0, S, 1, 103, 0),
+        (8.0, R, 0, 103, 1),
+        (8.5, C, 0, -1, 1, 0),
+        (9.0, S, 0, 104, 1),
+        (10.0, R, 1, 104, 0),
+    ]
+    trace = build_trace(2, 2, events)
+    # No periodic checkpoints: only the staircase ones above + initial.
+    protocol = UncoordinatedProtocol(2, period=1e9)
+    run = annotate_replay(trace, protocol)
+    line, iterations = maximal_consistent_line(run)
+    assert is_consistent(run, line)
+    assert iterations >= 2
+    # the domino forced both hosts all the way back to the initial state
+    assert line[0].ordinal == 0
+    assert line[1].ordinal == 0
+
+
+def test_causal_order_happens_before_via_message():
+    trace = build_trace(
+        2,
+        2,
+        [
+            (1.0, S, 0, 1, 1),
+            (2.0, R, 1, 1, 0),
+        ],
+    )
+    run = annotate_replay(trace, BCSProtocol(2))
+    order = CausalOrder(run)
+    m = run.messages[0]
+    assert order.happens_before((m.src, m.src_pos), (m.dst, m.dst_pos))
+    assert not order.happens_before((m.dst, m.dst_pos), (m.src, m.src_pos))
+
+
+def test_causal_order_concurrent_events():
+    trace = build_trace(
+        2,
+        2,
+        [
+            (1.0, C, 0, -1, 0, 1),
+            (2.0, C, 1, -1, 1, 0),
+        ],
+    )
+    run = annotate_replay(trace, BCSProtocol(2))
+    order = CausalOrder(run)
+    a = (0, run.checkpoints[0][-1].position)
+    b = (1, run.checkpoints[1][-1].position)
+    assert order.concurrent(a, b)
+
+
+def test_causal_order_program_order():
+    trace = build_trace(
+        2,
+        2,
+        [
+            (1.0, S, 0, 1, 1),
+            (2.0, S, 0, 2, 1),
+        ],
+    )
+    run = annotate_replay(trace, BCSProtocol(2))
+    order = CausalOrder(run)
+    assert order.happens_before((0, 1), (0, 2))  # pos 0 is initial ckpt

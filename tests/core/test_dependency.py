@@ -1,0 +1,134 @@
+"""Tests for Z-path/Z-cycle analysis (repro.core.dependency)."""
+
+from hypothesis import given, settings
+
+from repro.core.consistency import annotate_replay
+from repro.core.dependency import ZPathAnalysis
+from repro.core.trace import EventType, build_trace
+from repro.protocols import BCSProtocol, QBCProtocol, UncoordinatedProtocol
+from tests.core.test_properties import traces
+
+S, R, C = EventType.SEND, EventType.RECEIVE, EventType.CELL_SWITCH
+
+
+def test_interval_of_maps_positions():
+    trace = build_trace(
+        2,
+        2,
+        [
+            (1.0, S, 0, 1, 1),
+            (2.0, C, 0, -1, 0, 1),
+            (3.0, S, 0, 2, 1),
+        ],
+    )
+    run = annotate_replay(trace, BCSProtocol(2))
+    z = ZPathAnalysis(run)
+    # host 0: pos0=initial ckpt, pos1=send, pos2=basic ckpt, pos3=send
+    assert z.interval_of(0, 1) == 0
+    assert z.interval_of(0, 3) == 1
+
+
+def test_causal_z_path_exists():
+    trace = build_trace(
+        3,
+        2,
+        [
+            (1.0, S, 0, 1, 1),
+            (2.0, R, 1, 1, 0),
+            (3.0, S, 1, 2, 2),
+            (4.0, R, 2, 2, 1),
+            (5.0, C, 2, -1, 0, 1),
+        ],
+    )
+    run = annotate_replay(trace, BCSProtocol(3))
+    z = ZPathAnalysis(run)
+    a = run.checkpoints[0][0]  # h0 initial
+    b = run.checkpoints[2][-1]  # h2 after receiving
+    assert z.has_z_path(a, b)
+    assert not z.has_z_path(b, a)
+
+
+def test_non_causal_z_step():
+    """m2 sent BEFORE m1 arrives, in the interval where m1 is received:
+    a Z-path exists although no causal path does."""
+    trace = build_trace(
+        3,
+        2,
+        [
+            (1.0, S, 1, 2, 2),  # m2 leaves h1 first...
+            (2.0, S, 0, 1, 1),
+            (3.0, R, 1, 1, 0),  # ...and m1 arrives in the same interval
+            (4.0, R, 2, 2, 1),
+            (5.0, C, 2, -1, 0, 1),
+        ],
+    )
+    run = annotate_replay(trace, UncoordinatedProtocol(3, period=1e9))
+    z = ZPathAnalysis(run)
+    a = run.checkpoints[0][0]
+    b = run.checkpoints[2][-1]
+    assert z.has_z_path(a, b)
+
+
+def test_staircase_checkpoints_are_useless():
+    """The domino staircase puts every intermediate checkpoint on a
+    Z-cycle (that is exactly why rollback cascades)."""
+    events = [
+        (1.0, S, 0, 100, 1),
+        (2.0, R, 1, 100, 0),
+        (2.5, C, 1, -1, 1, 0),
+        (3.0, S, 1, 101, 0),
+        (4.0, R, 0, 101, 1),
+        (4.5, C, 0, -1, 0, 1),
+        (5.0, S, 0, 102, 1),
+        (6.0, R, 1, 102, 0),
+    ]
+    trace = build_trace(2, 2, events)
+    run = annotate_replay(trace, UncoordinatedProtocol(2, period=1e9))
+    z = ZPathAnalysis(run)
+    useless = z.useless_checkpoints()
+    assert run.checkpoints[1][1] in useless  # the 2.5 checkpoint
+    assert run.checkpoints[0][1] in useless  # the 4.5 checkpoint
+
+
+def test_bcs_prevents_useless_checkpoints_on_staircase():
+    """Same schedule under BCS: forced checkpoints break every Z-cycle."""
+    events = [
+        (1.0, S, 0, 100, 1),
+        (2.0, R, 1, 100, 0),
+        (2.5, C, 1, -1, 1, 0),
+        (3.0, S, 1, 101, 0),
+        (4.0, R, 0, 101, 1),
+        (4.5, C, 0, -1, 0, 1),
+        (5.0, S, 0, 102, 1),
+        (6.0, R, 1, 102, 0),
+    ]
+    trace = build_trace(2, 2, events)
+    run = annotate_replay(trace, BCSProtocol(2))
+    assert ZPathAnalysis(run).useless_checkpoints() == []
+
+
+@settings(max_examples=60, deadline=None)
+@given(trace=traces(max_ops=25))
+def test_index_protocols_are_z_cycle_free(trace):
+    """The classic CIC guarantee: BCS/QBC admit no Z-cycle, so every
+    checkpoint they take is useful (Netzer-Xu)."""
+    for cls in (BCSProtocol, QBCProtocol):
+        run = annotate_replay(trace, cls(trace.n_hosts, trace.n_mss))
+        assert ZPathAnalysis(run).useless_checkpoints() == []
+
+
+def test_interval_graph_structure():
+    trace = build_trace(
+        2,
+        2,
+        [
+            (1.0, S, 0, 1, 1),
+            (2.0, R, 1, 1, 0),
+            (3.0, C, 1, -1, 1, 0),
+        ],
+    )
+    run = annotate_replay(trace, BCSProtocol(2))
+    g = ZPathAnalysis(run).interval_graph()
+    assert (0, 0) in g and (1, 0) in g and (1, 1) in g
+    assert g.has_edge((1, 0), (1, 1))  # program order
+    assert g.has_edge((0, 0), (1, 0))  # the message

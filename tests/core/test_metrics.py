@@ -1,0 +1,55 @@
+"""Tests for run metrics (repro.core.metrics)."""
+
+from repro.core.metrics import (
+    CheckpointStats,
+    ProtocolRunMetrics,
+    gain_percent,
+)
+from repro.protocols import BCSProtocol
+
+
+def test_gain_percent():
+    assert gain_percent(100.0, 10.0) == 90.0
+    assert gain_percent(100.0, 100.0) == 0.0
+    assert gain_percent(0.0, 5.0) == 0.0
+    assert gain_percent(50.0, 75.0) == -50.0  # regression shows as negative
+
+
+def test_stats_from_protocol_separates_initial():
+    p = BCSProtocol(3)
+    p.on_cell_switch(0, 1.0, 1)
+    p.on_receive(1, 1, src=0, now=2.0)
+    stats = CheckpointStats.from_protocol(p)
+    assert stats.n_initial == 3
+    assert stats.n_basic == 1
+    assert stats.n_forced == 1
+    assert stats.n_total == 2
+    assert stats.per_host_total == {0: 1, 1: 1, 2: 0}
+
+
+def test_metrics_row_and_rates():
+    p = BCSProtocol(2)
+    p.on_cell_switch(0, 1.0, 1)
+    m = ProtocolRunMetrics(
+        protocol="BCS",
+        stats=CheckpointStats.from_protocol(p),
+        n_sends=10,
+        n_receives=8,
+        piggyback_ints_total=10,
+        sim_time=100.0,
+        seed=1,
+    )
+    row = m.as_row()
+    assert row["protocol"] == "BCS"
+    assert row["n_total"] == 1
+    assert m.forced_per_send == 0.0
+    m.stats.n_forced = 5
+    assert m.forced_per_send == 0.5
+
+
+def test_forced_per_send_zero_sends():
+    p = BCSProtocol(2)
+    m = ProtocolRunMetrics(
+        protocol="BCS", stats=CheckpointStats.from_protocol(p), n_sends=0
+    )
+    assert m.forced_per_send == 0.0

@@ -1,0 +1,82 @@
+"""Tests for online execution and coordinated baselines (repro.core.online)."""
+
+import pytest
+
+from repro.core.online import (
+    CoordinatedScheme,
+    run_coordinated,
+)
+from repro.protocols import (
+    run_chandy_lamport,
+    run_koo_toueg,
+    run_prakash_singhal,
+)
+from repro.workload import WorkloadConfig
+
+
+def cfg(**kw):
+    defaults = dict(sim_time=1000.0, seed=5, t_switch=300.0, p_switch=0.9)
+    defaults.update(kw)
+    return WorkloadConfig(**defaults)
+
+
+def test_chandy_lamport_snapshots_every_round():
+    r = run_chandy_lamport(cfg(), snapshot_interval=100.0)
+    assert r.rounds == 10
+    # each completed round checkpoints the initiator + participants
+    assert r.n_snapshot >= r.rounds
+    assert r.scheme is CoordinatedScheme.CHANDY_LAMPORT
+
+
+def test_chandy_lamport_control_messages_scale_with_hosts():
+    small = run_chandy_lamport(cfg(n_hosts=4, n_mss=2), snapshot_interval=100.0)
+    large = run_chandy_lamport(cfg(n_hosts=10), snapshot_interval=100.0)
+    assert large.control_messages > small.control_messages
+
+
+def test_koo_toueg_blocking_time_positive():
+    r = run_koo_toueg(cfg(), snapshot_interval=100.0)
+    assert r.blocked_time > 0.0
+    # 3 control messages per participant vs CL's 1
+    cl = run_chandy_lamport(cfg(), snapshot_interval=100.0)
+    assert r.control_messages <= 3 * cl.control_messages
+
+
+def test_prakash_singhal_non_blocking():
+    r = run_prakash_singhal(cfg(), snapshot_interval=100.0)
+    assert r.blocked_time == 0.0
+    assert r.scheme is CoordinatedScheme.PRAKASH_SINGHAL
+
+
+def test_dependency_subset_no_larger_than_flood():
+    """KT coordinates only direct dependents: never more participants
+    (hence snapshots) than the Chandy-Lamport flood."""
+    kt = run_koo_toueg(cfg(seed=2), snapshot_interval=50.0)
+    cl = run_chandy_lamport(cfg(seed=2), snapshot_interval=50.0)
+    assert kt.n_snapshot <= cl.n_snapshot
+    ps = run_prakash_singhal(cfg(seed=2), snapshot_interval=50.0)
+    assert kt.n_snapshot <= ps.n_snapshot <= cl.n_snapshot
+
+
+def test_basic_checkpoints_still_mandated():
+    r = run_chandy_lamport(cfg(p_switch=0.8), snapshot_interval=200.0)
+    assert r.n_basic > 0
+    assert r.n_total == r.n_basic + r.n_snapshot
+
+
+def test_location_lookups_counted():
+    """The paper's point (d): coordination pays a location cost per
+    mobile participant per round."""
+    r = run_chandy_lamport(cfg(), snapshot_interval=100.0)
+    assert r.location_lookups > 0
+
+
+def test_invalid_interval_rejected():
+    with pytest.raises(ValueError):
+        run_coordinated(cfg(), CoordinatedScheme.CHANDY_LAMPORT, 0.0)
+
+
+def test_deterministic_across_runs():
+    a = run_chandy_lamport(cfg(seed=3), snapshot_interval=100.0)
+    b = run_chandy_lamport(cfg(seed=3), snapshot_interval=100.0)
+    assert (a.n_total, a.control_messages) == (b.n_total, b.control_messages)

@@ -1,0 +1,114 @@
+"""Tests for failure recovery (repro.core.recovery)."""
+
+from repro.core.consistency import annotate_replay, is_consistent
+from repro.core.recovery import minimal_rollback, protocol_line_rollback
+from repro.core.trace import EventType, build_trace
+from repro.protocols import (
+    BCSProtocol,
+    QBCProtocol,
+    TwoPhaseProtocol,
+    UncoordinatedProtocol,
+)
+from repro.workload import WorkloadConfig, generate_trace
+
+S, R, C = EventType.SEND, EventType.RECEIVE, EventType.CELL_SWITCH
+
+
+def staircase_trace():
+    """The domino staircase from the consistency tests."""
+    events = [
+        (1.0, S, 0, 100, 1),
+        (2.0, R, 1, 100, 0),
+        (2.5, C, 1, -1, 1, 0),
+        (3.0, S, 1, 101, 0),
+        (4.0, R, 0, 101, 1),
+        (4.5, C, 0, -1, 0, 1),
+        (5.0, S, 0, 102, 1),
+        (6.0, R, 1, 102, 0),
+        (6.5, C, 1, -1, 0, 1),
+        (7.0, S, 1, 103, 0),
+        (8.0, R, 0, 103, 1),
+        (8.5, C, 0, -1, 1, 0),
+        (9.0, S, 0, 104, 1),
+        (10.0, R, 1, 104, 0),
+    ]
+    return build_trace(2, 2, events)
+
+
+def test_minimal_rollback_line_is_consistent():
+    trace = staircase_trace()
+    run = annotate_replay(trace, BCSProtocol(2))
+    outcome = minimal_rollback(run, failed_host=0, end_time=trace.sim_time)
+    assert is_consistent(run, outcome.line)
+    assert outcome.failed_host == 0
+    assert outcome.undone_events[0] >= 1  # at least the lost tail of h0
+
+
+def test_domino_under_uncoordinated_vs_bounded_under_bcs():
+    """The headline recovery claim: on the same schedule, uncoordinated
+    checkpointing dominos back to the start while BCS's forced
+    checkpoints keep the rollback bounded."""
+    trace = staircase_trace()
+
+    unc_run = annotate_replay(trace, UncoordinatedProtocol(2, period=1e9))
+    unc = minimal_rollback(unc_run, failed_host=1, end_time=trace.sim_time)
+    # the staircase checkpoints are all useless: both hosts land on the
+    # initial checkpoints
+    assert unc.line[0].ordinal == 0
+    assert unc.line[1].ordinal == 0
+
+    bcs_run = annotate_replay(trace, BCSProtocol(2))
+    bcs = minimal_rollback(bcs_run, failed_host=1, end_time=trace.sim_time)
+    assert bcs.total_undone_events < unc.total_undone_events
+    assert bcs.line[0].ordinal > 0  # h0 did NOT roll back to the start
+
+
+def test_protocol_line_rollback_index_based():
+    trace = staircase_trace()
+    for cls in (BCSProtocol, QBCProtocol):
+        protocol = cls(2)
+        run = annotate_replay(trace, protocol)
+        outcome = protocol_line_rollback(run, protocol, failed_host=0,
+                                         end_time=trace.sim_time)
+        assert is_consistent(run, outcome.line)
+        assert outcome.iterations == 1  # no search needed: on-the-fly line
+
+
+def test_protocol_line_rollback_tp_anchored():
+    trace = staircase_trace()
+    protocol = TwoPhaseProtocol(2)
+    run = annotate_replay(trace, protocol)
+    outcome = protocol_line_rollback(
+        run, protocol, failed_host=1, end_time=trace.sim_time
+    )
+    assert is_consistent(run, outcome.line)
+    # the anchor keeps its latest checkpoint
+    assert outcome.line[1] == run.last_checkpoint(1)
+
+
+def test_rollback_time_and_in_transit_reported():
+    trace = staircase_trace()
+    protocol = BCSProtocol(2)
+    run = annotate_replay(trace, protocol)
+    outcome = protocol_line_rollback(
+        run, protocol, failed_host=0, end_time=trace.sim_time
+    )
+    assert outcome.max_rollback_time >= 0.0
+    assert outcome.in_transit >= 0
+
+
+def test_recovery_on_generated_workload():
+    cfg = WorkloadConfig(sim_time=1000.0, seed=13, t_switch=100.0, p_switch=0.8)
+    trace = generate_trace(cfg)
+    for cls in (BCSProtocol, QBCProtocol):
+        protocol = cls(cfg.n_hosts, cfg.n_mss)
+        run = annotate_replay(trace, protocol)
+        for failed in (0, 5, 9):
+            outcome = protocol_line_rollback(
+                run, protocol, failed, end_time=trace.sim_time
+            )
+            assert is_consistent(run, outcome.line)
+            minimal = minimal_rollback(run, failed, end_time=trace.sim_time)
+            assert is_consistent(run, minimal.line)
+            # minimal rollback never undoes more than the protocol line
+            assert minimal.total_undone_events <= outcome.total_undone_events

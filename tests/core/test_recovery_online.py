@@ -1,0 +1,94 @@
+"""Tests for recovery execution planning (repro.core.recovery_online)."""
+
+import pytest
+
+from repro.core.online import run_online
+from repro.core.recovery_online import plan_recovery
+from repro.protocols import BCSProtocol, QBCProtocol, TwoPhaseProtocol
+from repro.workload import WorkloadConfig
+
+
+def online(cls, **kw):
+    defaults = dict(sim_time=1500.0, seed=9, t_switch=200.0, p_switch=0.9)
+    defaults.update(kw)
+    cfg = WorkloadConfig(**defaults)
+    return cfg, run_online(cfg, cls(cfg.n_hosts, cfg.n_mss))
+
+
+def test_plan_covers_every_host():
+    cfg, result = online(BCSProtocol)
+    plan = plan_recovery(result.system, result.protocol, failed_host=0)
+    assert sorted(s.host for s in plan.steps) == list(range(cfg.n_hosts))
+    assert plan.failed_host == 0
+
+
+def test_restart_indices_match_protocol_line():
+    cfg, result = online(QBCProtocol)
+    plan = plan_recovery(result.system, result.protocol, failed_host=3)
+    line = result.protocol.recovery_line_indices()
+    for step in plan.steps:
+        assert step.restart_index == line[step.host]
+
+
+def test_tp_plan_uses_anchored_requirements():
+    cfg, result = online(TwoPhaseProtocol, sim_time=600.0)
+    plan = plan_recovery(result.system, result.protocol, failed_host=2)
+    required = result.protocol.required_indices(2)
+    for step in plan.steps:
+        if step.host != 2:
+            assert step.restart_index == required[step.host]
+
+
+def test_recovery_time_is_small_multiple_of_leg_latency():
+    """The index-based selling point: recovery is a handful of control
+    legs, not a computation-scale cost."""
+    cfg, result = online(BCSProtocol)
+    plan = plan_recovery(result.system, result.protocol, failed_host=1)
+    # worst case per host: line (2) + wired notify (1) + wireless (1)
+    # + fetch round trip (2) + wireless download (1) = 7 legs
+    assert plan.recovery_time <= 7 * cfg.leg_latency + 1e-12
+    assert plan.recovery_time >= 2 * cfg.leg_latency
+
+
+def test_control_messages_bounded_by_connected_hosts():
+    cfg, result = online(BCSProtocol, p_switch=0.5, sim_time=2500.0)
+    plan = plan_recovery(result.system, result.protocol, failed_host=0)
+    connected = len(result.system.connected_hosts())
+    reachable_steps = [s for s in plan.steps if not s.deferred]
+    assert plan.control_messages == len(reachable_steps)
+    assert len(reachable_steps) <= cfg.n_hosts
+    assert plan.line_computation_messages == cfg.n_mss - 1
+    # connectivity at plan time matches the step classification
+    assert connected == len(reachable_steps)
+
+
+def test_disconnected_hosts_deferred_but_recovery_completes():
+    cfg, result = online(BCSProtocol, p_switch=0.2, sim_time=3000.0)
+    # with p_switch=0.2 and long aways, somebody is disconnected
+    system = result.system
+    disconnected = [h.host_id for h in system.hosts if not h.is_connected]
+    if not disconnected:
+        pytest.skip("no host disconnected at horizon for this seed")
+    plan = plan_recovery(system, result.protocol, failed_host=0)
+    assert set(plan.deferred_hosts) == set(disconnected) - {0} | (
+        {0} if 0 in disconnected else set()
+    )
+    assert plan.recovery_time < float("inf")
+
+
+def test_fetches_counted_for_stranded_records():
+    cfg, result = online(BCSProtocol, t_switch=50.0, sim_time=2000.0)
+    plan = plan_recovery(result.system, result.protocol, failed_host=4)
+    # hosts switched ~40 times each: some line records are stranded
+    assert plan.checkpoint_fetches == sum(1 for s in plan.steps if s.needs_fetch)
+
+
+def test_failed_disconnected_host_recovers_via_buffering_mss():
+    cfg, result = online(BCSProtocol, p_switch=0.2, sim_time=3000.0)
+    system = result.system
+    disconnected = [h.host_id for h in system.hosts if not h.is_connected]
+    if not disconnected:
+        pytest.skip("no host disconnected at horizon for this seed")
+    failed = disconnected[0]
+    plan = plan_recovery(system, result.protocol, failed_host=failed)
+    assert plan.initiator_mss == system.directory.buffering_mss(failed)

@@ -1,0 +1,99 @@
+"""Tests for trace serialization (repro.core.trace_io)."""
+
+import numpy as np
+import pytest
+
+from repro.core.replay import replay
+from repro.core.trace import EventType, build_trace
+from repro.core.trace_io import load_trace, save_trace
+from repro.protocols import QBCProtocol
+from repro.workload import WorkloadConfig, generate_trace
+
+
+def test_roundtrip_preserves_everything(tmp_path):
+    cfg = WorkloadConfig(sim_time=500.0, seed=4, t_switch=100.0, p_switch=0.8)
+    trace = generate_trace(cfg)
+    path = tmp_path / "trace.npz"
+    save_trace(trace, path)
+    loaded = load_trace(path)
+    assert loaded.n_hosts == trace.n_hosts
+    assert loaded.n_mss == trace.n_mss
+    assert loaded.sim_time == trace.sim_time
+    assert loaded.meta == trace.meta
+    assert len(loaded) == len(trace)
+    for a, b in zip(trace.events, loaded.events):
+        assert (a.time, a.etype, a.host, a.msg_id, a.peer, a.cell) == (
+            b.time,
+            b.etype,
+            b.host,
+            b.msg_id,
+            b.peer,
+            b.cell,
+        )
+
+
+def test_replay_identical_after_roundtrip(tmp_path):
+    cfg = WorkloadConfig(sim_time=500.0, seed=2, t_switch=100.0)
+    trace = generate_trace(cfg)
+    save_trace(trace, tmp_path / "t.npz")
+    loaded = load_trace(tmp_path / "t.npz")
+    a = replay(trace, QBCProtocol(cfg.n_hosts, cfg.n_mss))
+    b = replay(loaded, QBCProtocol(cfg.n_hosts, cfg.n_mss))
+    assert a.n_total == b.n_total
+    assert [
+        (c.host, c.index, c.reason) for c in a.protocol.checkpoints
+    ] == [(c.host, c.index, c.reason) for c in b.protocol.checkpoints]
+
+
+def test_empty_trace_roundtrip(tmp_path):
+    trace = build_trace(2, 2, [])
+    save_trace(trace, tmp_path / "empty.npz")
+    loaded = load_trace(tmp_path / "empty.npz")
+    assert len(loaded) == 0
+
+
+def test_extension_appended_when_missing(tmp_path):
+    trace = build_trace(2, 2, [(1.0, EventType.DISCONNECT, 0)])
+    save_trace(trace, tmp_path / "t")  # numpy appends .npz
+    loaded = load_trace(tmp_path / "t")
+    assert len(loaded) == 1
+
+
+def test_unknown_format_version_rejected(tmp_path):
+    import json
+
+    trace = build_trace(2, 2, [])
+    path = tmp_path / "t.npz"
+    save_trace(trace, path)
+    with np.load(path) as data:
+        arrays = {k: data[k] for k in data.files}
+    header = json.loads(bytes(arrays["header"]).decode())
+    header["format_version"] = 99
+    arrays["header"] = np.frombuffer(
+        json.dumps(header).encode(), dtype=np.uint8
+    )
+    np.savez(path, **arrays)
+    with pytest.raises(ValueError, match="format version"):
+        load_trace(path)
+
+
+def test_load_validates_by_default(tmp_path):
+    import json
+
+    # hand-craft a structurally invalid trace file
+    bad = build_trace(2, 2, [])
+    path = tmp_path / "bad.npz"
+    save_trace(bad, path)
+    with np.load(path) as data:
+        arrays = {k: data[k] for k in data.files}
+    arrays["time"] = np.array([1.0])
+    arrays["etype"] = np.array([int(EventType.RECEIVE)], dtype=np.int8)
+    arrays["host"] = np.array([0], dtype=np.int32)
+    arrays["msg_id"] = np.array([5], dtype=np.int64)
+    arrays["peer"] = np.array([1], dtype=np.int32)
+    arrays["cell"] = np.array([-1], dtype=np.int32)
+    np.savez(path, **arrays)
+    with pytest.raises(Exception):
+        load_trace(path)
+    loaded = load_trace(path, validate=False)
+    assert len(loaded) == 1

@@ -1,0 +1,137 @@
+"""Unit tests for the DES event loop (repro.des.core)."""
+
+import pytest
+
+from repro.des import Environment, StopSimulation
+from repro.des.core import PRIORITY_URGENT
+
+
+def test_clock_starts_at_initial_time():
+    assert Environment().now == 0.0
+    assert Environment(initial_time=7.5).now == 7.5
+
+
+def test_timeout_advances_clock():
+    env = Environment()
+    env.timeout(3.0)
+    env.run()
+    assert env.now == 3.0
+
+
+def test_run_until_stops_clock_exactly_at_until():
+    env = Environment()
+    env.timeout(10.0)
+    env.run(until=4.0)
+    assert env.now == 4.0
+    # the pending timeout is still on the agenda
+    assert env.peek() == 10.0
+
+
+def test_run_until_in_past_raises():
+    env = Environment(initial_time=5.0)
+    with pytest.raises(ValueError):
+        env.run(until=1.0)
+
+
+def test_negative_delay_rejected():
+    env = Environment()
+    with pytest.raises(ValueError):
+        env.schedule(env.event(), delay=-1.0)
+
+
+def test_events_fire_in_time_order():
+    env = Environment()
+    order = []
+    for delay in (5.0, 1.0, 3.0):
+        env.call_later(delay, lambda d=delay: order.append(d))
+    env.run()
+    assert order == [1.0, 3.0, 5.0]
+
+
+def test_same_time_events_fire_in_insertion_order():
+    env = Environment()
+    order = []
+    for tag in "abcd":
+        env.call_later(2.0, lambda t=tag: order.append(t))
+    env.run()
+    assert order == list("abcd")
+
+
+def test_priority_breaks_same_time_ties():
+    env = Environment()
+    order = []
+    env.call_later(1.0, lambda: order.append("normal"))
+    env.call_later(1.0, lambda: order.append("urgent"), priority=PRIORITY_URGENT)
+    env.run()
+    assert order == ["urgent", "normal"]
+
+
+def test_call_at_absolute_time():
+    env = Environment(initial_time=10.0)
+    seen = []
+    env.call_at(12.5, lambda: seen.append(env.now))
+    env.run()
+    assert seen == [12.5]
+
+
+def test_call_at_in_past_raises():
+    env = Environment(initial_time=10.0)
+    with pytest.raises(ValueError):
+        env.call_at(9.0, lambda: None)
+
+
+def test_stop_simulation_returns_value_and_preserves_agenda():
+    env = Environment()
+    env.call_later(1.0, lambda: (_ for _ in ()).throw(StopSimulation("halt")))
+    env.call_later(2.0, lambda: None)
+    result = env.run()
+    assert result == "halt"
+    assert env.peek() == 2.0
+
+
+def test_run_until_event_returns_value():
+    env = Environment()
+    ev = env.timeout(4.0, value="payload")
+    assert env.run_until_event(ev) == "payload"
+    assert env.now == 4.0
+
+
+def test_run_until_event_raises_on_starved_agenda():
+    env = Environment()
+    ev = env.event()  # never triggered
+    with pytest.raises(RuntimeError, match="agenda exhausted"):
+        env.run_until_event(ev)
+
+
+def test_event_count_tracks_processed_events():
+    env = Environment()
+    for _ in range(5):
+        env.timeout(1.0)
+    env.run()
+    assert env.event_count == 5
+
+
+def test_peek_empty_agenda_is_inf():
+    assert Environment().peek() == float("inf")
+
+
+def test_nested_scheduling_from_callback():
+    env = Environment()
+    times = []
+
+    def first():
+        times.append(env.now)
+        env.call_later(2.0, second)
+
+    def second():
+        times.append(env.now)
+
+    env.call_later(1.0, first)
+    env.run()
+    assert times == [1.0, 3.0]
+
+
+def test_drain_runs_multiple_events():
+    env = Environment()
+    evs = [env.timeout(d, value=d) for d in (3.0, 1.0)]
+    assert env.drain(evs) == [3.0, 1.0]

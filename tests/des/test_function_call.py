@@ -1,0 +1,55 @@
+"""Tests for the call_later fast path (FunctionCall events)."""
+
+import pytest
+
+from repro.des import Environment
+from repro.des.events import FunctionCall
+
+
+def test_function_call_fires_once():
+    env = Environment()
+    hits = []
+    env.call_later(2.0, lambda: hits.append(env.now))
+    env.run()
+    assert hits == [2.0]
+
+
+def test_function_call_ordering_with_timeouts():
+    env = Environment()
+    order = []
+    env.timeout(1.0).add_callback(lambda e: order.append("timeout"))
+    env.call_later(1.0, lambda: order.append("call"))
+    env.run()
+    assert order == ["timeout", "call"]  # insertion order at equal times
+
+
+def test_function_call_is_event():
+    env = Environment()
+    ev = env.call_later(1.0, lambda: None)
+    assert isinstance(ev, FunctionCall)
+    env.run()
+    assert ev.processed
+
+
+def test_nested_function_calls():
+    env = Environment()
+    times = []
+
+    def outer():
+        times.append(env.now)
+        env.call_later(1.0, lambda: times.append(env.now))
+
+    env.call_later(1.0, outer)
+    env.run()
+    assert times == [1.0, 2.0]
+
+
+def test_exception_in_function_call_propagates():
+    env = Environment()
+
+    def boom():
+        raise RuntimeError("inside callback")
+
+    env.call_later(1.0, boom)
+    with pytest.raises(RuntimeError, match="inside callback"):
+        env.run()

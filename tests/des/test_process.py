@@ -1,0 +1,204 @@
+"""Unit tests for generator-coroutine processes (repro.des.process)."""
+
+import pytest
+
+from repro.des import Environment, Interrupt
+
+
+def test_process_runs_and_returns_value():
+    env = Environment()
+
+    def worker(env):
+        yield env.timeout(2.0)
+        yield env.timeout(3.0)
+        return "finished"
+
+    proc = env.process(worker(env))
+    assert env.run_until_event(proc) == "finished"
+    assert env.now == 5.0
+    assert not proc.is_alive
+
+
+def test_yield_value_is_event_payload():
+    env = Environment()
+    got = []
+
+    def worker(env):
+        value = yield env.timeout(1.0, value="payload")
+        got.append(value)
+
+    env.process(worker(env))
+    env.run()
+    assert got == ["payload"]
+
+
+def test_process_composition_waits_for_child():
+    env = Environment()
+
+    def child(env):
+        yield env.timeout(4.0)
+        return 21
+
+    def parent(env):
+        value = yield env.process(child(env))
+        return value * 2
+
+    proc = env.process(parent(env))
+    assert env.run_until_event(proc) == 42
+
+
+def test_two_processes_interleave():
+    env = Environment()
+    log = []
+
+    def ticker(env, name, period):
+        for _ in range(3):
+            yield env.timeout(period)
+            log.append((name, env.now))
+
+    env.process(ticker(env, "fast", 1.0))
+    env.process(ticker(env, "slow", 2.0))
+    env.run()
+    # At t=2.0 both tickers fire; slow's timeout was inserted earlier
+    # (at t=0 vs t=1), so insertion order puts it first.
+    assert log == [
+        ("fast", 1.0),
+        ("slow", 2.0),
+        ("fast", 2.0),
+        ("fast", 3.0),
+        ("slow", 4.0),
+        ("slow", 6.0),
+    ]
+
+
+def test_non_generator_rejected():
+    env = Environment()
+    with pytest.raises(TypeError):
+        env.process(lambda: None)  # type: ignore[arg-type]
+
+
+def test_yielding_non_event_raises():
+    env = Environment()
+
+    def bad(env):
+        yield 42
+
+    env.process(bad(env))
+    with pytest.raises(TypeError, match="expected an Event"):
+        env.run()
+
+
+def test_process_exception_propagates_to_waiter():
+    env = Environment()
+
+    def failing(env):
+        yield env.timeout(1.0)
+        raise ValueError("inside process")
+
+    def waiter(env, proc):
+        with pytest.raises(ValueError, match="inside process"):
+            yield proc
+        return "handled"
+
+    proc = env.process(failing(env))
+    outer = env.process(waiter(env, proc))
+    assert env.run_until_event(outer) == "handled"
+
+
+def test_unwaited_process_failure_surfaces_in_run():
+    env = Environment()
+
+    def failing(env):
+        yield env.timeout(1.0)
+        raise ValueError("unhandled process error")
+
+    env.process(failing(env))
+    with pytest.raises(ValueError, match="unhandled process error"):
+        env.run()
+
+
+def test_interrupt_delivers_cause():
+    env = Environment()
+    causes = []
+
+    def sleeper(env):
+        try:
+            yield env.timeout(100.0)
+        except Interrupt as exc:
+            causes.append(exc.cause)
+
+    proc = env.process(sleeper(env))
+    env.call_later(5.0, lambda: proc.interrupt("wake up"))
+    env.run_until_event(proc)
+    assert causes == ["wake up"]
+    assert env.now == 5.0
+
+
+def test_interrupted_process_can_rewait():
+    env = Environment()
+    log = []
+
+    def sleeper(env):
+        nap = env.timeout(10.0)
+        try:
+            yield nap
+        except Interrupt:
+            log.append(("interrupted", env.now))
+            yield nap  # resume waiting on the same timeout
+        log.append(("woke", env.now))
+
+    proc = env.process(sleeper(env))
+    env.call_later(3.0, lambda: proc.interrupt())
+    env.run_until_event(proc)
+    assert log == [("interrupted", 3.0), ("woke", 10.0)]
+
+
+def test_unhandled_interrupt_kills_process():
+    env = Environment()
+
+    def sleeper(env):
+        yield env.timeout(100.0)
+
+    proc = env.process(sleeper(env))
+    env.call_later(1.0, lambda: proc.interrupt("die"))
+    with pytest.raises(Interrupt):
+        env.run()
+    assert proc.failed
+
+
+def test_interrupt_dead_process_raises():
+    env = Environment()
+
+    def quick(env):
+        yield env.timeout(1.0)
+
+    proc = env.process(quick(env))
+    env.run()
+    with pytest.raises(RuntimeError, match="dead process"):
+        proc.interrupt()
+
+
+def test_active_process_visible_during_execution():
+    env = Environment()
+    seen = []
+
+    def worker(env):
+        seen.append(env.active_process)
+        yield env.timeout(1.0)
+
+    proc = env.process(worker(env))
+    env.run()
+    assert seen == [proc]
+    assert env.active_process is None
+
+
+def test_immediate_return_process():
+    env = Environment()
+
+    def instant(env):
+        return "now"
+        yield  # pragma: no cover - makes it a generator
+
+    proc = env.process(instant(env))
+    assert env.run_until_event(proc) == "now"
+    assert env.now == 0.0

@@ -1,0 +1,24 @@
+"""Tests for sweep CSV export."""
+
+import csv
+
+from repro.experiments import SweepConfig, run_sweep
+from repro.workload import WorkloadConfig
+
+
+def test_to_csv_one_row_per_run(tmp_path):
+    cfg = SweepConfig(
+        base=WorkloadConfig(sim_time=400.0, p_switch=0.9),
+        t_switch_values=(100.0, 300.0),
+        seeds=(0, 1),
+        protocols=("BCS", "QBC"),
+    )
+    result = run_sweep(cfg)
+    path = tmp_path / "sweep.csv"
+    result.to_csv(path)
+    with open(path) as fh:
+        rows = list(csv.DictReader(fh))
+    assert len(rows) == 2 * 2 * 2  # points x seeds x protocols
+    assert {r["protocol"] for r in rows} == {"BCS", "QBC"}
+    assert all(int(r["n_total"]) >= 0 for r in rows)
+    assert {float(r["t_switch"]) for r in rows} == {100.0, 300.0}

@@ -1,0 +1,54 @@
+"""Tests for report formatting (repro.experiments.report)."""
+
+from repro.experiments import SweepConfig, gains_table, points_table, run_sweep
+from repro.experiments.report import overhead_table
+from repro.workload import WorkloadConfig
+
+
+def tiny_sweep():
+    return run_sweep(
+        SweepConfig(
+            base=WorkloadConfig(sim_time=600.0, p_switch=0.9),
+            t_switch_values=(200.0,),
+            seeds=(0,),
+        )
+    )
+
+
+def test_points_table_has_all_protocols_and_points():
+    result = tiny_sweep()
+    table = points_table(result)
+    assert "200" in table
+    for name in ("TP", "BCS", "QBC"):
+        assert name in table
+
+
+def test_gains_table_columns():
+    table = gains_table(tiny_sweep())
+    assert "BCS vs TP" in table
+    assert "QBC vs BCS" in table
+    assert "%" in table
+
+
+def test_gains_table_without_tp():
+    result = run_sweep(
+        SweepConfig(
+            base=WorkloadConfig(sim_time=400.0),
+            t_switch_values=(200.0,),
+            seeds=(0,),
+            protocols=("BCS", "QBC"),
+        )
+    )
+    table = gains_table(result)
+    assert "nan" in table  # TP columns degrade gracefully
+
+
+def test_overhead_table_formats_rows():
+    rows = [
+        dict(protocol="TP", n_total=100, piggyback_per_msg=20,
+             piggyback_ints=2000, control_messages=0),
+        dict(protocol="cl", n_total=50, control_messages=40),
+    ]
+    out = overhead_table(rows)
+    assert "TP" in out and "cl" in out
+    assert "2000" in out and "40" in out

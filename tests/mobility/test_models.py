@@ -1,0 +1,160 @@
+"""Unit tests for mobility models (repro.mobility)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.des import RandomStreams
+from repro.mobility import (
+    GraphWalkCellChooser,
+    MarkovCellChooser,
+    MoveKind,
+    PaperMobilityModel,
+    UniformCellChooser,
+    residence_means,
+    split_fast_slow,
+)
+from repro.mobility.models import make_cell_chooser
+
+
+# ---------------------------------------------------------------------------
+# heterogeneity
+# ---------------------------------------------------------------------------
+
+
+def test_split_fast_slow_fractions():
+    fast, slow = split_fast_slow(10, 0.3)
+    assert fast == [0, 1, 2]
+    assert slow == list(range(3, 10))
+    fast, slow = split_fast_slow(10, 0.0)
+    assert fast == [] and len(slow) == 10
+
+
+def test_split_validation():
+    with pytest.raises(ValueError):
+        split_fast_slow(10, 1.5)
+
+
+def test_residence_means_paper_factor():
+    means = residence_means(10, 1000.0, heterogeneity=0.5)
+    assert means[:5] == [100.0] * 5
+    assert means[5:] == [1000.0] * 5
+
+
+def test_residence_means_homogeneous():
+    assert residence_means(4, 500.0) == [500.0] * 4
+
+
+def test_residence_means_validation():
+    with pytest.raises(ValueError):
+        residence_means(4, -1.0)
+    with pytest.raises(ValueError):
+        residence_means(4, 100.0, fast_factor=0.5)
+
+
+# ---------------------------------------------------------------------------
+# paper mobility model
+# ---------------------------------------------------------------------------
+
+
+def test_decide_never_disconnects_at_pswitch_one():
+    model = PaperMobilityModel([100.0], p_switch=1.0)
+    rng = RandomStreams(1)
+    for _ in range(50):
+        assert model.decide(0, rng).kind is MoveKind.SWITCH
+
+
+def test_decide_always_disconnects_at_pswitch_zero():
+    model = PaperMobilityModel([100.0], p_switch=0.0, disconnect_mean=500.0)
+    rng = RandomStreams(1)
+    d = model.decide(0, rng)
+    assert d.kind is MoveKind.DISCONNECT
+    assert d.away_time > 0
+
+
+def test_residence_means_respected():
+    """Switch residences average T; disconnect residences average T/3."""
+    model = PaperMobilityModel([300.0], p_switch=0.5)
+    rng = RandomStreams(7)
+    switches, disconnects = [], []
+    for _ in range(3000):
+        d = model.decide(0, rng)
+        (switches if d.kind is MoveKind.SWITCH else disconnects).append(d.residence)
+    assert np.mean(switches) == pytest.approx(300.0, rel=0.15)
+    assert np.mean(disconnects) == pytest.approx(100.0, rel=0.15)
+
+
+def test_model_validation():
+    with pytest.raises(ValueError):
+        PaperMobilityModel([100.0], p_switch=1.5)
+    with pytest.raises(ValueError):
+        PaperMobilityModel([100.0], p_switch=0.5, disconnect_mean=0.0)
+    with pytest.raises(ValueError):
+        PaperMobilityModel([-1.0], p_switch=0.5)
+
+
+# ---------------------------------------------------------------------------
+# cell choosers
+# ---------------------------------------------------------------------------
+
+
+def test_uniform_chooser_excludes_current():
+    chooser = UniformCellChooser(5)
+    rng = RandomStreams(3)
+    picks = {chooser.next_cell(0, 2, rng) for _ in range(200)}
+    assert 2 not in picks
+    assert picks == {0, 1, 3, 4}
+
+
+def test_uniform_chooser_needs_two_cells():
+    with pytest.raises(ValueError):
+        UniformCellChooser(1)
+
+
+def test_graph_walk_respects_adjacency():
+    chooser = GraphWalkCellChooser(5)  # default: cycle graph
+    rng = RandomStreams(3)
+    picks = {chooser.next_cell(0, 0, rng) for _ in range(100)}
+    assert picks <= {1, 4}  # neighbours of 0 on a 5-cycle
+
+
+def test_graph_walk_validation():
+    disconnected = nx.Graph()
+    disconnected.add_nodes_from(range(4))
+    disconnected.add_edge(0, 1)
+    disconnected.add_edge(2, 3)
+    with pytest.raises(ValueError, match="connected"):
+        GraphWalkCellChooser(4, disconnected)
+    wrong_nodes = nx.path_graph(3)
+    with pytest.raises(ValueError, match="exactly"):
+        GraphWalkCellChooser(4, wrong_nodes)
+
+
+def test_markov_chooser_follows_matrix():
+    P = [
+        [0.0, 1.0, 0.0],
+        [0.5, 0.0, 0.5],
+        [1.0, 0.0, 0.0],
+    ]
+    chooser = MarkovCellChooser(P)
+    rng = RandomStreams(3)
+    assert all(chooser.next_cell(0, 0, rng) == 1 for _ in range(20))
+    assert all(chooser.next_cell(0, 2, rng) == 0 for _ in range(20))
+    picks = {chooser.next_cell(0, 1, rng) for _ in range(100)}
+    assert picks == {0, 2}
+
+
+def test_markov_validation():
+    with pytest.raises(ValueError, match="square"):
+        MarkovCellChooser([[0.0, 1.0]])
+    with pytest.raises(ValueError, match="diagonal"):
+        MarkovCellChooser([[0.5, 0.5], [1.0, 0.0]])
+    with pytest.raises(ValueError, match="probability"):
+        MarkovCellChooser([[0.0, 0.7], [1.0, 0.0]])
+
+
+def test_make_cell_chooser_factory():
+    assert isinstance(make_cell_chooser("uniform", 3), UniformCellChooser)
+    assert isinstance(make_cell_chooser("graph", 3), GraphWalkCellChooser)
+    with pytest.raises(ValueError):
+        make_cell_chooser("teleport", 3)

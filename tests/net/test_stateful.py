@@ -1,0 +1,124 @@
+"""Hypothesis stateful testing of the mobile network substrate.
+
+Drives a :class:`MobileSystem` through arbitrary interleavings of
+sends, cell switches, disconnections, reconnections and time advances,
+checking the registration/directory invariants after every step and --
+at teardown -- that every sent application message is delivered to its
+destination's inbox *exactly once* (the at-least-once channel plus
+duplicate suppression), no matter how the destination moved.
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+
+from repro.des import Environment, RandomStreams
+from repro.net import HostState, MobileSystem, NetworkParams
+
+N_HOSTS = 4
+N_MSS = 3
+
+
+class MobileSystemMachine(RuleBasedStateMachine):
+    @initialize(duplicates=st.booleans())
+    def setup(self, duplicates):
+        self.env = Environment()
+        self.system = MobileSystem(
+            self.env,
+            NetworkParams(
+                n_hosts=N_HOSTS,
+                n_mss=N_MSS,
+                duplicate_prob=0.5 if duplicates else 0.0,
+            ),
+            RandomStreams(0),
+        )
+        self.sent: list[int] = []  # msg ids in send order
+        self.consumed: list[int] = []
+
+    # ------------------------------------------------------------------
+    @rule(src=st.integers(0, N_HOSTS - 1), dst=st.integers(0, N_HOSTS - 1))
+    def send(self, src, dst):
+        if src == dst or not self.system.hosts[src].is_connected:
+            return
+        msg = self.system.send_application(src, dst, payload=len(self.sent))
+        self.sent.append(msg.msg_id)
+
+    @rule(host=st.integers(0, N_HOSTS - 1), cell=st.integers(0, N_MSS - 1))
+    def switch(self, host, cell):
+        h = self.system.hosts[host]
+        if not h.is_connected or h.mss_id == cell:
+            return
+        self.system.switch_cell(host, cell)
+
+    @rule(host=st.integers(0, N_HOSTS - 1))
+    def disconnect(self, host):
+        if self.system.hosts[host].is_connected:
+            self.system.disconnect(host)
+
+    @rule(host=st.integers(0, N_HOSTS - 1), cell=st.integers(0, N_MSS - 1))
+    def reconnect(self, host, cell):
+        if not self.system.hosts[host].is_connected:
+            self.system.reconnect(host, cell)
+
+    @rule()
+    def advance_time(self):
+        self.env.run(until=self.env.now + 0.05)
+
+    @rule(host=st.integers(0, N_HOSTS - 1))
+    def consume(self, host):
+        msg = self.system.hosts[host].try_receive()
+        if msg is not None:
+            self.consumed.append(msg.msg_id)
+
+    # ------------------------------------------------------------------
+    @invariant()
+    def registration_matches_connection_state(self):
+        if not hasattr(self, "system"):
+            return
+        for h in self.system.hosts:
+            if h.state is HostState.ACTIVE:
+                assert self.system.stations[h.mss_id].serves(h.host_id)
+                assert self.system.directory.locate(h.host_id) == h.mss_id
+            else:
+                assert all(
+                    not s.serves(h.host_id) for s in self.system.stations
+                )
+                assert self.system.directory.locate(h.host_id) is None
+                assert self.system.directory.buffering_mss(h.host_id) is not None
+
+    @invariant()
+    def each_host_registered_at_most_once(self):
+        if not hasattr(self, "system"):
+            return
+        for h in self.system.hosts:
+            serving = [s.mss_id for s in self.system.stations if s.serves(h.host_id)]
+            assert len(serving) <= 1
+
+    def teardown(self):
+        if not hasattr(self, "system"):
+            return
+        # Reconnect everyone and drain the network: every sent message
+        # must reach its destination inbox exactly once.
+        for h in self.system.hosts:
+            if not h.is_connected:
+                self.system.reconnect(h.host_id)
+        self.env.run()
+        for h in self.system.hosts:
+            while True:
+                msg = h.try_receive()
+                if msg is None:
+                    break
+                self.consumed.append(msg.msg_id)
+        assert sorted(self.consumed) == sorted(self.sent)
+        assert len(set(self.consumed)) == len(self.consumed)
+
+
+MobileSystemMachine.TestCase.settings = settings(
+    max_examples=40, stateful_step_count=30, deadline=None
+)
+TestMobileSystem = MobileSystemMachine.TestCase

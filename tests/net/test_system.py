@@ -1,0 +1,265 @@
+"""Integration-style unit tests for the mobile system (repro.net.system)."""
+
+import pytest
+
+from repro.des import Environment, RandomStreams
+from repro.net import MobileSystem, NetworkParams
+from repro.net.message import ControlKind
+
+
+def make_system(**kw):
+    env = Environment()
+    params = NetworkParams(**kw)
+    return env, MobileSystem(env, params, RandomStreams(1))
+
+
+# ---------------------------------------------------------------------------
+# parameter validation
+# ---------------------------------------------------------------------------
+
+
+def test_params_validation():
+    with pytest.raises(ValueError):
+        NetworkParams(n_hosts=1).validate()
+    with pytest.raises(ValueError):
+        NetworkParams(n_mss=0).validate()
+    with pytest.raises(ValueError):
+        NetworkParams(leg_latency=-0.1).validate()
+    with pytest.raises(ValueError):
+        NetworkParams(duplicate_prob=1.5).validate()
+
+
+def test_placement_round_robin_default():
+    assert NetworkParams(n_hosts=7, n_mss=3).placement() == [0, 1, 2, 0, 1, 2, 0]
+
+
+def test_placement_explicit_validated():
+    with pytest.raises(ValueError):
+        NetworkParams(n_hosts=3, n_mss=2, initial_placement=[0, 1]).placement()
+    with pytest.raises(ValueError):
+        NetworkParams(n_hosts=2, n_mss=2, initial_placement=[0, 5]).placement()
+
+
+# ---------------------------------------------------------------------------
+# routing and latency
+# ---------------------------------------------------------------------------
+
+
+def test_same_cell_delivery_takes_two_legs():
+    env, sys_ = make_system(n_hosts=2, n_mss=1, leg_latency=0.01)
+    sys_.send_application(0, 1, payload="hi")
+    env.run()
+    msg = sys_.hosts[1].try_receive()
+    assert msg.payload == "hi"
+    assert env.now == pytest.approx(0.02)  # wireless up + wireless down
+    assert msg.hops == 2
+
+
+def test_cross_cell_delivery_takes_three_legs():
+    env, sys_ = make_system(
+        n_hosts=2, n_mss=2, leg_latency=0.01, initial_placement=[0, 1]
+    )
+    sys_.send_application(0, 1)
+    env.run()
+    assert sys_.hosts[1].try_receive() is not None
+    assert env.now == pytest.approx(0.03)  # up + wired + down
+
+
+def test_send_to_self_rejected():
+    _, sys_ = make_system(n_hosts=2, n_mss=1)
+    with pytest.raises(ValueError):
+        sys_.send_application(0, 0)
+
+
+def test_disconnected_sender_rejected():
+    env, sys_ = make_system(n_hosts=2, n_mss=1)
+    sys_.disconnect(0)
+    with pytest.raises(RuntimeError):
+        sys_.send_application(0, 1)
+
+
+def test_fifo_delivery_between_pair():
+    env, sys_ = make_system(n_hosts=2, n_mss=1)
+    for i in range(5):
+        sys_.send_application(0, 1, payload=i)
+    env.run()
+    got = [sys_.hosts[1].try_receive().payload for _ in range(5)]
+    assert got == [0, 1, 2, 3, 4]
+
+
+def test_piggyback_travels_with_message():
+    env, sys_ = make_system(n_hosts=2, n_mss=1)
+    sys_.send_application(0, 1, piggyback={"sn": 7}, piggyback_ints=1)
+    env.run()
+    assert sys_.hosts[1].try_receive().piggyback == {"sn": 7}
+
+
+# ---------------------------------------------------------------------------
+# mobility: handoff
+# ---------------------------------------------------------------------------
+
+
+def test_switch_cell_updates_registration_and_directory():
+    env, sys_ = make_system(n_hosts=2, n_mss=3, initial_placement=[0, 1])
+    sys_.switch_cell(0, 2)
+    assert sys_.hosts[0].mss_id == 2
+    assert sys_.stations[2].serves(0) and not sys_.stations[0].serves(0)
+    assert sys_.directory.locate(0) == 2
+
+
+def test_switch_cell_sends_two_control_messages():
+    env, sys_ = make_system(n_hosts=2, n_mss=3, initial_placement=[0, 1])
+    before = sys_.control_message_count
+    sys_.switch_cell(0, 2)
+    assert sys_.control_message_count == before + 2
+
+
+def test_switch_to_same_cell_rejected():
+    _, sys_ = make_system(n_hosts=2, n_mss=2, initial_placement=[0, 1])
+    with pytest.raises(ValueError):
+        sys_.switch_cell(0, 0)
+
+
+def test_switch_while_disconnected_rejected():
+    _, sys_ = make_system(n_hosts=2, n_mss=2, initial_placement=[0, 1])
+    sys_.disconnect(0)
+    with pytest.raises(RuntimeError):
+        sys_.switch_cell(0, 1)
+
+
+def test_in_flight_message_forwarded_after_switch():
+    env, sys_ = make_system(
+        n_hosts=2, n_mss=3, leg_latency=0.01, initial_placement=[0, 1]
+    )
+    sys_.send_application(0, 1)
+    # Host 1 moves while the message is crossing the wired network.
+    env.call_later(0.015, lambda: sys_.switch_cell(1, 2))
+    env.run()
+    assert sys_.hosts[1].try_receive() is not None
+    assert sys_.directory.forward_count >= 1
+
+
+# ---------------------------------------------------------------------------
+# mobility: disconnection / reconnection
+# ---------------------------------------------------------------------------
+
+
+def test_disconnect_then_reconnect_roundtrip():
+    env, sys_ = make_system(n_hosts=2, n_mss=2, initial_placement=[0, 1])
+    sys_.disconnect(0)
+    assert not sys_.hosts[0].is_connected
+    assert sys_.directory.locate(0) is None
+    assert sys_.directory.buffering_mss(0) == 0
+    sys_.reconnect(0)
+    assert sys_.hosts[0].is_connected
+    assert sys_.directory.locate(0) == 0
+
+
+def test_double_disconnect_rejected():
+    _, sys_ = make_system(n_hosts=2, n_mss=1)
+    sys_.disconnect(0)
+    with pytest.raises(RuntimeError):
+        sys_.disconnect(0)
+
+
+def test_reconnect_while_connected_rejected():
+    _, sys_ = make_system(n_hosts=2, n_mss=1)
+    with pytest.raises(RuntimeError):
+        sys_.reconnect(0)
+
+
+def test_messages_buffered_during_disconnection_and_released():
+    env, sys_ = make_system(n_hosts=2, n_mss=2, initial_placement=[0, 1])
+    sys_.disconnect(1)
+    sys_.send_application(0, 1, payload="while away")
+    env.run()
+    assert sys_.hosts[1].try_receive() is None  # not delivered yet
+    assert sys_.stations[1].pending_for(1) == 1
+    sys_.reconnect(1)
+    env.run()
+    assert sys_.hosts[1].try_receive().payload == "while away"
+    assert sys_.stations[1].pending_for(1) == 0
+
+
+def test_reconnect_into_different_cell_gets_buffered_traffic():
+    env, sys_ = make_system(n_hosts=2, n_mss=3, initial_placement=[0, 1])
+    sys_.disconnect(1)
+    sys_.send_application(0, 1, payload="wired forward")
+    env.run()
+    sys_.reconnect(1, mss_id=2)
+    env.run()
+    assert sys_.hosts[1].try_receive().payload == "wired forward"
+
+
+def test_message_to_host_disconnecting_mid_flight_is_buffered():
+    env, sys_ = make_system(n_hosts=2, n_mss=1, leg_latency=0.01)
+    sys_.send_application(0, 1)
+    env.call_later(0.015, lambda: sys_.disconnect(1))
+    env.run()
+    assert sys_.hosts[1].try_receive() is None
+    assert sys_.stations[0].pending_for(1) == 1
+
+
+# ---------------------------------------------------------------------------
+# at-least-once semantics
+# ---------------------------------------------------------------------------
+
+
+def test_duplicates_are_suppressed_before_inbox():
+    env, sys_ = make_system(
+        n_hosts=2,
+        n_mss=2,
+        initial_placement=[0, 1],
+        duplicate_prob=0.9,
+    )
+    for _ in range(20):
+        sys_.send_application(0, 1)
+    env.run()
+    received = 0
+    while sys_.hosts[1].try_receive() is not None:
+        received += 1
+    assert received == 20  # exactly-once at the application layer
+    assert sys_.duplicates_suppressed > 0
+
+
+# ---------------------------------------------------------------------------
+# checkpoint storage integration
+# ---------------------------------------------------------------------------
+
+
+def test_store_checkpoint_lands_at_current_mss():
+    env, sys_ = make_system(n_hosts=2, n_mss=2, initial_placement=[0, 1])
+    rec = sys_.store_checkpoint(0, index=0, reason="basic")
+    assert sys_.stations[0].storage.get(0, 0) is rec
+    assert rec.reason == "basic"
+
+
+def test_incremental_checkpoint_fetches_base_across_mss():
+    env, sys_ = make_system(n_hosts=2, n_mss=2, initial_placement=[0, 1])
+    sys_.store_checkpoint(0, index=0, reason="basic")
+    sys_.switch_cell(0, 1)
+    sys_.store_checkpoint(0, index=1, reason="basic", incremental=True, base_index=0)
+    assert sys_.checkpoint_fetches == 1
+    # the base got migrated to the new MSS
+    assert sys_.stations[1].storage.get(0, 0) is not None
+    assert sys_.stations[1].storage.get(0, 1) is not None
+
+
+def test_incremental_checkpoint_no_fetch_when_base_local():
+    env, sys_ = make_system(n_hosts=2, n_mss=2, initial_placement=[0, 1])
+    sys_.store_checkpoint(0, index=0, reason="basic")
+    sys_.store_checkpoint(0, index=1, reason="forced", incremental=True, base_index=0)
+    assert sys_.checkpoint_fetches == 0
+
+
+def test_wireless_channel_counters_track_traffic():
+    env, sys_ = make_system(n_hosts=2, n_mss=1)
+    sys_.send_application(0, 1, piggyback_ints=3)
+    env.run()
+    stats = sys_.wireless[0].stats
+    assert stats.messages == 2  # up + down
+    assert stats.piggyback_ints == 6
+
+
+def test_control_kind_enum_covers_handoff_pair():
+    assert ControlKind.HANDOFF_LEAVE.value != ControlKind.HANDOFF_JOIN.value

@@ -1,0 +1,75 @@
+"""Tests for the protocol base machinery (repro.protocols.base)."""
+
+import pytest
+
+from repro.protocols import BCSProtocol, QBCProtocol, TwoPhaseProtocol, registry
+from repro.protocols.base import CheckpointingProtocol
+
+
+def test_registry_contains_replayable_protocols():
+    assert {"TP", "BCS", "QBC", "BQF", "UNC"} <= set(registry)
+    assert registry["BCS"] is BCSProtocol
+    assert registry["QBC"] is QBCProtocol
+
+
+def test_registry_names_match_classes():
+    for name, cls in registry.items():
+        assert cls.name == name
+
+
+def test_take_updates_counters_and_log():
+    p = CheckpointingProtocol(2)
+    p.take(0, 1, "basic", 5.0)
+    p.take(1, 1, "forced", 6.0)
+    p.take(0, 1, "basic", 7.0, replaced=True)
+    assert p.n_basic == 2
+    assert p.n_forced == 1
+    assert p.n_replaced == 1
+    assert p.n_total == 3
+    assert len(p.checkpoints_of(0)) == 2
+
+
+def test_storage_hook_receives_every_checkpoint():
+    p = CheckpointingProtocol(2)
+    calls = []
+    p.storage_hook = lambda host, index, reason, md: calls.append(
+        (host, index, reason)
+    )
+    p.take(0, 3, "forced", 1.0)
+    assert calls == [(0, 3, "forced")]
+
+
+def test_base_hooks_are_noops():
+    p = CheckpointingProtocol(2)
+    assert p.on_send(0, 1, 1.0) is None
+    p.on_receive(0, None, 1, 1.0)
+    p.on_cell_switch(0, 1.0, 1)
+    p.on_disconnect(0, 1.0)
+    p.on_reconnect(0, 1.0, 0)
+    assert p.n_total == 0
+    assert p.piggyback_ints == 0
+
+
+def test_base_recovery_line_not_implemented():
+    with pytest.raises(NotImplementedError):
+        CheckpointingProtocol(2).recovery_line_indices()
+
+
+def test_n_hosts_validation():
+    with pytest.raises(ValueError):
+        CheckpointingProtocol(0)
+
+
+def test_checkpoint_metadata_stored_on_record():
+    p = TwoPhaseProtocol(2)
+    p.on_cell_switch(0, 1.0, 1)
+    last = p.checkpoints[-1]
+    assert last.metadata is not None
+    assert last.metadata["ckpt_vec"][0] == last.index
+
+
+def test_initial_checkpoints_not_in_n_total():
+    for cls in (BCSProtocol, QBCProtocol, TwoPhaseProtocol):
+        p = cls(4)
+        assert len(p.checkpoints) == 4
+        assert p.n_total == 0

@@ -1,0 +1,117 @@
+"""Scripted-scenario tests transcribing the BCS pseudocode (paper 4.2)."""
+
+import pytest
+
+from repro.protocols import BCSProtocol
+
+
+def test_initial_state():
+    p = BCSProtocol(3)
+    assert p.sn == [0, 0, 0]
+    assert len(p.checkpoints) == 3
+    assert all(c.reason == "initial" and c.index == 0 for c in p.checkpoints)
+    assert p.n_total == 0  # initial checkpoints are not counted
+
+
+def test_piggyback_is_single_integer():
+    p = BCSProtocol(10)
+    assert p.piggyback_ints == 1
+    assert p.on_send(0, 1, now=1.0) == 0
+
+
+def test_receive_with_higher_sn_forces_checkpoint():
+    p = BCSProtocol(2)
+    p.sn[0] = 3  # pretend host 0 advanced
+    pg = p.on_send(0, 1, now=1.0)
+    assert pg == 3
+    p.on_receive(1, pg, src=0, now=2.0)
+    assert p.sn[1] == 3
+    assert p.n_forced == 1
+    forced = p.checkpoints[-1]
+    assert forced.host == 1 and forced.index == 3 and forced.reason == "forced"
+
+
+def test_receive_with_equal_or_lower_sn_no_checkpoint():
+    p = BCSProtocol(2)
+    p.on_receive(1, 0, src=0, now=1.0)  # equal
+    assert p.n_forced == 0
+    p.sn[1] = 5
+    p.on_receive(1, 2, src=0, now=2.0)  # lower
+    assert p.n_forced == 0
+    assert p.sn[1] == 5
+
+
+def test_cell_switch_increments_sn_and_takes_basic():
+    p = BCSProtocol(2)
+    p.on_cell_switch(0, now=10.0, new_cell=1)
+    assert p.sn[0] == 1
+    assert p.n_basic == 1
+    assert p.checkpoints[-1].index == 1
+
+
+def test_disconnect_increments_sn_and_takes_basic():
+    p = BCSProtocol(2)
+    p.on_disconnect(0, now=10.0)
+    assert p.sn[0] == 1
+    assert p.n_basic == 1
+
+
+def test_reconnect_takes_no_checkpoint():
+    p = BCSProtocol(2)
+    p.on_reconnect(0, now=10.0, cell=1)
+    assert p.n_total == 0
+
+
+def test_forced_cascade_through_chain():
+    """h0 switches (sn=1) -> h1 forced on receive -> h2 forced via h1."""
+    p = BCSProtocol(3)
+    p.on_cell_switch(0, 1.0, 1)
+    p.on_receive(1, p.on_send(0, 1, 2.0), src=0, now=3.0)
+    p.on_receive(2, p.on_send(1, 2, 4.0), src=1, now=5.0)
+    assert p.sn == [1, 1, 1]
+    assert p.n_forced == 2
+    assert p.n_basic == 1
+
+
+def test_jump_in_sequence_numbers():
+    """A host can jump several indices at once on a receive."""
+    p = BCSProtocol(2)
+    for _ in range(4):
+        p.on_cell_switch(0, 1.0, 1)
+    p.on_receive(1, p.on_send(0, 1, 2.0), src=0, now=3.0)
+    assert p.sn[1] == 4
+    assert p.n_forced == 1  # one checkpoint despite the jump of 4
+
+
+def test_recovery_line_simple():
+    p = BCSProtocol(3)
+    p.on_cell_switch(0, 1.0, 1)  # sn = [1, 0, 0]
+    line = p.recovery_line_indices()
+    assert line == {0: 0, 1: 0, 2: 0}  # min sn = 0, everyone has index 0
+
+
+def test_recovery_line_after_jump_uses_first_greater():
+    p = BCSProtocol(2)
+    # host 0: indices 0,1,2,3,4; host 1 jumps straight to 4.
+    for _ in range(4):
+        p.on_cell_switch(0, 1.0, 1)
+    p.on_receive(1, p.on_send(0, 1, 2.0), src=0, now=3.0)
+    p.on_cell_switch(1, 4.0, 1)  # host 1 now at sn 5
+    # min sn = 4 (host 0); host 1's first checkpoint >= 4 is its forced 4.
+    line = p.recovery_line_indices()
+    assert line == {0: 4, 1: 4}
+
+
+def test_basic_counts_accumulate_per_host():
+    p = BCSProtocol(2)
+    p.on_cell_switch(0, 1.0, 1)
+    p.on_disconnect(1, 2.0)
+    p.on_cell_switch(0, 3.0, 0)
+    assert p.sn == [2, 1]
+    assert p.n_basic == 3
+    assert len(p.checkpoints_of(0)) == 3  # initial + 2 basic
+
+
+def test_invalid_n_hosts():
+    with pytest.raises(ValueError):
+        BCSProtocol(0)

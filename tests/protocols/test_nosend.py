@@ -1,0 +1,102 @@
+"""Tests for the no-send skip-rule protocols (repro.protocols.nosend)."""
+
+import pytest
+
+from repro.core.replay import replay
+from repro.protocols import (
+    BCSProtocol,
+    NoSendBCSProtocol,
+    NoSendQBCProtocol,
+    QBCProtocol,
+)
+from repro.workload import WorkloadConfig, generate_trace
+
+
+def test_receive_without_prior_send_renames_instead_of_forcing():
+    p = NoSendBCSProtocol(2)
+    p.sn[0] = 3
+    pg = p.on_send(0, 1, 1.0)
+    p.on_receive(1, pg, src=0, now=2.0)
+    assert p.sn[1] == 3
+    assert p.n_forced == 0
+    assert p.n_renamed == 1
+    # the initial checkpoint now carries index 3
+    assert p.checkpoints_of(1)[-1].index == 3
+
+
+def test_receive_after_send_still_forces():
+    p = NoSendBCSProtocol(2)
+    p.sn[0] = 3
+    pg = p.on_send(0, 1, 1.0)
+    p.on_send(1, 0, 1.5)  # host 1 sent: skip rule does not apply
+    p.on_receive(1, pg, src=0, now=2.0)
+    assert p.n_forced == 1
+    assert p.n_renamed == 0
+
+
+def test_basic_checkpoint_resets_sent_flag():
+    p = NoSendBCSProtocol(2)
+    p.on_send(1, 0, 1.0)
+    p.on_cell_switch(1, 2.0, 1)  # checkpoint; interval has no sends now
+    p.sn[0] = 5
+    p.on_receive(1, p.on_send(0, 1, 3.0), src=0, now=4.0)
+    assert p.n_renamed == 1  # renamed, not forced
+
+
+def test_multiple_renames_keep_raising_the_index():
+    p = NoSendBCSProtocol(3)
+    p.sn[0] = 2
+    p.on_receive(2, p.on_send(0, 2, 1.0), src=0, now=2.0)
+    p.sn[1] = 7
+    p.on_receive(2, p.on_send(1, 2, 3.0), src=1, now=4.0)
+    assert p.n_renamed == 2
+    assert p.checkpoints_of(2)[-1].index == 7
+
+
+def test_rename_validation():
+    p = NoSendBCSProtocol(2)
+    with pytest.raises(ValueError, match="increase"):
+        p.rename_last(0, 0, 1.0)
+
+
+def test_rename_reported_to_storage_hook():
+    p = NoSendBCSProtocol(2)
+    events = []
+    p.storage_hook = lambda h, i, reason, md: events.append((h, i, reason))
+    p.sn[0] = 4
+    p.on_receive(1, p.on_send(0, 1, 1.0), src=0, now=2.0)
+    assert (1, 4, "rename") in events
+
+
+def test_qbc_ns_combines_both_rules():
+    p = NoSendQBCProtocol(2)
+    # basic with rn < sn: replacement (QBC side)
+    p.on_cell_switch(0, 1.0, 1)
+    assert p.checkpoints_of(0)[-1].replaced
+    # receive without prior send: rename (no-send side)
+    p.sn[1] = 6
+    p.on_receive(0, p.on_send(1, 0, 2.0), src=1, now=3.0)
+    assert p.n_renamed >= 1
+    assert p.rn[0] == 6 and p.sn[0] == 6
+
+
+def test_ns_variants_never_take_more_checkpoints_statistically():
+    """On paper workloads the skip rule strictly reduces N_tot."""
+    totals = {"BCS": 0, "BCS-NS": 0, "QBC": 0, "QBC-NS": 0}
+    for seed in range(3):
+        cfg = WorkloadConfig(
+            t_switch=300.0, p_switch=0.9, sim_time=3000.0, seed=seed
+        )
+        trace = generate_trace(cfg)
+        for cls in (BCSProtocol, NoSendBCSProtocol, QBCProtocol, NoSendQBCProtocol):
+            totals[cls.name] += replay(
+                trace, cls(cfg.n_hosts, cfg.n_mss)
+            ).n_total
+    assert totals["BCS-NS"] < totals["BCS"]
+    assert totals["QBC-NS"] <= totals["QBC"]
+    assert totals["QBC-NS"] <= totals["BCS-NS"]
+
+
+def test_piggyback_still_one_integer():
+    assert NoSendBCSProtocol(10).piggyback_ints == 1
+    assert NoSendQBCProtocol(10).piggyback_ints == 1

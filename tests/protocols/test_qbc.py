@@ -1,0 +1,123 @@
+"""Scripted-scenario tests transcribing the QBC pseudocode (paper 4.2)."""
+
+from repro.protocols import BCSProtocol, QBCProtocol
+
+
+def test_initial_state():
+    p = QBCProtocol(3)
+    assert p.sn == [0, 0, 0]
+    assert p.rn == [-1, -1, -1]
+    assert p.n_total == 0
+
+
+def test_piggyback_same_size_as_bcs():
+    """The optimisation adds no control information (paper Section 6)."""
+    assert QBCProtocol(10).piggyback_ints == BCSProtocol(10).piggyback_ints
+
+
+def test_receive_updates_rn():
+    p = QBCProtocol(2)
+    p.on_receive(1, 0, src=0, now=1.0)
+    assert p.rn[1] == 0
+    assert p.sn[1] == 0
+    assert p.n_forced == 0  # equal sn: no forced checkpoint
+
+
+def test_receive_higher_sn_forces_and_syncs_rn():
+    p = QBCProtocol(2)
+    p.sn[0] = 2
+    pg = p.on_send(0, 1, 1.0)
+    p.on_receive(1, pg, src=0, now=2.0)
+    assert p.rn[1] == 2 and p.sn[1] == 2
+    assert p.n_forced == 1
+
+
+def test_basic_checkpoint_replaces_when_rn_below_sn():
+    """The heart of QBC: a basic checkpoint with rn < sn keeps its index
+    and replaces its predecessor in the recovery line."""
+    p = QBCProtocol(2)
+    p.on_cell_switch(0, 1.0, 1)  # rn=-1 < sn=0 -> replaced at index 0
+    assert p.sn[0] == 0
+    assert p.n_basic == 1
+    assert p.checkpoints[-1].replaced
+    assert p.checkpoints[-1].index == 0
+    # again: still replaced, index still 0
+    p.on_cell_switch(0, 2.0, 0)
+    assert p.sn[0] == 0
+    assert p.checkpoints[-1].replaced
+
+
+def test_basic_checkpoint_increments_when_rn_equals_sn():
+    p = QBCProtocol(2)
+    p.on_receive(0, 0, src=1, now=1.0)  # rn -> 0 == sn
+    p.on_cell_switch(0, 2.0, 1)
+    assert p.sn[0] == 1
+    assert not p.checkpoints[-1].replaced
+
+
+def test_disconnect_uses_same_rule():
+    p = QBCProtocol(2)
+    p.on_disconnect(0, 1.0)
+    assert p.sn[0] == 0 and p.checkpoints[-1].replaced
+    p.on_receive(0, 0, src=1, now=2.0)
+    p.on_disconnect(0, 3.0)
+    assert p.sn[0] == 1 and not p.checkpoints[-1].replaced
+
+
+def test_rn_never_exceeds_sn():
+    p = QBCProtocol(3)
+    p.sn[0] = 4
+    p.on_receive(1, p.on_send(0, 1, 1.0), src=0, now=2.0)
+    assert p.rn[1] == 4 and p.sn[1] == 4
+    for host in range(3):
+        assert p.rn[host] <= p.sn[host]
+
+
+def test_sequence_numbers_grow_slower_than_bcs():
+    """On the same scripted schedule QBC's sn stays <= BCS's sn."""
+    script = [
+        ("switch", 0),
+        ("switch", 0),
+        ("msg", 0, 1),
+        ("switch", 1),
+        ("switch", 0),
+        ("msg", 1, 0),
+        ("switch", 1),
+        ("switch", 1),
+    ]
+    bcs, qbc = BCSProtocol(2), QBCProtocol(2)
+    t = 0.0
+    for proto in (bcs, qbc):
+        t = 0.0
+        for step in script:
+            t += 1.0
+            if step[0] == "switch":
+                proto.on_cell_switch(step[1], t, 1)
+            else:
+                _, src, dst = step
+                proto.on_receive(dst, proto.on_send(src, dst, t), src=src, now=t)
+    assert all(q <= b for q, b in zip(qbc.sn, bcs.sn))
+    assert qbc.n_forced <= bcs.n_forced
+    assert qbc.n_basic == bcs.n_basic  # basics are mandated, identical
+
+
+def test_forced_count_strictly_less_in_divergence_scenario():
+    """One fast host switching repeatedly without receiving: BCS drags
+    everyone upward, QBC does not (the paper's heterogeneity argument)."""
+    bcs, qbc = BCSProtocol(2), QBCProtocol(2)
+    for proto in (bcs, qbc):
+        t = 0.0
+        for _ in range(10):  # host 0 is fast: 10 switches
+            t += 1.0
+            proto.on_cell_switch(0, t, 1)
+        # now host 0 sends to host 1
+        proto.on_receive(1, proto.on_send(0, 1, t + 1), src=0, now=t + 2)
+    assert bcs.n_forced == 1 and bcs.sn[1] == 10
+    assert qbc.n_forced == 0 and qbc.sn[1] == 0  # host 0 never advanced
+
+
+def test_recovery_line_replaced_checkpoint_stands_in():
+    p = QBCProtocol(2)
+    p.on_cell_switch(0, 1.0, 1)  # replaced checkpoint at index 0
+    line = p.recovery_line_indices()
+    assert line == {0: 0, 1: 0}

@@ -1,0 +1,90 @@
+"""Direct unit tests for live protocol rollback (rollback_to)."""
+
+import pytest
+
+from repro.protocols import (
+    BCSProtocol,
+    NoSendQBCProtocol,
+    QBCProtocol,
+    TwoPhaseProtocol,
+    UncoordinatedProtocol,
+)
+
+
+def test_bcs_rollback_restores_sn():
+    p = BCSProtocol(2)
+    p.on_cell_switch(0, 1.0, 1)
+    p.on_cell_switch(0, 2.0, 0)
+    p.on_receive(1, p.on_send(0, 1, 3.0), src=0, now=4.0)
+    assert p.sn == [2, 2]
+    p.rollback_to({0: 1, 1: 0}, now=5.0)
+    assert p.sn == [1, 0]
+    # the checkpoint log is history: it stays
+    assert p.n_basic == 2 and p.n_forced == 1
+
+
+def test_qbc_rollback_restores_rn_from_metadata():
+    p = QBCProtocol(2)
+    p.on_receive(0, 0, src=1, now=1.0)  # rn0 = 0
+    p.on_cell_switch(0, 2.0, 1)  # rn == sn -> sn0 = 1
+    p.on_receive(1, p.on_send(0, 1, 3.0), src=0, now=4.0)  # h1 forced at 1
+    p.rollback_to({0: 1, 1: 1}, now=5.0)
+    assert p.sn == [1, 1]
+    # h0's index-1 checkpoint recorded rn=0; h1's forced one rn=1
+    assert p.rn == [0, 1]
+    assert all(r <= s for r, s in zip(p.rn, p.sn))
+
+
+def test_qbc_rollback_to_initial():
+    p = QBCProtocol(2)
+    p.on_receive(0, 0, src=1, now=1.0)
+    p.on_cell_switch(0, 2.0, 1)
+    p.rollback_to({0: 0, 1: 0}, now=3.0)
+    assert p.sn == [0, 0]
+    assert p.rn == [-1, -1]
+
+
+def test_tp_rollback_restores_vectors_and_phase():
+    p = TwoPhaseProtocol(2, n_mss=2)
+    p.on_cell_switch(0, 1.0, 1)  # C_{0,1}
+    p.on_receive(1, p.on_send(0, 1, 2.0), src=0, now=3.0)
+    p.on_cell_switch(1, 4.0, 0)  # C_{1,1} with CKPT_1[0] = 1
+    p.on_send(0, 1, 5.0)  # phase[0] = SEND
+    p.rollback_to({0: 1, 1: 1}, now=6.0)
+    from repro.protocols.tp import _RECV
+
+    assert p.phase == [_RECV, _RECV]
+    assert p.count == [2, 2]  # next checkpoint reuses index 2... onward
+    assert p.ckpt_vec[1][0] == 1  # restored from C_{1,1} metadata
+    assert p.ckpt_vec[0][1] == -1  # C_{0,1} knew nothing of h1
+
+
+def test_tp_rollback_missing_checkpoint_raises():
+    p = TwoPhaseProtocol(2)
+    with pytest.raises(ValueError, match="no checkpoint"):
+        p.rollback_to({0: 7, 1: 0}, now=1.0)
+
+
+def test_nosend_rollback_clears_sent_flag():
+    p = NoSendQBCProtocol(2)
+    p.on_send(0, 1, 1.0)
+    assert p.sent_since_ckpt[0]
+    p.rollback_to({0: 0, 1: 0}, now=2.0)
+    assert not p.sent_since_ckpt[0]
+    assert p.sn == [0, 0]
+    assert all(r <= s for r, s in zip(p.rn, p.sn))
+
+
+def test_nosend_rollback_to_renamed_checkpoint():
+    p = NoSendQBCProtocol(2)
+    p.sn[1] = 5
+    p.on_receive(0, p.on_send(1, 0, 1.0), src=1, now=2.0)  # rename to 5
+    assert p.n_renamed == 1
+    p.rollback_to({0: 5, 1: 5}, now=3.0)
+    assert p.sn[0] == 5
+    assert p.rn[0] <= 5
+
+
+def test_base_rollback_not_implemented():
+    with pytest.raises(NotImplementedError):
+        UncoordinatedProtocol(2).rollback_to({0: 0, 1: 0}, now=1.0)

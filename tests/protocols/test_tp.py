@@ -1,0 +1,156 @@
+"""Scripted-scenario tests transcribing the TP pseudocode (paper 4.1)."""
+
+import pytest
+
+from repro.protocols import TwoPhaseProtocol
+from repro.protocols.tp import _RECV, _SEND
+
+
+def test_initial_state_phase_recv():
+    p = TwoPhaseProtocol(3, n_mss=2)
+    assert p.phase == [_RECV] * 3
+    assert p.count == [1, 1, 1]  # initial checkpoint consumed index 0
+    assert p.n_total == 0
+
+
+def test_piggyback_two_vectors_of_n_ints():
+    p = TwoPhaseProtocol(10)
+    assert p.piggyback_ints == 20
+    ckpt, loc = p.on_send(0, 1, 1.0)
+    assert len(ckpt) == 10 and len(loc) == 10
+
+
+def test_send_sets_phase_send():
+    p = TwoPhaseProtocol(2)
+    p.on_send(0, 1, 1.0)
+    assert p.phase[0] == _SEND
+
+
+def test_receive_in_recv_phase_no_checkpoint():
+    p = TwoPhaseProtocol(2)
+    pg = p.on_send(0, 1, 1.0)
+    p.on_receive(1, pg, src=0, now=2.0)  # h1 never sent: phase RECV
+    assert p.n_forced == 0
+    assert p.phase[1] == _RECV
+
+
+def test_receive_in_send_phase_forces_checkpoint():
+    p = TwoPhaseProtocol(2)
+    pg0 = p.on_send(0, 1, 1.0)
+    p.on_send(1, 0, 1.5)  # h1 now in SEND phase
+    p.on_receive(1, pg0, src=0, now=2.0)
+    assert p.n_forced == 1
+    assert p.phase[1] == _RECV  # reset after the forced checkpoint
+    assert p.checkpoints[-1].host == 1
+
+
+def test_alternating_send_receive_forces_every_time():
+    p = TwoPhaseProtocol(2)
+    t = 0.0
+    for _ in range(5):
+        t += 1.0
+        pg = p.on_send(0, 1, t)
+        p.on_send(1, 0, t + 0.1)
+        p.on_receive(1, pg, src=0, now=t + 0.2)
+    assert p.n_forced == 5
+
+
+def test_basic_checkpoint_resets_phase():
+    """Model decision documented in the module: a basic checkpoint sits
+    between the send and the next receive, so no force is needed."""
+    p = TwoPhaseProtocol(2)
+    pg = p.on_send(0, 1, 1.0)
+    p.on_send(1, 0, 1.5)
+    p.on_cell_switch(1, 1.8, new_cell=0)  # basic checkpoint
+    p.on_receive(1, pg, src=0, now=2.0)
+    assert p.n_basic == 1
+    assert p.n_forced == 0
+
+
+def test_dependency_vectors_merge_on_receive():
+    p = TwoPhaseProtocol(3, n_mss=3)
+    # host 0 checkpoints twice -> its own entry reaches 2
+    p.on_cell_switch(0, 1.0, 2)
+    p.on_cell_switch(0, 2.0, 1)
+    pg = p.on_send(0, 1, 3.0)
+    p.on_receive(1, pg, src=0, now=4.0)
+    assert p.ckpt_vec[1][0] == 2  # learned host 0's latest checkpoint
+    assert p.loc_vec[1][0] == 1  # ... and where it is stored (cell 1)
+    # own entry untouched by merges
+    assert p.ckpt_vec[1][1] == 0
+
+
+def test_dependency_vectors_transitive():
+    p = TwoPhaseProtocol(3, n_mss=2)
+    p.on_cell_switch(0, 1.0, 1)
+    p.on_receive(1, p.on_send(0, 1, 2.0), src=0, now=3.0)
+    p.on_receive(2, p.on_send(1, 2, 4.0), src=1, now=5.0)
+    # host 2 learned about host 0 through host 1
+    assert p.ckpt_vec[2][0] == 1
+
+
+def test_merge_keeps_maximum():
+    p = TwoPhaseProtocol(2)
+    pg_old = p.on_send(0, 1, 1.0)  # carries ckpt_vec[0][0] = 0
+    p.on_cell_switch(0, 2.0, 1)
+    pg_new = p.on_send(0, 1, 3.0)  # carries ckpt_vec[0][0] = 1
+    p.on_receive(1, pg_new, src=0, now=4.0)
+    p.on_receive(1, pg_old, src=0, now=5.0)  # stale info must not regress
+    assert p.ckpt_vec[1][0] == 1
+
+
+def test_locate_pairs_index_and_mss():
+    p = TwoPhaseProtocol(2, n_mss=3, initial_cells=[2, 0])
+    pg = p.on_send(0, 1, 1.0)
+    p.on_receive(1, pg, src=0, now=2.0)
+    index, mss = p.locate(observer=1, target=0)
+    assert index == 0 and mss == 2
+
+
+def test_checkpoint_metadata_records_vectors():
+    p = TwoPhaseProtocol(2)
+    p.on_cell_switch(0, 1.0, 0)
+    # metadata flows through the storage hook
+    seen = {}
+    p.storage_hook = lambda host, index, reason, md: seen.update(md)
+    p.on_cell_switch(0, 2.0, 1)
+    assert "ckpt_vec" in seen and "loc_vec" in seen
+    assert seen["ckpt_vec"][0] == 2
+
+
+def test_no_global_index_rule():
+    p = TwoPhaseProtocol(2)
+    with pytest.raises(NotImplementedError):
+        p.recovery_line_indices()
+
+
+def test_required_indices_from_anchor_vectors():
+    p = TwoPhaseProtocol(3, n_mss=2)
+    p.on_cell_switch(0, 1.0, 1)  # h0 now at checkpoint index 1
+    p.on_receive(1, p.on_send(0, 1, 2.0), src=0, now=3.0)
+    p.on_cell_switch(1, 4.0, 0)  # h1 checkpoints, recording CKPT_1[0]=1
+    # anchor h1's latest checkpoint depends on h0's interval 1: h0 must
+    # contribute checkpoint index 2; h2 (no dependency, vec -1) index 0.
+    assert p.required_indices(1) == {0: 2, 2: 0}
+
+
+def test_required_indices_uses_checkpoint_time_vectors():
+    """Receives AFTER the anchor's last checkpoint are not covered by it
+    and must not raise the requirements."""
+    p = TwoPhaseProtocol(2)
+    p.on_cell_switch(1, 1.0, 1)  # h1's last checkpoint (index 1)
+    p.on_cell_switch(0, 2.0, 1)
+    p.on_receive(1, p.on_send(0, 1, 3.0), src=0, now=4.0)  # after C_{1,1}
+    assert p.required_indices(1) == {0: 0}  # not 2: the receive is uncovered
+
+
+def test_initial_cells_validation():
+    with pytest.raises(ValueError):
+        TwoPhaseProtocol(3, n_mss=2, initial_cells=[0, 1])
+
+
+def test_reconnect_updates_cell_tracking():
+    p = TwoPhaseProtocol(2, n_mss=3)
+    p.on_reconnect(0, 1.0, cell=2)
+    p.on_disconnect(0, 2.0)
+    assert p.loc_vec[0][0] == 2

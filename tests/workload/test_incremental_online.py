@@ -1,0 +1,89 @@
+"""End-to-end incremental checkpointing + bandwidth in the workload."""
+
+import pytest
+
+from repro.core.online import run_online
+from repro.protocols import BCSProtocol, NoSendBCSProtocol
+from repro.workload import WorkloadConfig
+
+
+def cfg(**kw):
+    defaults = dict(sim_time=1200.0, seed=5, t_switch=150.0, p_switch=0.9)
+    defaults.update(kw)
+    return WorkloadConfig(**defaults)
+
+
+def test_incremental_ships_fewer_bytes_than_full():
+    c_full = cfg()
+    c_inc = cfg(incremental_checkpointing=True)
+    full = run_online(c_full, BCSProtocol(10, 5))
+    inc = run_online(c_inc, BCSProtocol(10, 5))
+    assert inc.bytes_shipped > 0
+    assert inc.bytes_shipped < full.bytes_shipped
+
+
+def test_incremental_records_carry_real_sizes():
+    c = cfg(incremental_checkpointing=True, state_pages=32, page_bytes=1024)
+    result = run_online(c, BCSProtocol(10, 5))
+    records = [
+        r for s in result.system.stations for r in s.storage.all_records()
+    ]
+    sizes = {r.size_bytes for r in records}
+    assert max(sizes) <= 32 * 1024
+    # some deltas are smaller than the full snapshot
+    deltas = [r for r in records if r.incremental]
+    assert deltas
+    assert min(r.size_bytes for r in deltas) < 32 * 1024
+
+
+def test_handoff_triggers_base_fetches():
+    c = cfg(incremental_checkpointing=True, t_switch=60.0)
+    result = run_online(c, BCSProtocol(10, 5))
+    assert result.system.checkpoint_fetches > 0
+
+
+def test_finite_bandwidth_slows_hosts_down():
+    """With a slow wireless link, checkpoint transfers consume host time
+    and fewer application operations fit in the horizon."""
+    fast = run_online(cfg(), BCSProtocol(10, 5))
+    slow = run_online(
+        cfg(wireless_bandwidth=50_000.0),  # 256 KiB ckpt ~ 5 time units
+        BCSProtocol(10, 5),
+    )
+    assert slow.metrics.n_sends < fast.metrics.n_sends
+
+
+def test_bandwidth_with_incremental_cheaper_than_full():
+    inc = run_online(
+        cfg(incremental_checkpointing=True, wireless_bandwidth=50_000.0),
+        BCSProtocol(10, 5),
+    )
+    full = run_online(
+        cfg(wireless_bandwidth=50_000.0),
+        BCSProtocol(10, 5),
+    )
+    # smaller transfers -> less pause -> more application progress
+    assert inc.metrics.n_sends >= full.metrics.n_sends
+
+
+def test_rename_ships_zero_bytes():
+    c = cfg(incremental_checkpointing=True)
+    result = run_online(c, NoSendBCSProtocol(10, 5))
+    renames = [
+        r
+        for s in result.system.stations
+        for r in s.storage.all_records()
+        if r.reason == "rename"
+    ]
+    if result.protocol.n_renamed:
+        assert renames
+        assert all(r.size_bytes == 0 for r in renames)
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        cfg(wireless_bandwidth=0.0).validate()
+    with pytest.raises(ValueError):
+        cfg(state_pages=0).validate()
+    with pytest.raises(ValueError):
+        cfg(dirty_pages_per_op=-1).validate()

@@ -1,0 +1,70 @@
+"""Online runs persist checkpoints at the MSSs and can GC them."""
+
+import pytest
+
+from repro.core.online import run_online
+from repro.protocols import BCSProtocol, QBCProtocol, TwoPhaseProtocol
+from repro.workload import WorkloadConfig
+
+
+def cfg(**kw):
+    defaults = dict(sim_time=800.0, seed=4, t_switch=100.0, p_switch=0.9)
+    defaults.update(kw)
+    return WorkloadConfig(**defaults)
+
+
+def test_checkpoints_land_in_mss_storage():
+    c = cfg()
+    result = run_online(c, BCSProtocol(c.n_hosts, c.n_mss))
+    stored = sum(len(s.storage) for s in result.system.stations)
+    # every taken checkpoint is stored (initial + basic + forced)
+    assert stored == len(result.protocol.checkpoints)
+
+
+def test_qbc_replacements_overwrite_storage_records():
+    c = cfg()
+    result = run_online(c, QBCProtocol(c.n_hosts, c.n_mss))
+    stored = sum(len(s.storage) for s in result.system.stations)
+    # replaced checkpoints share (host, index) keys with their
+    # predecessors, so the stored count is smaller by the number of
+    # replacements... unless a replaced record landed on a different
+    # MSS after a handoff, in which case both copies exist.
+    assert stored <= len(result.protocol.checkpoints)
+    assert stored >= len(result.protocol.checkpoints) - result.protocol.n_replaced
+
+
+def test_tp_metadata_vectors_stored():
+    c = cfg(sim_time=300.0)
+    result = run_online(c, TwoPhaseProtocol(c.n_hosts, c.n_mss))
+    records = [
+        r
+        for s in result.system.stations
+        for r in s.storage.all_records()
+        if r.reason != "initial"
+    ]
+    assert records
+    assert all("ckpt_vec" in r.metadata for r in records)
+
+
+def test_online_gc_reclaims_old_records():
+    c = cfg(sim_time=2000.0, p_switch=1.0)
+    with_gc = run_online(c, BCSProtocol(c.n_hosts, c.n_mss), gc_interval=200.0)
+    without = run_online(c, BCSProtocol(c.n_hosts, c.n_mss))
+    stored_gc = sum(len(s.storage) for s in with_gc.system.stations)
+    stored_plain = sum(len(s.storage) for s in without.system.stations)
+    assert with_gc.gc_bytes_reclaimed > 0
+    assert stored_gc < stored_plain
+    # GC must not change protocol behaviour
+    assert with_gc.metrics.n_total == without.metrics.n_total
+
+
+def test_gc_requires_index_protocol():
+    c = cfg(sim_time=200.0)
+    with pytest.raises(ValueError, match="index-based"):
+        run_online(c, TwoPhaseProtocol(c.n_hosts, c.n_mss), gc_interval=100.0)
+
+
+def test_gc_interval_validation():
+    c = cfg(sim_time=200.0)
+    with pytest.raises(ValueError, match="gc_interval"):
+        run_online(c, BCSProtocol(c.n_hosts, c.n_mss), gc_interval=-1.0)
