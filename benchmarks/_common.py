@@ -13,6 +13,12 @@ Knobs (environment variables):
     Comma-separated seeds (default "0,1").
 ``REPRO_BENCH_TSWITCH``
     Comma-separated T_switch sweep (default "100,1000,10000").
+``REPRO_BENCH_WORKERS``
+    Process-pool width over (point, seed) tasks (default 0 = serial).
+``REPRO_BENCH_NO_CACHE``
+    Set to any non-empty value to bypass the content-addressed trace
+    cache (default: cache enabled; the disk tier follows
+    ``REPRO_TRACE_CACHE_DIR``).
 """
 
 from __future__ import annotations
@@ -37,6 +43,14 @@ def bench_t_switch() -> tuple[float, ...]:
     return tuple(float(s) for s in raw.split(","))
 
 
+def bench_workers() -> int:
+    return int(os.environ.get("REPRO_BENCH_WORKERS", "0"))
+
+
+def bench_use_cache() -> bool:
+    return not os.environ.get("REPRO_BENCH_NO_CACHE", "")
+
+
 def run_figure_bench(figure: int, benchmark) -> SweepResult:
     """Body shared by the six figure benchmarks."""
     result = benchmark.pedantic(
@@ -46,6 +60,8 @@ def run_figure_bench(figure: int, benchmark) -> SweepResult:
             sim_time=bench_sim_time(),
             seeds=bench_seeds(),
             t_switch_values=bench_t_switch(),
+            workers=bench_workers(),
+            use_cache=bench_use_cache(),
         ),
         rounds=1,
         iterations=1,

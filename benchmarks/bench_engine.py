@@ -3,14 +3,57 @@
 Not a paper experiment -- these guard the substrate's performance so the
 figure sweeps stay tractable (the whole methodology leans on cheap
 trace generation and cheaper replay).
+
+Besides the pytest-benchmark timings, the headline engine numbers
+(fused-replay speedup, trace-cache speedup) are appended to
+``BENCH_engine.json`` in the working directory so CI can archive the
+trend without parsing benchmark output.
 """
 
-from repro.core.replay import replay
+import json
+import os
+import time
+
+from repro.core.replay import replay, replay_fused
 from repro.des import Environment
+from repro.experiments.config import SweepConfig
+from repro.experiments.runner import run_sweep
 from repro.protocols import QBCProtocol
-from repro.workload import WorkloadConfig, generate_trace
+from repro.protocols.base import registry
+from repro.workload import TraceCache, WorkloadConfig, generate_trace
 
 N_EVENTS = 50_000
+
+#: The paper's three protocols, the fused engine's standard cargo.
+PAPER_PROTOCOLS = ("TP", "BCS", "QBC")
+
+BENCH_JSON = os.environ.get("REPRO_BENCH_ENGINE_JSON", "BENCH_engine.json")
+
+
+def _record(case: str, payload: dict) -> None:
+    """Merge one case's numbers into ``BENCH_engine.json``."""
+    data = {}
+    if os.path.exists(BENCH_JSON):
+        try:
+            with open(BENCH_JSON) as fh:
+                data = json.load(fh)
+        except (OSError, ValueError):
+            data = {}
+    data[case] = payload
+    with open(BENCH_JSON, "w") as fh:
+        json.dump(data, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def _best(fn, rounds: int):
+    """(best wall seconds, last return value) over *rounds* calls."""
+    best = float("inf")
+    value = None
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        value = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, value
 
 
 def _event_loop_throughput():
@@ -51,3 +94,110 @@ def test_replay_throughput(benchmark):
     total = benchmark.pedantic(run, rounds=5, iterations=1)
     benchmark.extra_info["trace_events"] = len(trace)
     benchmark.extra_info["n_total"] = total
+
+
+def test_fused_replay_speedup(benchmark):
+    """The sweep engine's core claim: one fused counters-only pass over
+    TP+BCS+QBC beats three sequential reference replays by >= 2x, with
+    identical N_tot / n_basic / n_forced."""
+    cfg = WorkloadConfig(sim_time=4000.0, seed=0)
+    trace = generate_trace(cfg)
+    trace.compiled()  # the sweep compiles once per trace; warm it here
+
+    def sequential():
+        return [
+            replay(trace, registry[name](cfg.n_hosts, cfg.n_mss))
+            for name in PAPER_PROTOCOLS
+        ]
+
+    def fused():
+        instances = []
+        for name in PAPER_PROTOCOLS:
+            protocol = registry[name](cfg.n_hosts, cfg.n_mss)
+            protocol.log_checkpoints = False
+            instances.append(protocol)
+        return replay_fused(trace, instances)
+
+    seq_time, seq_results = _best(sequential, rounds=7)
+    fused_time, fused_results = benchmark.pedantic(
+        lambda: _best(fused, rounds=7), rounds=1, iterations=1
+    )
+    for ref, fus in zip(seq_results, fused_results):
+        assert ref.metrics.stats.n_total == fus.metrics.stats.n_total
+        assert ref.metrics.stats.n_basic == fus.metrics.stats.n_basic
+        assert ref.metrics.stats.n_forced == fus.metrics.stats.n_forced
+    speedup = seq_time / fused_time
+    benchmark.extra_info["trace_events"] = len(trace)
+    benchmark.extra_info["sequential_ms"] = round(seq_time * 1e3, 2)
+    benchmark.extra_info["fused_ms"] = round(fused_time * 1e3, 2)
+    benchmark.extra_info["speedup"] = round(speedup, 2)
+    _record(
+        "fused_replay",
+        {
+            "trace_events": len(trace),
+            "sequential_ms": round(seq_time * 1e3, 2),
+            "fused_ms": round(fused_time * 1e3, 2),
+            "speedup": round(speedup, 2),
+        },
+    )
+    assert speedup >= 2.0, (
+        f"fused replay only {speedup:.2f}x faster than three sequential "
+        f"replays ({seq_time*1e3:.1f}ms vs {fused_time*1e3:.1f}ms)"
+    )
+
+
+def test_trace_cache_warm_vs_cold(benchmark, tmp_path):
+    """Warm (memory or disk) cache lookups must be far cheaper than
+    regeneration; a warm end-to-end sweep regenerates nothing."""
+    cfg = WorkloadConfig(sim_time=2000.0, seed=0)
+    cache = TraceCache(disk_dir=tmp_path)
+
+    cold_time, trace = _best(lambda: cache.get_or_generate(cfg), rounds=1)
+    warm_time, warm = benchmark.pedantic(
+        lambda: _best(lambda: cache.get_or_generate(cfg), rounds=5),
+        rounds=1,
+        iterations=1,
+    )
+    assert warm is trace  # memory tier serves the same object
+    assert cache.stats()["misses"] == 1
+
+    disk_cache = TraceCache(max_entries=0, disk_dir=tmp_path)
+    disk_time, disk_trace = _best(
+        lambda: disk_cache.get_or_generate(cfg), rounds=5
+    )
+    assert disk_cache.stats()["misses"] == 0
+    assert len(disk_trace) == len(trace)
+
+    sweep_base = WorkloadConfig(sim_time=1000.0)
+    sweep_cfg = SweepConfig(
+        base=sweep_base,
+        t_switch_values=(300.0, 1000.0),
+        seeds=(0, 1),
+        workers=0,
+        use_cache=True,
+        cache_dir=str(tmp_path),
+    )
+    sweep_cold, cold_result = _best(lambda: run_sweep(sweep_cfg), rounds=1)
+    sweep_warm, warm_result = _best(lambda: run_sweep(sweep_cfg), rounds=3)
+    assert [p.runs for p in warm_result.points] == [
+        p.runs for p in cold_result.points
+    ]
+
+    payload = {
+        "generate_ms": round(cold_time * 1e3, 2),
+        "memory_hit_ms": round(warm_time * 1e3, 4),
+        "disk_hit_ms": round(disk_time * 1e3, 2),
+        "sweep_cold_ms": round(sweep_cold * 1e3, 2),
+        "sweep_warm_ms": round(sweep_warm * 1e3, 2),
+        "sweep_speedup": round(sweep_cold / sweep_warm, 2),
+    }
+    benchmark.extra_info.update(payload)
+    _record("trace_cache", payload)
+    assert warm_time < cold_time / 10, (
+        f"memory hit ({warm_time*1e3:.2f}ms) should be >10x cheaper than "
+        f"generation ({cold_time*1e3:.1f}ms)"
+    )
+    assert sweep_warm < sweep_cold, (
+        f"warm sweep ({sweep_warm*1e3:.1f}ms) not faster than cold "
+        f"({sweep_cold*1e3:.1f}ms)"
+    )

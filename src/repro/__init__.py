@@ -23,9 +23,10 @@ paper-vs-measured record.
 """
 
 from repro.core.metrics import CheckpointStats, ProtocolRunMetrics, gain_percent
-from repro.core.replay import ReplayResult, replay, replay_many
+from repro.core.replay import ReplayResult, replay, replay_fused, replay_many
 from repro.core.trace import EventType, Trace, TraceEvent
 from repro.experiments.figures import run_figure
+from repro.workload.cache import TraceCache, config_key, shared_cache
 from repro.workload.config import WorkloadConfig
 from repro.workload.driver import OnlineResult, generate_trace, run_online
 
@@ -38,13 +39,17 @@ __all__ = [
     "ProtocolRunMetrics",
     "ReplayResult",
     "Trace",
+    "TraceCache",
     "TraceEvent",
     "WorkloadConfig",
     "__version__",
+    "config_key",
     "gain_percent",
     "generate_trace",
     "replay",
+    "replay_fused",
     "replay_many",
     "run_figure",
     "run_online",
+    "shared_cache",
 ]

@@ -56,6 +56,9 @@ def _cmd_figure(args) -> int:
         sim_time=args.sim_time,
         seeds=tuple(args.seeds),
         t_switch_values=tuple(args.sweep),
+        workers=args.workers,
+        use_cache=not args.no_cache,
+        cache_dir=args.cache_dir,
     )
     print(figure_report(result, figure=args.number))
     report = validate_figure(result, spread_tolerance=args.spread_tolerance)
@@ -182,6 +185,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--sweep", type=float, nargs="+", default=[100.0, 1000.0, 10000.0]
     )
     p.add_argument("--spread-tolerance", type=float, default=0.5)
+    p.add_argument(
+        "--workers", type=int, default=0,
+        help="process-pool width over (point, seed) tasks; 0 = serial",
+    )
+    p.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the content-addressed trace cache",
+    )
+    p.add_argument(
+        "--cache-dir", default=None,
+        help="directory of the persistent on-disk trace store "
+        "(default: REPRO_TRACE_CACHE_DIR or memory-only)",
+    )
     p.set_defaults(fn=_cmd_figure)
 
     p = sub.add_parser("compare", help="all protocols on one workload")

@@ -4,6 +4,8 @@
   mobile computation (sends/receives/cell switches/disconnections).
 * :mod:`repro.core.replay` -- deterministic trace-driven evaluation of a
   checkpointing protocol; the paper's common-random-numbers comparison.
+* :mod:`repro.core.compiled` -- structure-of-arrays trace lowering that
+  feeds the fused multi-protocol replay engine.
 * :mod:`repro.core.online` -- in-simulation protocol execution, needed
   for non-negligible checkpoint latency and coordinated baselines.
 * :mod:`repro.core.consistency` -- happens-before, orphan detection and
@@ -34,14 +36,16 @@ from repro.core.recovery import (
     minimal_rollback,
     protocol_line_rollback,
 )
+from repro.core.compiled import CompiledTrace, compile_trace
 from repro.core.recovery_online import RecoveryPlan, plan_recovery
-from repro.core.replay import ReplayResult, replay
+from repro.core.replay import ReplayResult, replay, replay_fused, replay_many
 from repro.core.trace import EventType, Trace, TraceEvent
 from repro.core.trace_io import load_trace, save_trace
 
 __all__ = [
     "CausalOrder",
     "CheckpointStats",
+    "CompiledTrace",
     "EventType",
     "ProtocolRunMetrics",
     "ReplayResult",
@@ -51,6 +55,7 @@ __all__ = [
     "RecoveryOutcome",
     "RecoveryPlan",
     "build_recovery_line",
+    "compile_trace",
     "find_orphans",
     "is_consistent",
     "load_trace",
@@ -59,6 +64,8 @@ __all__ = [
     "plan_recovery",
     "protocol_line_rollback",
     "replay",
+    "replay_fused",
+    "replay_many",
     "run_with_failures",
     "save_trace",
 ]

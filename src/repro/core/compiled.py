@@ -1,0 +1,145 @@
+"""Compiled traces: structure-of-arrays form of a :class:`Trace`.
+
+Replay spends most of its time decoding :class:`TraceEvent` objects --
+five attribute loads and an ``IntEnum`` comparison per event, repeated
+once per protocol under :func:`repro.core.replay.replay`.  Compiling a
+trace lowers the event list into parallel plain-``int``/``float``
+columns once, so the fused replay engine
+(:func:`repro.core.replay.replay_fused`) streams tuples out of a single
+``zip`` instead of touching dataclass instances.
+
+Compilation also resolves message identity ahead of time: every SEND is
+assigned a dense *slot* (its ordinal among sends) and every RECEIVE
+carries the slot of its matching SEND, so replay needs no per-message
+hash table -- the in-flight piggyback store becomes a flat list indexed
+by slot.  The matching is validated while building the mapping
+(unmatched or double-consumed receives raise :class:`TraceError`).
+
+A compiled trace is a pure read-only view: it never mutates the source
+trace, and :meth:`Trace.compiled` caches it per trace instance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.trace import EventType, Trace, TraceError
+
+#: Event-type codes as plain ints (hot loops compare against these
+#: instead of the IntEnum members).
+SEND = int(EventType.SEND)
+RECEIVE = int(EventType.RECEIVE)
+CELL_SWITCH = int(EventType.CELL_SWITCH)
+DISCONNECT = int(EventType.DISCONNECT)
+RECONNECT = int(EventType.RECONNECT)
+INTERNAL = int(EventType.INTERNAL)
+
+
+@dataclass(slots=True, frozen=True)
+class CompiledTrace:
+    """Column-oriented view of one trace.
+
+    All columns have ``n_events`` entries and hold plain ints/floats
+    (no enums, no dataclasses).  ``slot`` is the dense send ordinal for
+    SEND events, the matching send's ordinal for RECEIVE events and -1
+    otherwise; ``peer`` already names the original *sender* for RECEIVE
+    events (the trace invariant), so replay needs no in-flight lookup
+    at all.
+
+    ``argv`` packs each event's hook arguments into one ready-made
+    tuple, so the fused engine dispatches with ``hook(*args)`` instead
+    of assembling arguments per protocol per event:
+
+    * SEND / RECEIVE: ``(host, peer, time)`` -- the send hook takes it
+      verbatim; the receive hook splices the piggyback in between.
+    * CELL_SWITCH / RECONNECT: ``(host, time, cell)``.
+    * DISCONNECT: ``(host, time)``.
+    * INTERNAL: ``()`` (no protocol action).
+    """
+
+    n_hosts: int
+    n_mss: int
+    sim_time: float
+    n_events: int
+    n_sends: int
+    n_receives: int
+    etype: list[int]
+    time: list[float]
+    host: list[int]
+    msg_id: list[int]
+    peer: list[int]
+    cell: list[int]
+    slot: list[int]
+    argv: list[tuple]
+
+    def __len__(self) -> int:
+        return self.n_events
+
+
+def compile_trace(trace: Trace) -> CompiledTrace:
+    """Lower *trace* into :class:`CompiledTrace` columns.
+
+    Raises
+    ------
+    TraceError
+        On a receive whose send is missing or already consumed -- the
+        same conditions :meth:`Trace.validate` rejects, caught here so
+        an uncompilable trace never reaches the hot loop.
+    """
+    n = len(trace.events)
+    etype: list[int] = [0] * n
+    time: list[float] = [0.0] * n
+    host: list[int] = [0] * n
+    msg_id: list[int] = [0] * n
+    peer: list[int] = [0] * n
+    cell: list[int] = [0] * n
+    slot: list[int] = [-1] * n
+    argv: list[tuple] = [()] * n
+    open_sends: dict[int, int] = {}
+    n_sends = 0
+    n_receives = 0
+    for i, ev in enumerate(trace.events):
+        et = int(ev.etype)
+        etype[i] = et
+        time[i] = ev.time
+        host[i] = ev.host
+        msg_id[i] = ev.msg_id
+        peer[i] = ev.peer
+        cell[i] = ev.cell
+        if et == SEND:
+            if ev.msg_id in open_sends:
+                raise TraceError(f"duplicate send of msg {ev.msg_id}")
+            open_sends[ev.msg_id] = n_sends
+            slot[i] = n_sends
+            n_sends += 1
+            argv[i] = (ev.host, ev.peer, ev.time)
+        elif et == RECEIVE:
+            try:
+                slot[i] = open_sends.pop(ev.msg_id)
+            except KeyError:
+                raise TraceError(
+                    f"receive of msg {ev.msg_id} that was never sent or "
+                    "was already consumed (validate() the trace first)"
+                ) from None
+            n_receives += 1
+            argv[i] = (ev.host, ev.peer, ev.time)
+        elif et == DISCONNECT:
+            argv[i] = (ev.host, ev.time)
+        elif et != INTERNAL:  # CELL_SWITCH / RECONNECT
+            argv[i] = (ev.host, ev.time, ev.cell)
+    return CompiledTrace(
+        n_hosts=trace.n_hosts,
+        n_mss=trace.n_mss,
+        sim_time=trace.sim_time,
+        n_events=n,
+        n_sends=n_sends,
+        n_receives=n_receives,
+        etype=etype,
+        time=time,
+        host=host,
+        msg_id=msg_id,
+        peer=peer,
+        cell=cell,
+        slot=slot,
+        argv=argv,
+    )

@@ -22,25 +22,21 @@ class CheckpointStats:
     @property
     def n_total(self) -> int:
         """The paper's N_tot (initial checkpoints excluded)."""
-        """The paper's N_tot (initial checkpoints excluded)."""
         return self.n_basic + self.n_forced
 
     @classmethod
     def from_protocol(cls, protocol: "CheckpointingProtocol") -> "CheckpointStats":
-        """Aggregate the counters of a finished protocol run."""
-        per_host: dict[int, int] = {h: 0 for h in range(protocol.n_hosts)}
-        n_initial = 0
-        for ck in protocol.checkpoints:
-            if ck.reason == "initial":
-                n_initial += 1
-            else:
-                per_host[ck.host] += 1
+        """Aggregate the counters of a finished protocol run.
+
+        Reads the counters :meth:`CheckpointingProtocol.take` maintains
+        incrementally -- O(n_hosts), never rescanning the checkpoint log.
+        """
         return cls(
             n_basic=protocol.n_basic,
             n_forced=protocol.n_forced,
-            n_initial=n_initial,
+            n_initial=protocol.n_initial,
             n_replaced=protocol.n_replaced,
-            per_host_total=per_host,
+            per_host_total=dict(enumerate(protocol.per_host_total)),
         )
 
 

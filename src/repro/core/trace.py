@@ -88,6 +88,27 @@ class Trace:
         return iter(self.events)
 
     # ------------------------------------------------------------------
+    def compiled(self):
+        """Structure-of-arrays view of this trace, compiled lazily and
+        cached on the instance (see :mod:`repro.core.compiled`).
+
+        The cache is keyed on ``len(self.events)``: appending events
+        triggers a recompile, but in-place event *replacement* (which
+        nothing in the codebase does -- traces are effectively frozen
+        once generated) would go unnoticed.
+        """
+        from repro.core.compiled import CompiledTrace, compile_trace
+
+        cached: Optional[tuple[int, CompiledTrace]] = getattr(
+            self, "_compiled_cache", None
+        )
+        if cached is not None and cached[0] == len(self.events):
+            return cached[1]
+        compiled = compile_trace(self)
+        self._compiled_cache = (len(self.events), compiled)
+        return compiled
+
+    # ------------------------------------------------------------------
     def validate(self) -> "Trace":
         """Check structural invariants; return self (chainable).
 

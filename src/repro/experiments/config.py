@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Optional, Sequence
 
 from repro.workload.config import WorkloadConfig
 from repro.workload.scenarios import T_SWITCH_SWEEP
@@ -29,7 +29,16 @@ class SweepConfig:
         One run per seed per point; results are averaged and the
         within-4% agreement is checked.
     workers:
-        Process-pool width for the sweep; 0/1 = run serially.
+        Process-pool width for the sweep; 0/1 = run serially.  The pool
+        fans out over (point, seed) tasks, so it scales past the number
+        of points.
+    use_cache:
+        Serve traces from the content-addressed cache
+        (:mod:`repro.workload.cache`) instead of regenerating them.
+    cache_dir:
+        Directory of the persistent on-disk trace store; None = memory
+        tier only (or the ``REPRO_TRACE_CACHE_DIR`` environment
+        variable when set).
     """
 
     base: WorkloadConfig = field(default_factory=WorkloadConfig)
@@ -37,6 +46,8 @@ class SweepConfig:
     protocols: Sequence[str] = DEFAULT_PROTOCOLS
     seeds: Sequence[int] = (0, 1, 2)
     workers: int = 0
+    use_cache: bool = True
+    cache_dir: Optional[str] = None
 
     def validate(self) -> "SweepConfig":
         """Check the sweep parameters; returns self (chainable)."""

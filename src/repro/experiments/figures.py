@@ -43,6 +43,8 @@ def figure_sweep_config(
     t_switch_values: Sequence[float] = T_SWITCH_SWEEP,
     protocols: Sequence[str] = DEFAULT_PROTOCOLS,
     workers: int = 0,
+    use_cache: bool = True,
+    cache_dir: Optional[str] = None,
 ) -> SweepConfig:
     """Sweep configuration reproducing one paper figure.
 
@@ -65,6 +67,8 @@ def figure_sweep_config(
         protocols=tuple(protocols),
         seeds=tuple(seeds),
         workers=workers,
+        use_cache=use_cache,
+        cache_dir=cache_dir,
     ).validate()
 
 
@@ -74,6 +78,8 @@ def run_figure(
     seeds: Sequence[int] = (0, 1, 2),
     t_switch_values: Optional[Sequence[float]] = None,
     workers: int = 0,
+    use_cache: bool = True,
+    cache_dir: Optional[str] = None,
 ) -> SweepResult:
     """Run one paper figure end to end and return the sweep result."""
     cfg = figure_sweep_config(
@@ -82,5 +88,7 @@ def run_figure(
         seeds=seeds,
         t_switch_values=tuple(t_switch_values or T_SWITCH_SWEEP),
         workers=workers,
+        use_cache=use_cache,
+        cache_dir=cache_dir,
     )
     return run_sweep(cfg)

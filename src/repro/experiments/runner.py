@@ -1,24 +1,42 @@
 """Sweep execution.
 
-One *point* = one ``t_switch`` value: generate one trace per seed, then
-replay every protocol over each trace (the paper's common-random-numbers
-comparison -- all protocols see identical schedules).  A *sweep* runs
-all points of a figure, optionally fanned out over a process pool
-(trace generation dominates the cost and parallelises embarrassingly).
+One *task* = one ``(t_switch, seed)`` pair: fetch that pair's trace
+(from the content-addressed cache, else generate it), then drive every
+protocol over it in a single fused replay pass (the paper's
+common-random-numbers comparison -- all protocols see identical
+schedules).  A *point* aggregates the tasks of one ``t_switch`` value;
+a *sweep* runs all points of a figure.
+
+Parallelism is (point, seed)-granular: a figure with 7 points and 3
+seeds exposes 21 independent tasks, so the pool scales past the number
+of points and the slowest point no longer serializes its seeds.  The
+pool is persistent across sweeps within a process (spawning workers
+costs more than a small sweep), tasks stream back via
+``imap_unordered``, and results are reassembled deterministically --
+points in config order, runs seed-major then protocol -- so the output
+is bit-identical to the serial path.
+
+Protocol instances run in counters-only mode
+(``log_checkpoints = False``): figure curves need nothing but counts,
+and skipping the checkpoint log makes the replay several times faster
+(see docs/simulation-model.md, "Performance architecture").
 """
 
 from __future__ import annotations
 
+import atexit
+import csv
 from dataclasses import dataclass, field
 from multiprocessing import get_context
-from typing import Sequence
+from typing import Optional, Sequence
 
 from repro.analysis.stats import SampleSummary, summarize
-from repro.core.replay import replay
+from repro.core.replay import replay_fused
 from repro.experiments.config import SweepConfig
 from repro.protocols.base import registry
+from repro.workload.cache import shared_cache
 from repro.workload.config import WorkloadConfig
-from repro.workload.driver import generate_trace
+from repro.workload import driver as _driver
 
 
 @dataclass(slots=True)
@@ -33,6 +51,34 @@ class RunOutcome:
     n_replaced: int
     n_sends: int
     piggyback_ints: int
+
+    def as_row(self, t_switch: float) -> dict:
+        """This run as one CSV row dict (see ``CSV_FIELDS``)."""
+        return {
+            "t_switch": t_switch,
+            "seed": self.seed,
+            "protocol": self.protocol,
+            "n_total": self.n_total,
+            "n_basic": self.n_basic,
+            "n_forced": self.n_forced,
+            "n_replaced": self.n_replaced,
+            "n_sends": self.n_sends,
+            "piggyback_ints": self.piggyback_ints,
+        }
+
+
+#: Column order of :meth:`SweepResult.to_csv` rows.
+CSV_FIELDS = (
+    "t_switch",
+    "seed",
+    "protocol",
+    "n_total",
+    "n_basic",
+    "n_forced",
+    "n_replaced",
+    "n_sends",
+    "piggyback_ints",
+)
 
 
 @dataclass(slots=True)
@@ -73,91 +119,150 @@ class SweepResult:
     def to_csv(self, path) -> None:
         """Write every run's raw counts as CSV (one row per
         (t_switch, seed, protocol)) for downstream plotting."""
-        import csv
-
-        fields = [
-            "t_switch",
-            "seed",
-            "protocol",
-            "n_total",
-            "n_basic",
-            "n_forced",
-            "n_replaced",
-            "n_sends",
-            "piggyback_ints",
-        ]
         with open(path, "w", newline="") as fh:
-            writer = csv.DictWriter(fh, fieldnames=fields)
+            writer = csv.DictWriter(fh, fieldnames=list(CSV_FIELDS))
             writer.writeheader()
             for point in self.points:
                 for run in point.runs:
-                    writer.writerow(
-                        {
-                            "t_switch": point.t_switch,
-                            "seed": run.seed,
-                            "protocol": run.protocol,
-                            "n_total": run.n_total,
-                            "n_basic": run.n_basic,
-                            "n_forced": run.n_forced,
-                            "n_replaced": run.n_replaced,
-                            "n_sends": run.n_sends,
-                            "piggyback_ints": run.piggyback_ints,
-                        }
-                    )
+                    writer.writerow(run.as_row(point.t_switch))
 
 
-def _evaluate_point(
+def _evaluate_task(
     base: WorkloadConfig,
     t_switch: float,
-    seeds: Sequence[int],
+    seed: int,
     protocols: Sequence[str],
-) -> PointResult:
-    """Worker body: one point, all seeds, all protocols."""
-    point = PointResult(t_switch=t_switch)
-    for seed in seeds:
-        cfg = base.with_(t_switch=t_switch, seed=seed)
-        trace = generate_trace(cfg)
-        for name in protocols:
-            protocol = registry[name](cfg.n_hosts, cfg.n_mss)
-            result = replay(trace, protocol, seed=seed)
-            stats = result.metrics.stats
-            point.runs.append(
-                RunOutcome(
-                    seed=seed,
-                    protocol=name,
-                    n_total=stats.n_total,
-                    n_basic=stats.n_basic,
-                    n_forced=stats.n_forced,
-                    n_replaced=stats.n_replaced,
-                    n_sends=result.metrics.n_sends,
-                    piggyback_ints=result.metrics.piggyback_ints_total,
-                )
+    use_cache: bool,
+    cache_dir: Optional[str],
+) -> tuple[float, int, list[RunOutcome]]:
+    """Worker body: one (point, seed) pair, all protocols, one fused
+    replay pass over one trace."""
+    cfg = base.with_(t_switch=t_switch, seed=seed)
+    if use_cache:
+        trace = shared_cache(cache_dir).get_or_generate(cfg)
+    else:
+        # Through the module so monkeypatched generators are observed.
+        trace = _driver.generate_trace(cfg)
+    instances = []
+    for name in protocols:
+        protocol = registry[name](cfg.n_hosts, cfg.n_mss)
+        protocol.log_checkpoints = False  # counters are all a sweep needs
+        instances.append(protocol)
+    runs = []
+    for name, result in zip(protocols, replay_fused(trace, instances, seed=seed)):
+        stats = result.metrics.stats
+        runs.append(
+            RunOutcome(
+                seed=seed,
+                protocol=name,
+                n_total=stats.n_total,
+                n_basic=stats.n_basic,
+                n_forced=stats.n_forced,
+                n_replaced=stats.n_replaced,
+                n_sends=result.metrics.n_sends,
+                piggyback_ints=result.metrics.piggyback_ints_total,
             )
+        )
+    return t_switch, seed, runs
+
+
+def _pool_task(args: tuple):  # pragma: no cover - subprocess
+    """Picklable pool entry: run one task, echo its position back."""
+    index, task = args
+    return index, _evaluate_task(*task)
+
+
+#: Persistent worker pool, reused across sweeps in this process.
+_pool = None
+_pool_size = 0
+
+
+def _get_pool(workers: int):
+    """Return the process pool, recreating it when the width changes."""
+    global _pool, _pool_size
+    if _pool is not None and _pool_size != workers:
+        shutdown_pool()
+    if _pool is None:
+        _pool = get_context("spawn").Pool(workers)
+        _pool_size = workers
+    return _pool
+
+
+def shutdown_pool() -> None:
+    """Terminate the persistent sweep pool (no-op when none exists)."""
+    global _pool, _pool_size
+    if _pool is not None:
+        _pool.terminate()
+        _pool.join()
+        _pool = None
+        _pool_size = 0
+
+
+atexit.register(shutdown_pool)
+
+
+def _assemble(
+    config: SweepConfig,
+    outcomes: Sequence[tuple[float, int, list[RunOutcome]]],
+) -> SweepResult:
+    """Deterministic reassembly: points follow ``t_switch_values``
+    order and each point's runs are seed-major in ``seeds`` order,
+    regardless of task completion order."""
+    by_key = {(t, seed): runs for t, seed, runs in outcomes}
+    points = []
+    for t in config.t_switch_values:
+        point = PointResult(t_switch=t)
+        for seed in config.seeds:
+            point.runs.extend(by_key[(t, seed)])
+        points.append(point)
+    return SweepResult(config=config, points=points)
+
+
+def _tasks(config: SweepConfig) -> list[tuple]:
+    """The sweep's (point, seed) task grid, point-major."""
+    return [
+        (
+            config.base,
+            t,
+            seed,
+            tuple(config.protocols),
+            config.use_cache,
+            config.cache_dir,
+        )
+        for t in config.t_switch_values
+        for seed in config.seeds
+    ]
+
+
+def run_point(config: SweepConfig, t_switch: float) -> PointResult:
+    """Evaluate a single ``t_switch`` point of *config* (serially)."""
+    config.validate()
+    point = PointResult(t_switch=t_switch)
+    for seed in config.seeds:
+        _, _, runs = _evaluate_task(
+            config.base,
+            t_switch,
+            seed,
+            tuple(config.protocols),
+            config.use_cache,
+            config.cache_dir,
+        )
+        point.runs.extend(runs)
     return point
 
 
-def _pool_task(args: tuple) -> PointResult:  # pragma: no cover - subprocess
-    return _evaluate_point(*args)
-
-
-def run_point(
-    config: SweepConfig, t_switch: float
-) -> PointResult:
-    """Evaluate a single ``t_switch`` point of *config*."""
-    config.validate()
-    return _evaluate_point(config.base, t_switch, config.seeds, config.protocols)
-
-
 def run_sweep(config: SweepConfig) -> SweepResult:
-    """Run the whole sweep; uses a process pool when ``workers > 1``."""
+    """Run the whole sweep; uses the persistent process pool when
+    ``workers > 1``, fanning out over (point, seed) tasks."""
     config.validate()
-    tasks = [
-        (config.base, t, tuple(config.seeds), tuple(config.protocols))
-        for t in config.t_switch_values
-    ]
+    tasks = _tasks(config)
     if config.workers > 1:
-        with get_context("spawn").Pool(config.workers) as pool:
-            points = pool.map(_pool_task, tasks)
+        pool = _get_pool(config.workers)
+        outcomes = [None] * len(tasks)
+        for index, outcome in pool.imap_unordered(
+            _pool_task, list(enumerate(tasks))
+        ):
+            outcomes[index] = outcome
     else:
-        points = [_evaluate_point(*task) for task in tasks]
-    return SweepResult(config=config, points=list(points))
+        outcomes = [_evaluate_task(*task) for task in tasks]
+    return _assemble(config, outcomes)

@@ -65,6 +65,12 @@ class CheckpointingProtocol:
     #: (communication-induced ones can; coordinated ones need online
     #: mode because their control messages perturb the schedule).
     replayable: bool = True
+    #: When False, :meth:`take` maintains the counters only -- no
+    #: :class:`TakenCheckpoint` records, no storage forwarding.  The
+    #: sweep engine flips this off because figure curves need nothing
+    #: but counts; anything that inspects the log (recovery lines,
+    #: rollback, online storage) needs the default True.
+    log_checkpoints: bool = True
 
     def __init__(self, n_hosts: int, n_mss: int = 1):
         if n_hosts < 1:
@@ -77,6 +83,14 @@ class CheckpointingProtocol:
         self.n_replaced = 0
         #: Metadata-only relabels (no state transfer; not in N_tot).
         self.n_renamed = 0
+        #: Initial checkpoints (taken in the constructor; not in N_tot).
+        self.n_initial = 0
+        #: Non-initial checkpoints per host, maintained incrementally so
+        #: metrics aggregation never has to rescan the checkpoint log.
+        self.per_host_total = [0] * n_hosts
+        #: Index of each host's most recent checkpoint (kept even in
+        #: counters-only mode, where rename_last cannot scan the log).
+        self.last_index = [-1] * n_hosts
         self.storage_hook: Optional[StorageHook] = None
 
     # ------------------------------------------------------------------
@@ -90,28 +104,43 @@ class CheckpointingProtocol:
         now: float,
         replaced: bool = False,
         metadata: Optional[dict[str, Any]] = None,
-    ) -> TakenCheckpoint:
-        """Record (and persist, when wired) one checkpoint."""
-        ck = TakenCheckpoint(
-            host=host,
-            index=index,
-            time=now,
-            reason=reason,
-            replaced=replaced,
-            metadata=metadata,
-        )
-        self.checkpoints.append(ck)
+    ) -> Optional[TakenCheckpoint]:
+        """Record (and persist, when wired) one checkpoint.
+
+        Returns the log record, or None in counters-only mode
+        (``log_checkpoints = False``).
+        """
+        ck = None
+        if self.log_checkpoints:
+            ck = TakenCheckpoint(
+                host=host,
+                index=index,
+                time=now,
+                reason=reason,
+                replaced=replaced,
+                metadata=metadata,
+            )
+            self.checkpoints.append(ck)
+        self.last_index[host] = index
         if reason == "basic":
             self.n_basic += 1
+            self.per_host_total[host] += 1
         elif reason == "forced":
             self.n_forced += 1
+            self.per_host_total[host] += 1
+        elif reason == "initial":
+            self.n_initial += 1
+        else:
+            self.per_host_total[host] += 1
         if replaced:
             self.n_replaced += 1
-        if self.storage_hook is not None:
+        if self.log_checkpoints and self.storage_hook is not None:
             self.storage_hook(host, index, reason, dict(metadata or {}))
         return ck
 
-    def rename_last(self, host: int, new_index: int, now: float) -> TakenCheckpoint:
+    def rename_last(
+        self, host: int, new_index: int, now: float
+    ) -> Optional[TakenCheckpoint]:
         """Relabel *host*'s most recent checkpoint with *new_index*.
 
         The no-send equivalence rule (cf. Helary et al. and the
@@ -120,20 +149,28 @@ class CheckpointingProtocol:
         stand in the recovery line at a higher index -- the MSS just
         updates the stored index, no state crosses the wireless link.
         Does NOT count toward N_tot; tracked in ``n_renamed``.
+
+        Returns the relabelled record (None in counters-only mode).
         """
-        for ck in reversed(self.checkpoints):
-            if ck.host == host:
-                if new_index <= ck.index:
-                    raise ValueError(
-                        f"rename must increase the index "
-                        f"({ck.index} -> {new_index})"
-                    )
-                ck.index = new_index
-                self.n_renamed += 1
-                if self.storage_hook is not None:
-                    self.storage_hook(host, new_index, "rename", {})
-                return ck
-        raise ValueError(f"host {host} has no checkpoint to rename")
+        last = self.last_index[host]
+        if last < 0:
+            raise ValueError(f"host {host} has no checkpoint to rename")
+        if new_index <= last:
+            raise ValueError(
+                f"rename must increase the index ({last} -> {new_index})"
+            )
+        self.last_index[host] = new_index
+        self.n_renamed += 1
+        renamed = None
+        if self.log_checkpoints:
+            for ck in reversed(self.checkpoints):
+                if ck.host == host:
+                    ck.index = new_index
+                    renamed = ck
+                    break
+        if self.storage_hook is not None:
+            self.storage_hook(host, new_index, "rename", {})
+        return renamed
 
     @property
     def n_total(self) -> int:

@@ -52,13 +52,15 @@ class QBCProtocol(CheckpointingProtocol):
         return self.sn[host]
 
     def on_receive(self, host: int, piggyback: int, src: int, now: float) -> None:
+        # Invariant rn <= sn holds by construction here (rn only grows
+        # to m_sn, and sn catches up whenever m_sn passes it); the
+        # property-test suite checks it, keeping the hot path lean.
         m_sn = piggyback
         if m_sn > self.rn[host]:
             self.rn[host] = m_sn
         if m_sn > self.sn[host]:
             self.sn[host] = m_sn
             self.take(host, m_sn, "forced", now, metadata={"rn": self.rn[host]})
-        assert self.rn[host] <= self.sn[host], "QBC invariant rn <= sn violated"
 
     def _basic(self, host: int, now: float) -> None:
         if self.rn[host] == self.sn[host]:

@@ -10,17 +10,23 @@
   non-negligible checkpoint latency).
 * :mod:`~repro.workload.scenarios` -- named configurations for each of
   the paper's figures.
+* :mod:`~repro.workload.cache` -- content-addressed trace cache
+  (memory LRU + optional on-disk store) keyed by the generating config.
 """
 
+from repro.workload.cache import TraceCache, config_key, shared_cache
 from repro.workload.config import WorkloadConfig
 from repro.workload.driver import OnlineResult, generate_trace, run_online
 from repro.workload.scenarios import figure_config, paper_scenarios
 
 __all__ = [
     "OnlineResult",
+    "TraceCache",
     "WorkloadConfig",
+    "config_key",
     "figure_config",
     "generate_trace",
     "paper_scenarios",
     "run_online",
+    "shared_cache",
 ]

@@ -1,0 +1,226 @@
+"""Content-addressed trace cache.
+
+Trace generation dominates sweep cost (a sim_time=4000 run spends ~20x
+longer in :func:`~repro.workload.driver.generate_trace` than in the
+fused replay of all three paper protocols), and sweeps regenerate the
+*same* traces constantly: re-running a figure after a protocol tweak,
+evaluating a new protocol on the standard grid, benchmarking.  Because
+generation is a pure function of :class:`WorkloadConfig` (the seed is a
+config field), each trace can be addressed by the hash of its
+generating config and reused.
+
+Key derivation (:func:`config_key`) canonicalizes every dataclass field
+-- floats through :func:`repr` so ``inf``/``-0.0`` round-trip, dicts
+with sorted keys -- and hashes the JSON with SHA-256.  Any field
+change, including ``seed``, yields a new key; re-ordering ``extra``
+entries does not.
+
+Two tiers:
+
+* an in-process LRU (:class:`TraceCache`) holding deserialized
+  :class:`~repro.core.trace.Trace` objects, bounded by entry count;
+* an optional on-disk store (one ``<key>.npz`` per trace via
+  :mod:`repro.core.trace_io`) shared between processes and sessions --
+  this is what makes the parallel sweep's worker processes and repeated
+  CLI invocations hit instead of regenerate.
+
+Disk writes are atomic (tmp file + :func:`os.replace`), so concurrent
+sweep workers racing on the same key at worst both generate and one
+write wins -- never a torn file.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from collections import OrderedDict
+from dataclasses import fields
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.core.trace import Trace
+from repro.workload import driver as _driver
+from repro.workload.config import WorkloadConfig
+
+#: Default capacity of the in-memory tier: a full paper figure touches
+#: len(T_SWITCH_SWEEP) x len(seeds) = 21 traces per protocol set, but
+#: each point's trace is consumed immediately after generation, so a
+#: small window is enough to serve repeated replays within a session.
+DEFAULT_MAX_ENTRIES = 16
+
+#: Environment variable naming the shared on-disk store directory.
+CACHE_DIR_ENV = "REPRO_TRACE_CACHE_DIR"
+
+
+def _canonical(value):
+    """JSON-safe canonical form of one config field value."""
+    if isinstance(value, float):
+        # repr() round-trips inf/-inf/nan and distinguishes -0.0; JSON
+        # would reject the non-finite ones as literals.
+        return repr(value)
+    if isinstance(value, dict):
+        return {str(k): _canonical(v) for k, v in sorted(value.items())}
+    if isinstance(value, (list, tuple)):
+        return [_canonical(v) for v in value]
+    return value
+
+
+def config_key(config: WorkloadConfig) -> str:
+    """Content address of the trace *config* generates.
+
+    A hex SHA-256 over the canonicalized (field name -> value) mapping.
+    Stable across processes and sessions; sensitive to every field
+    (``seed`` included), insensitive to ``extra`` dict ordering.
+    """
+    payload = {
+        f.name: _canonical(getattr(config, f.name))
+        for f in fields(config)
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+class TraceCache:
+    """Two-tier (memory LRU + optional disk) trace cache.
+
+    Parameters
+    ----------
+    max_entries:
+        In-memory capacity; least-recently-used traces are evicted
+        beyond it.  0 disables the memory tier (useful to exercise the
+        disk tier alone).
+    disk_dir:
+        Directory for the persistent ``<key>.npz`` tier; created on
+        first write.  None disables the disk tier.
+    """
+
+    def __init__(
+        self,
+        max_entries: int = DEFAULT_MAX_ENTRIES,
+        disk_dir: Optional[Union[str, Path]] = None,
+    ):
+        if max_entries < 0:
+            raise ValueError("max_entries must be >= 0")
+        self.max_entries = max_entries
+        self.disk_dir = Path(disk_dir) if disk_dir is not None else None
+        self._memory: OrderedDict[str, Trace] = OrderedDict()
+        #: Served from the memory tier.
+        self.hits = 0
+        #: Served from the disk tier (also counted as a miss of memory).
+        self.disk_hits = 0
+        #: Required a fresh generate_trace call.
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def _disk_path(self, key: str) -> Optional[Path]:
+        if self.disk_dir is None:
+            return None
+        return self.disk_dir / f"{key}.npz"
+
+    def _remember(self, key: str, trace: Trace) -> None:
+        if self.max_entries == 0:
+            return
+        self._memory[key] = trace
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.max_entries:
+            self._memory.popitem(last=False)
+
+    def _store_disk(self, key: str, trace: Trace) -> None:
+        path = self._disk_path(key)
+        if path is None or path.exists():
+            return
+        # Import locally-late so monkeypatched savers are honoured and
+        # numpy stays off the import path of cache-less runs.
+        from repro.core import trace_io
+
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=str(path.parent), prefix=f".{key[:16]}-", suffix=".tmp.npz"
+        )
+        os.close(fd)
+        try:
+            trace_io.save_trace(trace, tmp)
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+
+    def _load_disk(self, key: str) -> Optional[Trace]:
+        path = self._disk_path(key)
+        if path is None or not path.exists():
+            return None
+        from repro.core import trace_io
+
+        # The stored trace was validated at generation time; skip the
+        # O(events) structural re-check on the hot path.
+        return trace_io.load_trace(path, validate=False)
+
+    # ------------------------------------------------------------------
+    def get_or_generate(self, config: WorkloadConfig) -> Trace:
+        """Return the trace *config* generates, from cache if possible.
+
+        Lookup order: memory LRU, disk store, fresh
+        :func:`~repro.workload.driver.generate_trace` (which then
+        populates both tiers).
+        """
+        key = config_key(config)
+        trace = self._memory.get(key)
+        if trace is not None:
+            self._memory.move_to_end(key)
+            self.hits += 1
+            return trace
+        trace = self._load_disk(key)
+        if trace is not None:
+            self.disk_hits += 1
+            self._remember(key, trace)
+            return trace
+        self.misses += 1
+        # Resolved through the module so tests monkeypatching
+        # repro.workload.driver.generate_trace observe cache misses.
+        trace = _driver.generate_trace(config)
+        self._remember(key, trace)
+        self._store_disk(key, trace)
+        return trace
+
+    def clear(self) -> None:
+        """Drop the memory tier and reset counters (disk files stay)."""
+        self._memory.clear()
+        self.hits = self.disk_hits = self.misses = 0
+
+    def stats(self) -> dict[str, int]:
+        """Counter snapshot: hits / disk_hits / misses / entries."""
+        return {
+            "hits": self.hits,
+            "disk_hits": self.disk_hits,
+            "misses": self.misses,
+            "entries": len(self._memory),
+        }
+
+
+#: Per-process shared caches, keyed by resolved disk directory (None for
+#: the memory-only one) -- sweep workers reuse one cache per process.
+_shared: dict[Optional[str], TraceCache] = {}
+
+
+def shared_cache(disk_dir: Optional[Union[str, Path]] = None) -> TraceCache:
+    """Process-wide :class:`TraceCache` for *disk_dir*.
+
+    ``disk_dir=None`` consults the ``REPRO_TRACE_CACHE_DIR`` environment
+    variable before falling back to a memory-only cache.  Repeated calls
+    with the same directory return the same instance, so every sweep
+    task in a worker process shares one LRU.
+    """
+    if disk_dir is None:
+        disk_dir = os.environ.get(CACHE_DIR_ENV) or None
+    resolved = str(Path(disk_dir).resolve()) if disk_dir is not None else None
+    cache = _shared.get(resolved)
+    if cache is None:
+        cache = TraceCache(disk_dir=resolved)
+        _shared[resolved] = cache
+    return cache

@@ -1,0 +1,115 @@
+"""Unit tests for trace compilation (repro.core.compiled)."""
+
+import pytest
+
+from repro.core.compiled import (
+    CELL_SWITCH,
+    DISCONNECT,
+    RECEIVE,
+    RECONNECT,
+    SEND,
+    CompiledTrace,
+    compile_trace,
+)
+from repro.core.trace import Trace, TraceError, TraceEvent, EventType, build_trace
+from repro.workload import WorkloadConfig, generate_trace
+
+S, R, C, D, RC = (
+    EventType.SEND,
+    EventType.RECEIVE,
+    EventType.CELL_SWITCH,
+    EventType.DISCONNECT,
+    EventType.RECONNECT,
+)
+
+
+def sample_trace():
+    return build_trace(
+        2,
+        2,
+        [
+            (1.0, C, 0, -1, 0, 1),
+            (2.0, S, 0, 10, 1),
+            (3.0, R, 1, 10, 0),
+            (4.0, D, 1),
+            (5.0, RC, 1, -1, -1, 0),
+        ],
+    )
+
+
+def test_columns_match_events():
+    trace = sample_trace()
+    ct = compile_trace(trace)
+    assert isinstance(ct, CompiledTrace)
+    assert len(ct) == len(trace.events) == ct.n_events
+    assert ct.n_hosts == 2 and ct.n_mss == 2
+    assert ct.etype == [CELL_SWITCH, SEND, RECEIVE, DISCONNECT, RECONNECT]
+    assert ct.time == [1.0, 2.0, 3.0, 4.0, 5.0]
+    assert ct.host == [0, 0, 1, 1, 1]
+    assert all(isinstance(e, int) and not isinstance(e, EventType)
+               for e in ct.etype)
+
+
+def test_slot_mapping_links_send_and_receive():
+    ct = compile_trace(sample_trace())
+    assert ct.n_sends == 1 and ct.n_receives == 1
+    assert ct.slot == [-1, 0, 0, -1, -1]  # receive carries its send's slot
+
+
+def test_argv_packs_hook_arguments():
+    ct = compile_trace(sample_trace())
+    assert ct.argv[0] == (0, 1.0, 1)  # cell switch: (host, now, cell)
+    assert ct.argv[1] == (0, 1, 2.0)  # send: (host, dst, now)
+    assert ct.argv[2] == (1, 0, 3.0)  # receive: (host, src, now)
+    assert ct.argv[3] == (1, 4.0)     # disconnect: (host, now)
+    assert ct.argv[4] == (1, 5.0, 0)  # reconnect: (host, now, cell)
+
+
+def _raw_trace(events):
+    # Bypass build_trace's validation: compile_trace must catch these
+    # on its own for traces loaded with validate=False.
+    return Trace(
+        n_hosts=2,
+        n_mss=2,
+        events=[
+            TraceEvent(time=t, etype=e, host=h, msg_id=m, peer=p, cell=-1)
+            for t, e, h, m, p in events
+        ],
+        sim_time=10.0,
+    )
+
+
+def test_receive_without_send_rejected():
+    trace = _raw_trace([(1.0, R, 1, 99, 0)])
+    with pytest.raises(TraceError, match="never sent"):
+        compile_trace(trace)
+
+
+def test_duplicate_send_rejected():
+    trace = _raw_trace([(1.0, S, 0, 10, 1), (2.0, S, 0, 10, 1)])
+    with pytest.raises(TraceError, match="duplicate send"):
+        compile_trace(trace)
+
+
+def test_compiled_accessor_caches_per_trace():
+    trace = sample_trace()
+    first = trace.compiled()
+    assert trace.compiled() is first
+    trace.events.append(trace.events[-1])
+    assert trace.compiled() is not first  # event count changed: recompile
+
+
+def test_generated_trace_compiles_consistently():
+    trace = generate_trace(WorkloadConfig(sim_time=500.0, seed=3))
+    ct = trace.compiled()
+    assert ct.n_sends == trace.n_sends
+    sends = [i for i, e in enumerate(ct.etype) if e == SEND]
+    assert sorted(ct.slot[i] for i in sends) == list(range(ct.n_sends))
+    for i, e in enumerate(ct.etype):
+        if e == RECEIVE:
+            slot = ct.slot[i]
+            senders = [
+                j for j in sends
+                if ct.slot[j] == slot and ct.msg_id[j] == ct.msg_id[i]
+            ]
+            assert len(senders) == 1
