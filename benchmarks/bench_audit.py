@@ -1,0 +1,90 @@
+"""Audit-mode overhead benchmark.
+
+The invariant audit re-replays every protocol (reference pass, fused
+pass, annotated oracle pass) on top of the sweep's own fused pass, so
+it is expected to cost a multiple of the plain sweep -- this bench
+measures that multiple and records it in ``BENCH_audit.json`` so the
+overhead stays visible as the audit grows more checks.  It also asserts
+the grid audits clean: a violation here means a real engine regression,
+not a benchmark failure.
+"""
+
+import json
+import os
+import time
+
+from repro.experiments.config import SweepConfig
+from repro.experiments.runner import run_sweep
+from repro.obs.audit import run_audit_grid
+from repro.workload import WorkloadConfig
+
+BENCH_JSON = os.environ.get("REPRO_BENCH_AUDIT_JSON", "BENCH_audit.json")
+
+
+def _record(case: str, payload: dict) -> None:
+    """Merge one case's numbers into ``BENCH_audit.json``."""
+    data = {}
+    if os.path.exists(BENCH_JSON):
+        try:
+            with open(BENCH_JSON) as fh:
+                data = json.load(fh)
+        except (OSError, ValueError):
+            data = {}
+    data[case] = payload
+    with open(BENCH_JSON, "w") as fh:
+        json.dump(data, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def _best(fn, rounds: int):
+    """(best wall seconds, last return value) over *rounds* calls."""
+    best = float("inf")
+    value = None
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        value = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, value
+
+
+def test_audit_overhead(benchmark, tmp_path):
+    """One small grid, audit off vs on, traces served from the cache in
+    both cases so the delta is pure audit work."""
+    config = SweepConfig(
+        base=WorkloadConfig(p_switch=0.8, sim_time=1500.0),
+        t_switch_values=(100.0, 1000.0),
+        seeds=(0, 1),
+        workers=0,
+        cache_dir=str(tmp_path),
+    )
+    run_sweep(config)  # warm the trace cache
+
+    plain_time, plain = _best(lambda: run_sweep(config), rounds=3)
+    audit_time, grid = benchmark.pedantic(
+        lambda: _best(lambda: run_audit_grid(config), rounds=3),
+        rounds=1,
+        iterations=1,
+    )
+
+    assert grid.ok, f"audit found violations:\n{grid.report()}"
+    assert [p.runs for p in grid.sweep.points] == [
+        p.runs for p in plain.points
+    ]
+    assert all(r.n_violations == 0 for r in grid.telemetry)
+
+    overhead = audit_time / plain_time
+    payload = {
+        "tasks": len(grid.telemetry),
+        "plain_ms": round(plain_time * 1e3, 2),
+        "audit_ms": round(audit_time * 1e3, 2),
+        "overhead_x": round(overhead, 2),
+    }
+    benchmark.extra_info.update(payload)
+    _record("audit_overhead", payload)
+    # The audit adds a reference replay, a fused replay and the
+    # annotated oracle pass per protocol (~25-30x today); anything
+    # beyond ~60x means an accidental quadratic check crept in.
+    assert overhead < 60.0, (
+        f"audit {overhead:.1f}x slower than the plain sweep "
+        f"({audit_time*1e3:.0f}ms vs {plain_time*1e3:.0f}ms)"
+    )

@@ -13,6 +13,10 @@ Subcommands
     Replay a saved trace through one or more protocols.
 ``recovery``
     Inject a failure on a workload and report the rollback costs.
+``audit``
+    Sweep a config grid with the invariant audit armed (orphan-freedom
+    of recovery lines, fused-vs-reference equivalence, counter/log
+    consistency) and print the violation/telemetry report.
 """
 
 from __future__ import annotations
@@ -59,12 +63,54 @@ def _cmd_figure(args) -> int:
         workers=args.workers,
         use_cache=not args.no_cache,
         cache_dir=args.cache_dir,
+        audit=args.audit,
+        telemetry_path=args.telemetry,
     )
     print(figure_report(result, figure=args.number))
     report = validate_figure(result, spread_tolerance=args.spread_tolerance)
     print()
     print(report)
-    return 0 if report.ok else 1
+    ok = report.ok
+    if args.audit:
+        from repro.experiments import validate_audit
+
+        audit_report = validate_audit(result)
+        print()
+        print(audit_report)
+        for violation in result.violations:
+            print(f"  {violation}")
+        ok = ok and audit_report.ok
+    if args.telemetry:
+        print(f"\ntelemetry written to {args.telemetry}")
+    return 0 if ok else 1
+
+
+def _cmd_audit(args) -> int:
+    from repro.experiments.config import SweepConfig
+    from repro.obs.audit import run_audit_grid
+    from repro.obs.telemetry import write_jsonl
+
+    base = _workload_from(args)
+    config = SweepConfig(
+        base=base,
+        t_switch_values=tuple(args.sweep),
+        protocols=tuple(args.protocols),
+        seeds=tuple(args.seeds),
+        workers=args.workers,
+        use_cache=not args.no_cache,
+        cache_dir=args.cache_dir,
+        audit=True,
+    ).validate()
+    grid = run_audit_grid(config)
+    print(grid.report())
+    if args.telemetry:
+        write_jsonl(
+            grid.telemetry,
+            args.telemetry,
+            summary=grid.sweep.telemetry_summary(),
+        )
+        print(f"\ntelemetry written to {args.telemetry}")
+    return 0 if grid.ok else 1
 
 
 def _cmd_compare(args) -> int:
@@ -198,7 +244,46 @@ def build_parser() -> argparse.ArgumentParser:
         help="directory of the persistent on-disk trace store "
         "(default: REPRO_TRACE_CACHE_DIR or memory-only)",
     )
+    p.add_argument(
+        "--audit", action="store_true",
+        help="run the invariant audit on every (point, seed) task",
+    )
+    p.add_argument(
+        "--telemetry", default=None, metavar="PATH",
+        help="write per-task run telemetry (JSONL) to PATH",
+    )
     p.set_defaults(fn=_cmd_figure)
+
+    p = sub.add_parser(
+        "audit",
+        help="invariant audit + telemetry over a config grid",
+    )
+    _add_workload_args(p)
+    p.add_argument(
+        "--protocols", nargs="+", default=["TP", "BCS", "QBC"],
+        help="protocols to audit (default: the paper's three)",
+    )
+    p.add_argument(
+        "--sweep", type=float, nargs="+", default=[100.0, 1000.0, 10000.0],
+        help="t_switch grid to audit over",
+    )
+    p.add_argument(
+        "--seeds", type=int, nargs="+", default=[0, 1],
+        help="seeds per grid point",
+    )
+    p.add_argument(
+        "--workers", type=int, default=0,
+        help="process-pool width over (point, seed) tasks; 0 = serial",
+    )
+    p.add_argument("--no-cache", action="store_true")
+    p.add_argument("--cache-dir", default=None)
+    p.add_argument(
+        "--telemetry", default=None, metavar="PATH",
+        help="write per-task run telemetry (JSONL) to PATH",
+    )
+    # A shorter default horizon than the figure sweeps: the audit
+    # replays each protocol three extra times per task.
+    p.set_defaults(fn=_cmd_audit, sim_time=2000.0)
 
     p = sub.add_parser("compare", help="all protocols on one workload")
     _add_workload_args(p)

@@ -76,10 +76,21 @@ def _run_metrics(
     )
 
 
+def _audit_instance(protocol: CheckpointingProtocol, seed) -> None:
+    """Raise the first post-run invariant breach of *protocol*."""
+    # Imported lazily: repro.obs.audit imports this module.
+    from repro.obs.audit import check_protocol_invariants
+
+    violations = check_protocol_invariants(protocol, seed=seed)
+    if violations:
+        raise violations[0]
+
+
 def replay(
     trace: Trace,
     protocol: CheckpointingProtocol,
     seed: Optional[int] = None,
+    audit: bool = False,
 ) -> ReplayResult:
     """Run *protocol* over *trace*; returns protocol + metrics.
 
@@ -87,6 +98,12 @@ def replay(
     and must be fresh.  Raises if the protocol is not replayable (the
     coordinated baselines inject control messages and need
     :mod:`repro.core.online`).
+
+    With ``audit=True`` the run's structural invariants (counter/log
+    consistency, per-host index monotonicity -- see
+    :mod:`repro.obs.audit`) are checked afterwards and the first breach
+    is raised as a structured
+    :class:`~repro.obs.audit.AuditViolation`.
     """
     _check_replayable(trace, protocol)
     # msg_id -> (piggyback, src); entries are dropped once consumed.
@@ -127,6 +144,8 @@ def replay(
             on_reconnect(ev.host, ev.time, ev.cell)
         # INTERNAL events carry no protocol action.
 
+    if audit:
+        _audit_instance(protocol, seed)
     metrics = _run_metrics(trace, protocol, n_sends, n_receives, seed)
     return ReplayResult(protocol=protocol, metrics=metrics)
 
@@ -135,6 +154,7 @@ def replay_fused(
     trace: Trace,
     protocols: Sequence[CheckpointingProtocol],
     seed: Optional[int] = None,
+    audit: bool = False,
 ) -> list[ReplayResult]:
     """Drive several fresh protocol instances over *trace* in one pass.
 
@@ -146,9 +166,22 @@ def replay_fused(
     each protocol keeps a flat piggyback store indexed by the
     precomputed send slot -- no per-message hashing, no dataclass
     attribute loads, no enum comparisons in the hot loop.
+
+    With ``audit=True`` every instance is deep-copied *before* the run,
+    the copies are replayed through the reference engine afterwards,
+    and any counter divergence (or per-instance invariant breach) is
+    raised as an :class:`~repro.obs.audit.AuditViolation` -- the
+    fused-vs-reference tripwire, paid only when asked for.
     """
     for protocol in protocols:
         _check_replayable(trace, protocol)
+    references: list[CheckpointingProtocol] = []
+    if audit:
+        import copy
+
+        # Pristine pre-run clones preserve constructor parameters the
+        # registry cannot reproduce (periods, initial cells, ...).
+        references = [copy.deepcopy(p) for p in protocols]
     ct = trace.compiled()
     # One piggyback store per protocol: the "in-flight table", laid out
     # as a list indexed by the send's compile-time slot.
@@ -188,6 +221,26 @@ def replay_fused(
                 hook(*args)
         # INTERNAL events carry no protocol action.
 
+    if audit:
+        from repro.obs.audit import FUSED_DIVERGENCE, AuditViolation
+
+        for p, ref in zip(protocols, references):
+            _audit_instance(p, seed)
+            replay(trace, ref, seed=seed)
+            p_sig, ref_sig = p.counter_signature(), ref.counter_signature()
+            if p_sig != ref_sig:
+                diff = {
+                    key: (ref_sig[key], p_sig[key])
+                    for key in ref_sig
+                    if ref_sig[key] != p_sig[key]
+                }
+                raise AuditViolation(
+                    FUSED_DIVERGENCE,
+                    p.name,
+                    f"fused vs reference counters differ: {diff}",
+                    seed=seed,
+                )
+
     return [
         ReplayResult(
             protocol=p,
@@ -201,12 +254,16 @@ def replay_many(
     trace: Trace,
     factories: Sequence[Callable[[], CheckpointingProtocol]],
     seed: Optional[int] = None,
+    audit: bool = False,
 ) -> list[ReplayResult]:
     """Replay the same trace through several fresh protocol instances --
     the pointwise comparison the paper's figures are built from.
 
     Runs on the fused single-pass engine; *seed* is threaded into every
     run's metrics (falling back to ``trace.meta["seed"]`` when omitted,
-    exactly like :func:`replay`).
+    exactly like :func:`replay`), and ``audit=True`` arms the
+    fused-vs-reference tripwire of :func:`replay_fused`.
     """
-    return replay_fused(trace, [factory() for factory in factories], seed=seed)
+    return replay_fused(
+        trace, [factory() for factory in factories], seed=seed, audit=audit
+    )

@@ -18,7 +18,11 @@ from repro.experiments.runner import (
     run_point,
     run_sweep,
 )
-from repro.experiments.validation import validate_figure, validate_paper_claims
+from repro.experiments.validation import (
+    validate_audit,
+    validate_figure,
+    validate_paper_claims,
+)
 
 __all__ = [
     "FIGURE_PARAMS",
@@ -31,6 +35,7 @@ __all__ = [
     "run_figure",
     "run_point",
     "run_sweep",
+    "validate_audit",
     "validate_figure",
     "validate_paper_claims",
 ]

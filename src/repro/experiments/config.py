@@ -39,6 +39,20 @@ class SweepConfig:
         Directory of the persistent on-disk trace store; None = memory
         tier only (or the ``REPRO_TRACE_CACHE_DIR`` environment
         variable when set).
+    audit:
+        Run the invariant audit (:mod:`repro.obs.audit`) on every
+        (point, seed) task: reference-vs-fused counter equivalence,
+        counter/log consistency, index monotonicity and the
+        recovery-line orphan oracle.  Violations are collected into
+        :attr:`~repro.experiments.runner.SweepResult.violations`.
+        Costs roughly one extra reference replay plus one annotated
+        replay per protocol per task; off by default.
+    telemetry_path:
+        When set, the sweep's per-task telemetry records
+        (:class:`repro.obs.telemetry.TaskTelemetry`) are written there
+        as JSONL (with a trailing summary line) after the sweep.
+        Telemetry is *collected* regardless; this only controls file
+        emission.
     """
 
     base: WorkloadConfig = field(default_factory=WorkloadConfig)
@@ -48,6 +62,8 @@ class SweepConfig:
     workers: int = 0
     use_cache: bool = True
     cache_dir: Optional[str] = None
+    audit: bool = False
+    telemetry_path: Optional[str] = None
 
     def validate(self) -> "SweepConfig":
         """Check the sweep parameters; returns self (chainable)."""

@@ -45,6 +45,8 @@ def figure_sweep_config(
     workers: int = 0,
     use_cache: bool = True,
     cache_dir: Optional[str] = None,
+    audit: bool = False,
+    telemetry_path: Optional[str] = None,
 ) -> SweepConfig:
     """Sweep configuration reproducing one paper figure.
 
@@ -69,6 +71,8 @@ def figure_sweep_config(
         workers=workers,
         use_cache=use_cache,
         cache_dir=cache_dir,
+        audit=audit,
+        telemetry_path=telemetry_path,
     ).validate()
 
 
@@ -80,8 +84,14 @@ def run_figure(
     workers: int = 0,
     use_cache: bool = True,
     cache_dir: Optional[str] = None,
+    audit: bool = False,
+    telemetry_path: Optional[str] = None,
 ) -> SweepResult:
-    """Run one paper figure end to end and return the sweep result."""
+    """Run one paper figure end to end and return the sweep result.
+
+    ``audit=True`` arms the per-task invariant audit (violations land
+    on the result); ``telemetry_path`` writes the run telemetry JSONL.
+    """
     cfg = figure_sweep_config(
         figure,
         sim_time=sim_time,
@@ -90,5 +100,7 @@ def run_figure(
         workers=workers,
         use_cache=use_cache,
         cache_dir=cache_dir,
+        audit=audit,
+        telemetry_path=telemetry_path,
     )
     return run_sweep(cfg)

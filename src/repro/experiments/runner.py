@@ -20,12 +20,20 @@ Protocol instances run in counters-only mode
 (``log_checkpoints = False``): figure curves need nothing but counts,
 and skipping the checkpoint log makes the replay several times faster
 (see docs/simulation-model.md, "Performance architecture").
+
+Every task also emits a :class:`repro.obs.telemetry.TaskTelemetry`
+record (wall time, trace cache tier, event counts, worker pid,
+per-protocol checkpoint counters), and ``SweepConfig.audit`` arms the
+invariant audit of :mod:`repro.obs.audit` on each task -- see
+docs/simulation-model.md, "Auditing & telemetry".
 """
 
 from __future__ import annotations
 
 import atexit
 import csv
+import os
+import time
 from dataclasses import dataclass, field
 from multiprocessing import get_context
 from typing import Optional, Sequence
@@ -33,6 +41,8 @@ from typing import Optional, Sequence
 from repro.analysis.stats import SampleSummary, summarize
 from repro.core.replay import replay_fused
 from repro.experiments.config import SweepConfig
+from repro.obs.telemetry import TaskTelemetry, TelemetrySummary
+from repro.obs.telemetry import summarize as summarize_telemetry
 from repro.protocols.base import registry
 from repro.workload.cache import shared_cache
 from repro.workload.config import WorkloadConfig
@@ -87,6 +97,8 @@ class PointResult:
 
     t_switch: float
     runs: list[RunOutcome] = field(default_factory=list)
+    #: One telemetry record per seed, in ``seeds`` order.
+    telemetry: list[TaskTelemetry] = field(default_factory=list)
 
     def totals(self, protocol: str) -> list[int]:
         """N_tot of every run of *protocol* at this point."""
@@ -107,6 +119,24 @@ class SweepResult:
 
     config: SweepConfig
     points: list[PointResult] = field(default_factory=list)
+    #: Audit violations across the grid, (point, seed)-ordered;
+    #: populated only when ``config.audit`` is set.
+    violations: list = field(default_factory=list)
+    #: Wall time of the whole sweep as seen by :func:`run_sweep`.
+    sweep_wall_s: float = 0.0
+
+    @property
+    def telemetry(self) -> list[TaskTelemetry]:
+        """All task telemetry records, (point, seed)-ordered."""
+        return [rec for point in self.points for rec in point.telemetry]
+
+    def telemetry_summary(self) -> TelemetrySummary:
+        """Aggregate telemetry (busy time, utilization, cache tiers)."""
+        return summarize_telemetry(
+            self.telemetry,
+            sweep_wall_s=self.sweep_wall_s,
+            workers=max(1, self.config.workers),
+        )
 
     def curve(self, protocol: str) -> list[tuple[float, float]]:
         """(t_switch, mean N_tot) series for one protocol."""
@@ -134,21 +164,34 @@ def _evaluate_task(
     protocols: Sequence[str],
     use_cache: bool,
     cache_dir: Optional[str],
-) -> tuple[float, int, list[RunOutcome]]:
+    audit: bool = False,
+) -> tuple[float, int, list[RunOutcome], TaskTelemetry, list]:
     """Worker body: one (point, seed) pair, all protocols, one fused
-    replay pass over one trace."""
+    replay pass over one trace.  Also produces the task's telemetry
+    record and -- in audit mode -- its invariant violations."""
+    started = time.perf_counter()
     cfg = base.with_(t_switch=t_switch, seed=seed)
     if use_cache:
-        trace = shared_cache(cache_dir).get_or_generate(cfg)
+        cache = shared_cache(cache_dir)
+        before = (cache.hits, cache.disk_hits)
+        trace = cache.get_or_generate(cfg)
+        if cache.hits > before[0]:
+            trace_source = "memory"
+        elif cache.disk_hits > before[1]:
+            trace_source = "disk"
+        else:
+            trace_source = "generated"
     else:
         # Through the module so monkeypatched generators are observed.
         trace = _driver.generate_trace(cfg)
+        trace_source = "uncached"
     instances = []
     for name in protocols:
         protocol = registry[name](cfg.n_hosts, cfg.n_mss)
         protocol.log_checkpoints = False  # counters are all a sweep needs
         instances.append(protocol)
     runs = []
+    counters: dict[str, dict[str, int]] = {}
     for name, result in zip(protocols, replay_fused(trace, instances, seed=seed)):
         stats = result.metrics.stats
         runs.append(
@@ -163,7 +206,32 @@ def _evaluate_task(
                 piggyback_ints=result.metrics.piggyback_ints_total,
             )
         )
-    return t_switch, seed, runs
+        counters[name] = {
+            "n_total": stats.n_total,
+            "n_basic": stats.n_basic,
+            "n_forced": stats.n_forced,
+            "n_replaced": stats.n_replaced,
+        }
+    violations: list = []
+    if audit:
+        from repro.obs.audit import audit_trace
+
+        violations = audit_trace(
+            trace, protocols, seed=seed, t_switch=t_switch
+        )
+    telemetry = TaskTelemetry(
+        t_switch=t_switch,
+        seed=seed,
+        wall_time_s=time.perf_counter() - started,
+        trace_source=trace_source,
+        cache_hit=trace_source in ("memory", "disk"),
+        n_events=len(trace),
+        n_sends=trace.compiled().n_sends,
+        pid=os.getpid(),
+        counters=counters,
+        n_violations=len(violations),
+    )
+    return t_switch, seed, runs, telemetry, violations
 
 
 def _pool_task(args: tuple):  # pragma: no cover - subprocess
@@ -203,19 +271,26 @@ atexit.register(shutdown_pool)
 
 def _assemble(
     config: SweepConfig,
-    outcomes: Sequence[tuple[float, int, list[RunOutcome]]],
+    outcomes: Sequence[tuple[float, int, list[RunOutcome], TaskTelemetry, list]],
 ) -> SweepResult:
     """Deterministic reassembly: points follow ``t_switch_values``
     order and each point's runs are seed-major in ``seeds`` order,
-    regardless of task completion order."""
-    by_key = {(t, seed): runs for t, seed, runs in outcomes}
-    points = []
+    regardless of task completion order.  Telemetry and audit
+    violations follow the same (point, seed) order."""
+    by_key = {
+        (t, seed): (runs, telemetry, violations)
+        for t, seed, runs, telemetry, violations in outcomes
+    }
+    result = SweepResult(config=config)
     for t in config.t_switch_values:
         point = PointResult(t_switch=t)
         for seed in config.seeds:
-            point.runs.extend(by_key[(t, seed)])
-        points.append(point)
-    return SweepResult(config=config, points=points)
+            runs, telemetry, violations = by_key[(t, seed)]
+            point.runs.extend(runs)
+            point.telemetry.append(telemetry)
+            result.violations.extend(violations)
+        result.points.append(point)
+    return result
 
 
 def _tasks(config: SweepConfig) -> list[tuple]:
@@ -228,6 +303,7 @@ def _tasks(config: SweepConfig) -> list[tuple]:
             tuple(config.protocols),
             config.use_cache,
             config.cache_dir,
+            config.audit,
         )
         for t in config.t_switch_values
         for seed in config.seeds
@@ -239,22 +315,30 @@ def run_point(config: SweepConfig, t_switch: float) -> PointResult:
     config.validate()
     point = PointResult(t_switch=t_switch)
     for seed in config.seeds:
-        _, _, runs = _evaluate_task(
+        _, _, runs, telemetry, _ = _evaluate_task(
             config.base,
             t_switch,
             seed,
             tuple(config.protocols),
             config.use_cache,
             config.cache_dir,
+            config.audit,
         )
         point.runs.extend(runs)
+        point.telemetry.append(telemetry)
     return point
 
 
 def run_sweep(config: SweepConfig) -> SweepResult:
     """Run the whole sweep; uses the persistent process pool when
-    ``workers > 1``, fanning out over (point, seed) tasks."""
+    ``workers > 1``, fanning out over (point, seed) tasks.
+
+    Telemetry is collected for every task; when
+    ``config.telemetry_path`` is set the records (plus an aggregate
+    summary line) are written there as JSONL.  In audit mode the
+    result additionally carries every invariant violation found."""
     config.validate()
+    started = time.perf_counter()
     tasks = _tasks(config)
     if config.workers > 1:
         pool = _get_pool(config.workers)
@@ -265,4 +349,14 @@ def run_sweep(config: SweepConfig) -> SweepResult:
             outcomes[index] = outcome
     else:
         outcomes = [_evaluate_task(*task) for task in tasks]
-    return _assemble(config, outcomes)
+    result = _assemble(config, outcomes)
+    result.sweep_wall_s = time.perf_counter() - started
+    if config.telemetry_path:
+        from repro.obs.telemetry import write_jsonl
+
+        write_jsonl(
+            result.telemetry,
+            config.telemetry_path,
+            summary=result.telemetry_summary(),
+        )
+    return result

@@ -100,6 +100,34 @@ def validate_figure(
     return report
 
 
+def validate_audit(result: SweepResult) -> ValidationReport:
+    """Audit-mode claims: the sweep ran clean and telemetry is complete.
+
+    Checks that an audited sweep produced zero invariant violations
+    (orphan-free recovery lines, fused-vs-reference equivalence, index
+    monotonicity -- see :mod:`repro.obs.audit`) and that every
+    (point, seed) task reported a telemetry record.
+    """
+    report = ValidationReport()
+    n_tasks = len(result.config.t_switch_values) * len(result.config.seeds)
+    violations = result.violations
+    report.check(
+        f"audit found no invariant violations ({len(violations)} found)",
+        not violations,
+    )
+    records = result.telemetry
+    report.check(
+        f"telemetry covers every (point, seed) task "
+        f"({len(records)}/{n_tasks})",
+        len(records) == n_tasks,
+    )
+    report.check(
+        "telemetry records carry positive wall times",
+        all(r.wall_time_s > 0 for r in records),
+    )
+    return report
+
+
 def qbc_max_gain(result: SweepResult) -> float:
     """Largest QBC-over-BCS gain (%) across a sweep's points.
 

@@ -1,0 +1,49 @@
+"""Observability: invariant auditing + structured run telemetry.
+
+* :mod:`repro.obs.audit` -- the consistency-oracle audit
+  (:class:`AuditViolation`, :func:`audit_trace`,
+  :func:`run_audit_grid`) that proves the fast replay/sweep paths
+  still produce paper-correct checkpoints.
+* :mod:`repro.obs.telemetry` -- per-(point, seed) run telemetry
+  (:class:`TaskTelemetry`), JSONL emission and aggregation.
+"""
+
+from repro.obs.audit import (
+    BROKEN_RECOVERY_LINE,
+    COUNTER_MISMATCH,
+    FUSED_DIVERGENCE,
+    INDEX_MONOTONICITY,
+    ORPHAN_MESSAGE,
+    AuditGridResult,
+    AuditViolation,
+    audit_trace,
+    check_protocol_invariants,
+    run_audit_grid,
+)
+from repro.obs.telemetry import (
+    TaskTelemetry,
+    TelemetrySummary,
+    read_jsonl,
+    summarize,
+    telemetry_table,
+    write_jsonl,
+)
+
+__all__ = [
+    "AuditGridResult",
+    "AuditViolation",
+    "BROKEN_RECOVERY_LINE",
+    "COUNTER_MISMATCH",
+    "FUSED_DIVERGENCE",
+    "INDEX_MONOTONICITY",
+    "ORPHAN_MESSAGE",
+    "TaskTelemetry",
+    "TelemetrySummary",
+    "audit_trace",
+    "check_protocol_invariants",
+    "read_jsonl",
+    "run_audit_grid",
+    "summarize",
+    "telemetry_table",
+    "write_jsonl",
+]

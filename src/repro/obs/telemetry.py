@@ -1,0 +1,185 @@
+"""Structured run telemetry for the sweep engine.
+
+Every sweep task -- one ``(t_switch, seed)`` pair -- produces one
+:class:`TaskTelemetry` record: how long the task took, where its trace
+came from (memory cache, disk cache, fresh generation), how big the
+trace was, which worker process ran it, and the checkpoint counters of
+every protocol evaluated on it.  The records ride back through the
+process pool with the run outcomes and are reassembled in deterministic
+(point, seed) order, so two identical sweeps produce identically
+ordered telemetry (the wall times differ, the structure does not).
+
+Emission is JSONL -- one JSON object per line, one line per task --
+because it appends cleanly (a crashed sweep keeps the records written
+so far), streams through standard tooling (``jq``, ``pandas``), and
+needs no schema migration when fields are added.
+
+:func:`summarize` aggregates a record list into the operational
+headline numbers: total busy time, worker utilization (busy time over
+pool capacity), and the cache-tier breakdown that tells whether a sweep
+was generation-bound or replay-bound.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict, dataclass, field
+from typing import Any, Iterable, Optional, Sequence
+
+#: Where a task's trace came from (``TaskTelemetry.trace_source``).
+TRACE_SOURCES = ("memory", "disk", "generated", "uncached")
+
+
+@dataclass(slots=True)
+class TaskTelemetry:
+    """Operational record of one (t_switch, seed) sweep task."""
+
+    t_switch: float
+    seed: int
+    #: Wall-clock seconds the whole task took (trace fetch + replays +
+    #: audit when enabled).
+    wall_time_s: float
+    #: "memory" / "disk" (cache tiers), "generated" (cache miss) or
+    #: "uncached" (cache bypassed entirely).
+    trace_source: str
+    #: Convenience flag: True iff the trace came out of a cache tier.
+    cache_hit: bool
+    #: Size of the replayed trace.
+    n_events: int
+    n_sends: int
+    #: Worker process that ran the task (the parent pid on serial runs).
+    pid: int
+    #: Per-protocol checkpoint counters:
+    #: name -> {n_total, n_basic, n_forced, n_replaced}.
+    counters: dict[str, dict[str, int]] = field(default_factory=dict)
+    #: Audit violations found on this task (0 when audit is off).
+    n_violations: int = 0
+
+    def as_json_dict(self) -> dict[str, Any]:
+        """Plain-JSON form (one telemetry JSONL line)."""
+        return asdict(self)
+
+
+@dataclass(slots=True)
+class TelemetrySummary:
+    """Aggregate view of one sweep's telemetry records."""
+
+    n_tasks: int
+    #: Sum of per-task wall times (total busy time across workers).
+    total_task_wall_s: float
+    #: Wall time of the whole sweep as seen by the caller.
+    sweep_wall_s: float
+    #: Pool width the sweep ran with (1 = serial).
+    workers: int
+    #: total busy / (sweep wall x workers); 1.0 = perfectly packed pool.
+    utilization: float
+    #: trace_source -> task count.
+    trace_sources: dict[str, int] = field(default_factory=dict)
+    #: pid -> busy seconds (worker load balance).
+    busy_by_pid: dict[int, float] = field(default_factory=dict)
+    n_violations: int = 0
+
+    def __str__(self) -> str:
+        src = " ".join(
+            f"{name}={self.trace_sources.get(name, 0)}"
+            for name in TRACE_SOURCES
+            if self.trace_sources.get(name)
+        )
+        return (
+            f"{self.n_tasks} tasks in {self.sweep_wall_s:.2f}s wall "
+            f"({self.total_task_wall_s:.2f}s busy, {self.workers} worker(s), "
+            f"{100 * self.utilization:.0f}% utilization); "
+            f"trace sources: {src or 'none'}; "
+            f"violations: {self.n_violations}"
+        )
+
+
+def summarize(
+    records: Sequence[TaskTelemetry],
+    sweep_wall_s: float = 0.0,
+    workers: int = 1,
+) -> TelemetrySummary:
+    """Aggregate *records* into a :class:`TelemetrySummary`.
+
+    ``workers`` counts execution lanes, so serial runs pass 1 (the
+    sweep configs' ``workers=0`` convention is normalised by callers).
+    """
+    workers = max(1, workers)
+    total = sum(r.wall_time_s for r in records)
+    sources: dict[str, int] = {}
+    busy: dict[int, float] = {}
+    for r in records:
+        sources[r.trace_source] = sources.get(r.trace_source, 0) + 1
+        busy[r.pid] = busy.get(r.pid, 0.0) + r.wall_time_s
+    utilization = (
+        total / (sweep_wall_s * workers) if sweep_wall_s > 0 else 0.0
+    )
+    return TelemetrySummary(
+        n_tasks=len(records),
+        total_task_wall_s=total,
+        sweep_wall_s=sweep_wall_s,
+        workers=workers,
+        utilization=utilization,
+        trace_sources=sources,
+        busy_by_pid=busy,
+        n_violations=sum(r.n_violations for r in records),
+    )
+
+
+def write_jsonl(
+    records: Iterable[TaskTelemetry],
+    path,
+    summary: Optional[TelemetrySummary] = None,
+) -> None:
+    """Write one JSON object per record to *path* (overwrites).
+
+    When *summary* is given it is appended as a final line tagged
+    ``{"kind": "summary", ...}`` so stream consumers can tell it apart
+    from task records (which carry no ``kind`` key).
+    """
+    parent = os.path.dirname(os.fspath(path))
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "w") as fh:
+        for record in records:
+            fh.write(json.dumps(record.as_json_dict(), sort_keys=True))
+            fh.write("\n")
+        if summary is not None:
+            payload = {"kind": "summary", **asdict(summary)}
+            # JSON objects key by string; pids arrive as ints.
+            payload["busy_by_pid"] = {
+                str(k): v for k, v in summary.busy_by_pid.items()
+            }
+            fh.write(json.dumps(payload, sort_keys=True))
+            fh.write("\n")
+
+
+def read_jsonl(path) -> list[dict[str, Any]]:
+    """Parse a telemetry JSONL file back into dicts (summary included)."""
+    out = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                out.append(json.loads(line))
+    return out
+
+
+def telemetry_table(records: Sequence[TaskTelemetry]) -> str:
+    """Fixed-width per-task table for terminal reports."""
+    header = (
+        f"{'t_switch':>9} {'seed':>5} {'wall_s':>8} {'source':>9} "
+        f"{'events':>8} {'sends':>7} {'viol':>5}  counters"
+    )
+    lines = [header]
+    for r in records:
+        counters = " ".join(
+            f"{name}={c.get('n_total', 0)}" for name, c in r.counters.items()
+        )
+        lines.append(
+            f"{r.t_switch:>9g} {r.seed:>5} {r.wall_time_s:>8.3f} "
+            f"{r.trace_source:>9} {r.n_events:>8} {r.n_sends:>7} "
+            f"{r.n_violations:>5}  {counters}"
+        )
+    return "\n".join(lines)

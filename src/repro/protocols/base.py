@@ -182,6 +182,89 @@ class CheckpointingProtocol:
         return [c for c in self.checkpoints if c.host == host]
 
     # ------------------------------------------------------------------
+    # audit hooks (repro.obs)
+    # ------------------------------------------------------------------
+    def counter_signature(self) -> dict[str, Any]:
+        """Every counter this run maintained, as one comparable dict.
+
+        Two runs of the same protocol over the same trace must produce
+        identical signatures regardless of engine (reference vs fused)
+        or logging mode -- the audit layer compares these bit-for-bit.
+        """
+        return {
+            "protocol": self.name,
+            "n_basic": self.n_basic,
+            "n_forced": self.n_forced,
+            "n_initial": self.n_initial,
+            "n_replaced": self.n_replaced,
+            "n_renamed": self.n_renamed,
+            "n_total": self.n_total,
+            "per_host_total": tuple(self.per_host_total),
+            "last_index": tuple(self.last_index),
+        }
+
+    def invariant_violations(self) -> list[str]:
+        """Internal-consistency problems of this run (empty = sound).
+
+        The base contract cross-checks the incremental counters against
+        the checkpoint log (when one exists): per-reason counts,
+        per-host totals and each host's final index must agree.
+        Subclasses extend this with protocol-specific invariants (e.g.
+        QBC's ``rn <= sn``); the audit layer surfaces every entry as a
+        structured violation.
+        """
+        problems: list[str] = []
+        if self.log_checkpoints:
+            n_basic = n_forced = n_initial = n_replaced = 0
+            per_host = [0] * self.n_hosts
+            last_index = [-1] * self.n_hosts
+            for ck in self.checkpoints:
+                if ck.reason == "basic":
+                    n_basic += 1
+                elif ck.reason == "forced":
+                    n_forced += 1
+                elif ck.reason == "initial":
+                    n_initial += 1
+                if ck.reason != "initial":
+                    per_host[ck.host] += 1
+                if ck.replaced:
+                    n_replaced += 1
+                last_index[ck.host] = max(last_index[ck.host], ck.index)
+            for label, counted, logged in (
+                ("n_basic", self.n_basic, n_basic),
+                ("n_forced", self.n_forced, n_forced),
+                ("n_initial", self.n_initial, n_initial),
+                ("n_replaced", self.n_replaced, n_replaced),
+            ):
+                if counted != logged:
+                    problems.append(
+                        f"{label} counter is {counted} but the log "
+                        f"records {logged}"
+                    )
+            for host in range(self.n_hosts):
+                if self.per_host_total[host] != per_host[host]:
+                    problems.append(
+                        f"host {host}: per_host_total {self.per_host_total[host]} "
+                        f"!= {per_host[host]} logged checkpoints"
+                    )
+                if self.last_index[host] != last_index[host]:
+                    problems.append(
+                        f"host {host}: last_index {self.last_index[host]} "
+                        f"!= {last_index[host]} from the log"
+                    )
+        else:
+            # Counters-only mode keeps no log; the reason-class split
+            # must still account for every per-host increment.
+            if sum(self.per_host_total) != self.n_basic + self.n_forced:
+                problems.append(
+                    f"per_host_total sums to {sum(self.per_host_total)} "
+                    f"but n_basic + n_forced = {self.n_basic + self.n_forced}"
+                )
+        if any(v < 0 for v in self.per_host_total):
+            problems.append("negative per_host_total entry")
+        return problems
+
+    # ------------------------------------------------------------------
     # piggyback size accounting (paper's scalability argument)
     # ------------------------------------------------------------------
     @property

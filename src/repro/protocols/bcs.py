@@ -52,6 +52,18 @@ class BCSProtocol(CheckpointingProtocol):
         self._basic(host, now)
 
     # ------------------------------------------------------------------
+    def invariant_violations(self) -> list[str]:
+        """Base checks plus the index-protocol invariant: ``sn_i`` is by
+        construction the index of the host's latest checkpoint."""
+        problems = super().invariant_violations()
+        for host, (sn, last) in enumerate(zip(self.sn, self.last_index)):
+            if sn != last:
+                problems.append(
+                    f"host {host}: sn {sn} != latest checkpoint index {last}"
+                )
+        return problems
+
+    # ------------------------------------------------------------------
     def rollback_to(self, indices: dict[int, int], now: float) -> None:
         """Restore live state to the line: ``sn_i`` is exactly the index
         of the checkpoint the host restarts from."""

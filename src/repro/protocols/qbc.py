@@ -86,6 +86,24 @@ class QBCProtocol(CheckpointingProtocol):
         self._basic(host, now)
 
     # ------------------------------------------------------------------
+    def invariant_violations(self) -> list[str]:
+        """Base checks plus QBC's own invariants: ``rn_i <= sn_i`` at
+        all times (paper Section 4.2) and ``sn_i`` tracking the latest
+        checkpoint index."""
+        problems = super().invariant_violations()
+        for host in range(self.n_hosts):
+            if self.rn[host] > self.sn[host]:
+                problems.append(
+                    f"host {host}: rn {self.rn[host]} > sn {self.sn[host]}"
+                )
+            if self.sn[host] != self.last_index[host]:
+                problems.append(
+                    f"host {host}: sn {self.sn[host]} != latest checkpoint "
+                    f"index {self.last_index[host]}"
+                )
+        return problems
+
+    # ------------------------------------------------------------------
     def rollback_to(self, indices: dict[int, int], now: float) -> None:
         """Restore ``sn`` and ``rn`` to the line checkpoints' recorded
         values.  ``rn`` must be the value *at checkpoint time* -- the

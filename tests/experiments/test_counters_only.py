@@ -1,0 +1,51 @@
+"""Counters-only mode regression: ``log_checkpoints = False`` (the
+sweep engine's fast path) must produce exactly the counters of the
+logging reference at the figure grid's corner points.
+
+Corners: figure 1 (P_switch=1.0, H=0) and figure 4 (P_switch=0.8,
+H=0.5) -- the homogeneous always-checkpointing extreme and the
+heterogeneous disconnecting one -- each at both ends of the T_switch
+sweep."""
+
+import pytest
+
+from repro.core.replay import replay, replay_fused
+from repro.experiments.figures import FIGURE_PARAMS
+from repro.protocols.base import registry
+from repro.workload import WorkloadConfig, generate_trace
+
+PAPER_PROTOCOLS = ("TP", "BCS", "QBC")
+
+
+@pytest.mark.parametrize("figure", [1, 4])
+@pytest.mark.parametrize("t_switch", [100.0, 10_000.0])
+def test_counters_only_mode_matches_logging_counters(figure, t_switch):
+    p_switch, heterogeneity = FIGURE_PARAMS[figure]
+    cfg = WorkloadConfig(
+        p_send=0.4,
+        p_switch=p_switch,
+        heterogeneity=heterogeneity,
+        t_switch=t_switch,
+        sim_time=500.0,
+        seed=0,
+    )
+    trace = generate_trace(cfg)
+
+    logged = {}
+    for name in PAPER_PROTOCOLS:
+        protocol = registry[name](cfg.n_hosts, cfg.n_mss)
+        replay(trace, protocol)
+        assert protocol.checkpoints  # the reference really logged
+        logged[name] = protocol.counter_signature()
+
+    counters_only = []
+    for name in PAPER_PROTOCOLS:
+        protocol = registry[name](cfg.n_hosts, cfg.n_mss)
+        protocol.log_checkpoints = False
+        counters_only.append(protocol)
+    replay_fused(trace, counters_only)
+    for name, protocol in zip(PAPER_PROTOCOLS, counters_only):
+        # Only the constructor-time initial checkpoints were logged
+        # (the flag flips after construction, as in the sweep runner).
+        assert all(c.reason == "initial" for c in protocol.checkpoints)
+        assert protocol.counter_signature() == logged[name], name

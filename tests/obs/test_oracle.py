@@ -1,0 +1,85 @@
+"""Orphan-freedom oracle over every registered protocol.
+
+The paper's central correctness claim (Section 3): a recovery line must
+be a *consistent* global checkpoint -- no message received before the
+line at its destination may have been sent after the line at its
+source.  This suite drives every protocol in the registry over
+generated workloads (three seeds each) and checks the protocol's own
+recovery-line rule against the independent orphan checker and the
+vector-clock criterion:
+
+* index-based protocols (BCS, QBC, BQF and the no-send variants) build
+  their line on the fly via ``recovery_line_indices``;
+* TP guarantees *anchored* lines -- one per anchor host, pinned by the
+  dependency vectors -- so every anchor is checked;
+* the uncoordinated baseline guarantees nothing: the naive
+  most-recent-checkpoint cut is expected to orphan messages (the
+  domino effect of paper Section 2), marked xfail (non-strict: a lucky
+  seed can still yield a consistent cut).
+"""
+
+import pytest
+
+from repro.core.consistency import (
+    CausalOrder,
+    annotate_replay,
+    build_recovery_line,
+    find_orphans,
+    is_consistent,
+    tp_anchored_line,
+)
+from repro.protocols.base import registry
+from repro.workload import WorkloadConfig, generate_trace
+
+SEEDS = (0, 1, 2)
+
+UNC_XFAIL = pytest.mark.xfail(
+    strict=False,
+    reason="uncoordinated checkpointing promises no recovery line: the "
+    "naive last-checkpoint cut admits orphans and rollback cascades "
+    "(domino effect, paper Section 2)",
+)
+
+
+def oracle_cases():
+    for name in sorted(registry):
+        for seed in SEEDS:
+            marks = (UNC_XFAIL,) if name == "UNC" else ()
+            yield pytest.param(name, seed, marks=marks, id=f"{name}-seed{seed}")
+
+
+def workload_trace(seed):
+    return generate_trace(
+        WorkloadConfig(
+            t_switch=60.0, p_switch=0.8, sim_time=300.0, seed=seed
+        )
+    )
+
+
+@pytest.mark.parametrize("name,seed", list(oracle_cases()))
+def test_registered_protocol_recovery_line_admits_no_orphan(name, seed):
+    trace = workload_trace(seed)
+    protocol = registry[name](trace.n_hosts, trace.n_mss)
+    run = annotate_replay(trace, protocol)
+    assert run.messages, "workload produced no consumed message"
+
+    try:
+        line = build_recovery_line(run, protocol)
+    except NotImplementedError:
+        if hasattr(protocol, "required_indices"):
+            # TP: every anchored line must close orphan-free.
+            for anchor in range(trace.n_hosts):
+                anchored = tp_anchored_line(run, protocol, anchor)
+                assert find_orphans(run, anchored) == [], (
+                    f"anchored line of host {anchor} has orphans"
+                )
+            return
+        # Uncoordinated baseline: audit the naive cut (xfail above).
+        naive = {h: run.last_checkpoint(h) for h in range(run.n_hosts)}
+        assert is_consistent(run, naive)
+        return
+
+    assert find_orphans(run, line) == []
+    # Independent definition of consistency: line members are pairwise
+    # causally unordered.
+    assert CausalOrder(run).line_is_consistent(line)
