@@ -17,6 +17,10 @@ Subcommands
     Sweep a config grid with the invariant audit armed (orphan-freedom
     of recovery lines, fused-vs-reference equivalence, counter/log
     consistency) and print the violation/telemetry report.
+
+Exit codes are standardized across subcommands: 0 = success, 1 =
+violations / failed validation / grid holes, 2 = usage error, 130 =
+interrupted (SIGINT drained a partial result).
 """
 
 from __future__ import annotations
@@ -26,6 +30,12 @@ import sys
 from typing import Optional, Sequence
 
 from repro.workload.config import WorkloadConfig
+
+#: Standard exit codes (also documented in docs/resilience.md).
+EXIT_OK = 0
+EXIT_FAILURE = 1  # violations, failed validation, quarantined holes
+EXIT_USAGE = 2  # argparse errors, unknown protocols
+EXIT_INTERRUPTED = 130  # 128 + SIGINT, the shell convention
 
 
 def _add_workload_args(parser: argparse.ArgumentParser) -> None:
@@ -55,6 +65,12 @@ def _workload_from(args) -> WorkloadConfig:
 def _cmd_figure(args) -> int:
     from repro.experiments import figure_report, run_figure, validate_figure
 
+    resume = args.resume
+    journal = args.journal
+    if resume and journal is None:
+        # Resuming normally wants new completions appended to the same
+        # ledger, so --resume implies --journal at the same path.
+        journal = resume
     result = run_figure(
         args.number,
         sim_time=args.sim_time,
@@ -65,12 +81,30 @@ def _cmd_figure(args) -> int:
         cache_dir=args.cache_dir,
         audit=args.audit,
         telemetry_path=args.telemetry,
+        task_timeout_s=args.task_timeout,
+        max_task_retries=args.retries,
+        journal_path=journal,
+        resume_from=resume,
     )
+    if result.interrupted:
+        done = sum(len(p.telemetry) for p in result.points)
+        total = len(result.config.t_switch_values) * len(result.config.seeds)
+        print(
+            f"interrupted: {done}/{total} tasks finished"
+            + (f" (journal: {journal})" if journal else "")
+        )
+        return EXIT_INTERRUPTED
     print(figure_report(result, figure=args.number))
     report = validate_figure(result, spread_tolerance=args.spread_tolerance)
     print()
     print(report)
     ok = report.ok
+    if result.errors:
+        print()
+        print(f"{len(result.errors)} task(s) quarantined (holes in the grid):")
+        for error in result.errors:
+            print(f"  {error}")
+        ok = False
     if args.audit:
         from repro.experiments import validate_audit
 
@@ -82,7 +116,7 @@ def _cmd_figure(args) -> int:
         ok = ok and audit_report.ok
     if args.telemetry:
         print(f"\ntelemetry written to {args.telemetry}")
-    return 0 if ok else 1
+    return EXIT_OK if ok else EXIT_FAILURE
 
 
 def _cmd_audit(args) -> int:
@@ -91,17 +125,26 @@ def _cmd_audit(args) -> int:
     from repro.obs.telemetry import write_jsonl
 
     base = _workload_from(args)
-    config = SweepConfig(
-        base=base,
-        t_switch_values=tuple(args.sweep),
-        protocols=tuple(args.protocols),
-        seeds=tuple(args.seeds),
-        workers=args.workers,
-        use_cache=not args.no_cache,
-        cache_dir=args.cache_dir,
-        audit=True,
-    ).validate()
+    try:
+        config = SweepConfig(
+            base=base,
+            t_switch_values=tuple(args.sweep),
+            protocols=tuple(args.protocols),
+            seeds=tuple(args.seeds),
+            workers=args.workers,
+            use_cache=not args.no_cache,
+            cache_dir=args.cache_dir,
+            audit=True,
+        ).validate()
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return EXIT_USAGE
     grid = run_audit_grid(config)
+    if grid.sweep.interrupted:
+        done = sum(len(p.telemetry) for p in grid.sweep.points)
+        total = len(config.t_switch_values) * len(config.seeds)
+        print(f"interrupted: {done}/{total} tasks finished")
+        return EXIT_INTERRUPTED
     print(grid.report())
     if args.telemetry:
         write_jsonl(
@@ -110,7 +153,8 @@ def _cmd_audit(args) -> int:
             summary=grid.sweep.telemetry_summary(),
         )
         print(f"\ntelemetry written to {args.telemetry}")
-    return 0 if grid.ok else 1
+    ok = grid.ok and not grid.sweep.errors
+    return EXIT_OK if ok else EXIT_FAILURE
 
 
 def _cmd_compare(args) -> int:
@@ -128,7 +172,7 @@ def _cmd_compare(args) -> int:
     for name in names:
         if name not in registry:
             print(f"unknown protocol {name!r}; known: {sorted(registry)}")
-            return 2
+            return EXIT_USAGE
         result = replay(trace, registry[name](cfg.n_hosts, cfg.n_mss))
         s = result.metrics.stats
         print(
@@ -161,7 +205,7 @@ def _cmd_replay(args) -> int:
     for name in args.protocols:
         if name not in registry:
             print(f"unknown protocol {name!r}; known: {sorted(registry)}")
-            return 2
+            return EXIT_USAGE
         result = replay(trace, registry[name](trace.n_hosts, trace.n_mss))
         s = result.metrics.stats
         print(f"{name:>9}: N_tot={s.n_total} basic={s.n_basic} forced={s.n_forced}")
@@ -212,7 +256,7 @@ def _cmd_failures(args) -> int:
     print(f"  recovery downtime   : {result.total_recovery_downtime:.3f}")
     print(f"  stale msgs dropped  : {result.stale_messages_dropped}")
     print(f"  availability        : {100 * result.availability:.2f}%")
-    return 0
+    return EXIT_OK
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -251,6 +295,27 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--telemetry", default=None, metavar="PATH",
         help="write per-task run telemetry (JSONL) to PATH",
+    )
+    p.add_argument(
+        "--journal", default=None, metavar="PATH",
+        help="append-only JSONL ledger of completed (point, seed) "
+        "tasks (fsynced; makes the sweep crash-safe)",
+    )
+    p.add_argument(
+        "--resume", default=None, metavar="PATH",
+        help="resume from a journal written by an earlier run of the "
+        "same sweep: only missing tasks re-execute (implies "
+        "--journal PATH unless given separately)",
+    )
+    p.add_argument(
+        "--task-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-(point, seed) task deadline; overrunning tasks are "
+        "retried, then quarantined",
+    )
+    p.add_argument(
+        "--retries", type=int, default=2,
+        help="re-dispatches per failed task before quarantine "
+        "(default 2)",
     )
     p.set_defaults(fn=_cmd_figure)
 
@@ -318,9 +383,19 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    """Entry point: parse *argv* and dispatch; returns the exit code."""
+    """Entry point: parse *argv* and dispatch; returns the exit code.
+
+    Codes: 0 = ok, 1 = violations/failed validation/grid holes, 2 =
+    usage error (argparse convention), 130 = interrupted.
+    """
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except KeyboardInterrupt:
+        # A force-quit (second SIGINT) or an interrupt outside the
+        # supervised sweep loop: report the shell convention.
+        print("interrupted", file=sys.stderr)
+        return EXIT_INTERRUPTED
 
 
 if __name__ == "__main__":  # pragma: no cover

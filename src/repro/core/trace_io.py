@@ -5,11 +5,19 @@ numpy arrays plus the trace header/metadata as a JSON string.  A
 50k-time-unit trace (~300k events) round-trips in well under a second
 and compresses to a few hundred KiB, so recorded workloads can ship
 with papers or bug reports and be replayed bit-identically elsewhere.
+
+Every file carries a SHA-256 digest over the event columns and header,
+so a truncated or bit-flipped file is detected at load time
+(:class:`TraceIntegrityError`) instead of silently replaying garbage --
+the trace cache relies on this to treat corrupt entries as misses.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
+import struct
+import zipfile
 from pathlib import Path
 from typing import Union
 
@@ -19,6 +27,25 @@ from repro.core.trace import EventType, Trace, TraceEvent
 
 #: Format version written into every file.
 FORMAT_VERSION = 1
+
+
+class TraceIntegrityError(ValueError):
+    """A stored trace failed its checksum or structural decode.
+
+    Raised by :func:`load_trace` when the file is truncated, bit-flipped
+    or otherwise not the bytes :func:`save_trace` wrote.  Subclasses
+    ``ValueError`` so pre-existing ``except ValueError`` handlers keep
+    working.
+    """
+
+
+def _column_digest(header_json: str, columns) -> str:
+    """Hex SHA-256 over the header JSON and the raw column bytes."""
+    h = hashlib.sha256()
+    h.update(header_json.encode("utf-8"))
+    for arr in columns:
+        h.update(np.ascontiguousarray(arr).tobytes())
+    return h.hexdigest()
 
 
 def save_trace(trace: Trace, path: Union[str, Path]) -> None:
@@ -44,9 +71,14 @@ def save_trace(trace: Trace, path: Union[str, Path]) -> None:
         "sim_time": trace.sim_time,
         "meta": trace.meta,
     }
+    header_json = json.dumps(header)
+    digest = _column_digest(
+        header_json, (time, etype, host, msg_id, peer, cell)
+    )
     np.savez_compressed(
         str(path),
-        header=np.frombuffer(json.dumps(header).encode("utf-8"), dtype=np.uint8),
+        header=np.frombuffer(header_json.encode("utf-8"), dtype=np.uint8),
+        digest=np.frombuffer(digest.encode("ascii"), dtype=np.uint8),
         time=time,
         etype=etype,
         host=host,
@@ -56,22 +88,67 @@ def save_trace(trace: Trace, path: Union[str, Path]) -> None:
     )
 
 
-def load_trace(path: Union[str, Path], validate: bool = True) -> Trace:
+def load_trace(
+    path: Union[str, Path], validate: bool = True, verify: bool = False
+) -> Trace:
     """Read a trace written by :func:`save_trace`.
 
     Raises ``ValueError`` on unknown format versions; validates the
-    trace structurally unless ``validate=False``.
+    trace structurally unless ``validate=False``.  ``verify=True``
+    additionally recomputes the stored SHA-256 column digest and raises
+    :class:`TraceIntegrityError` on mismatch (files written before the
+    digest existed fail verification too); any undecodable file --
+    truncated zip, garbage bytes, missing arrays -- is reported as a
+    :class:`TraceIntegrityError` as well.
     """
     path = Path(path)
     if not path.exists() and path.with_suffix(path.suffix + ".npz").exists():
         path = path.with_suffix(path.suffix + ".npz")
+    try:
+        trace = _load_trace_inner(path, verify=verify)
+    except TraceIntegrityError:
+        raise
+    except (
+        OSError,
+        ValueError,
+        KeyError,
+        EOFError,
+        zipfile.BadZipFile,
+        struct.error,
+    ) as exc:
+        if isinstance(exc, FileNotFoundError):
+            raise
+        raise TraceIntegrityError(
+            f"cannot decode trace file {path}: {exc!r}"
+        ) from exc
+    return trace.validate() if validate else trace
+
+
+def _load_trace_inner(path: Path, verify: bool) -> Trace:
     with np.load(path) as data:
-        header = json.loads(bytes(data["header"]).decode("utf-8"))
+        header_json = bytes(data["header"]).decode("utf-8")
+        header = json.loads(header_json)
         if header.get("format_version") != FORMAT_VERSION:
             raise ValueError(
                 f"unsupported trace format version "
                 f"{header.get('format_version')!r} (expected {FORMAT_VERSION})"
             )
+        if verify:
+            columns = tuple(
+                data[name]
+                for name in ("time", "etype", "host", "msg_id", "peer", "cell")
+            )
+            stored = (
+                bytes(data["digest"]).decode("ascii")
+                if "digest" in data.files
+                else None
+            )
+            computed = _column_digest(header_json, columns)
+            if stored != computed:
+                raise TraceIntegrityError(
+                    f"trace file {path} failed checksum verification "
+                    f"(stored {stored!r}, computed {computed[:16]}...)"
+                )
         events = [
             TraceEvent(
                 time=float(t),
@@ -90,11 +167,10 @@ def load_trace(path: Union[str, Path], validate: bool = True) -> Trace:
                 data["cell"],
             )
         ]
-    trace = Trace(
+    return Trace(
         n_hosts=int(header["n_hosts"]),
         n_mss=int(header["n_mss"]),
         events=events,
         sim_time=float(header["sim_time"]),
         meta=dict(header["meta"]),
     )
-    return trace.validate() if validate else trace

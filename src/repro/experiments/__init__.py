@@ -5,6 +5,8 @@
   optionally fanned out over a process pool.
 * :mod:`repro.experiments.figures` -- one entry per paper figure.
 * :mod:`repro.experiments.report` -- paper-style tables, gains, plots.
+* :mod:`repro.experiments.resilience` -- fault-tolerant execution:
+  per-task supervision, pool healing, the sweep journal and resumption.
 * :mod:`repro.experiments.validation` -- the paper's qualitative claims
   checked against measured sweeps.
 """
@@ -12,6 +14,11 @@
 from repro.experiments.config import SweepConfig
 from repro.experiments.figures import FIGURE_PARAMS, run_figure
 from repro.experiments.report import figure_report, gains_table, points_table
+from repro.experiments.resilience import (
+    SweepJournal,
+    TaskError,
+    sweep_config_hash,
+)
 from repro.experiments.runner import (
     PointResult,
     SweepResult,
@@ -28,13 +35,16 @@ __all__ = [
     "FIGURE_PARAMS",
     "PointResult",
     "SweepConfig",
+    "SweepJournal",
     "SweepResult",
+    "TaskError",
     "figure_report",
     "gains_table",
     "points_table",
     "run_figure",
     "run_point",
     "run_sweep",
+    "sweep_config_hash",
     "validate_audit",
     "validate_figure",
     "validate_paper_claims",

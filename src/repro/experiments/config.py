@@ -53,6 +53,34 @@ class SweepConfig:
         as JSONL (with a trailing summary line) after the sweep.
         Telemetry is *collected* regardless; this only controls file
         emission.
+    task_timeout_s:
+        Per-(point, seed) task deadline in seconds; a task that
+        exceeds it is aborted (worker-side alarm, plus a hung-worker
+        watchdog on pooled runs) and retried.  None disables the
+        deadline.
+    max_task_retries:
+        How many times a failed task (timeout, worker crash, corrupt
+        cache, protocol error) is re-dispatched before being
+        quarantined.  A quarantined task becomes an explicit hole in
+        the :class:`~repro.experiments.runner.SweepResult` (recorded in
+        ``SweepResult.errors``) instead of aborting the whole grid.
+    retry_backoff_s:
+        Base delay before a retry; attempt ``k`` waits
+        ``retry_backoff_s * 2**(k-1)`` seconds, scaled by up to
+        ``retry_jitter`` of random jitter so retries of many tasks
+        don't stampede.
+    retry_jitter:
+        Relative jitter (0..1) applied on top of the exponential
+        backoff.
+    journal_path:
+        Append-only JSONL ledger of completed tasks (fsynced per
+        entry).  A sweep that crashes or is interrupted keeps every
+        finished (point, seed) cell on disk for resumption.
+    resume_from:
+        Path of a journal written by an earlier run of *the same*
+        sweep; completed cells found there (verified against this
+        config's hash) are loaded instead of re-executed, so only
+        missing tasks run.  Usually the same path as ``journal_path``.
     """
 
     base: WorkloadConfig = field(default_factory=WorkloadConfig)
@@ -64,6 +92,12 @@ class SweepConfig:
     cache_dir: Optional[str] = None
     audit: bool = False
     telemetry_path: Optional[str] = None
+    task_timeout_s: Optional[float] = None
+    max_task_retries: int = 2
+    retry_backoff_s: float = 0.05
+    retry_jitter: float = 0.1
+    journal_path: Optional[str] = None
+    resume_from: Optional[str] = None
 
     def validate(self) -> "SweepConfig":
         """Check the sweep parameters; returns self (chainable)."""
@@ -83,4 +117,12 @@ class SweepConfig:
             raise ValueError("need at least one seed")
         if self.workers < 0:
             raise ValueError("workers must be >= 0")
+        if self.task_timeout_s is not None and self.task_timeout_s <= 0:
+            raise ValueError("task_timeout_s must be positive (or None)")
+        if self.max_task_retries < 0:
+            raise ValueError("max_task_retries must be >= 0")
+        if self.retry_backoff_s < 0:
+            raise ValueError("retry_backoff_s must be >= 0")
+        if not 0 <= self.retry_jitter <= 1:
+            raise ValueError("retry_jitter must be in [0, 1]")
         return self

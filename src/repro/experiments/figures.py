@@ -47,6 +47,10 @@ def figure_sweep_config(
     cache_dir: Optional[str] = None,
     audit: bool = False,
     telemetry_path: Optional[str] = None,
+    task_timeout_s: Optional[float] = None,
+    max_task_retries: int = 2,
+    journal_path: Optional[str] = None,
+    resume_from: Optional[str] = None,
 ) -> SweepConfig:
     """Sweep configuration reproducing one paper figure.
 
@@ -73,6 +77,10 @@ def figure_sweep_config(
         cache_dir=cache_dir,
         audit=audit,
         telemetry_path=telemetry_path,
+        task_timeout_s=task_timeout_s,
+        max_task_retries=max_task_retries,
+        journal_path=journal_path,
+        resume_from=resume_from,
     ).validate()
 
 
@@ -86,11 +94,17 @@ def run_figure(
     cache_dir: Optional[str] = None,
     audit: bool = False,
     telemetry_path: Optional[str] = None,
+    task_timeout_s: Optional[float] = None,
+    max_task_retries: int = 2,
+    journal_path: Optional[str] = None,
+    resume_from: Optional[str] = None,
 ) -> SweepResult:
     """Run one paper figure end to end and return the sweep result.
 
     ``audit=True`` arms the per-task invariant audit (violations land
     on the result); ``telemetry_path`` writes the run telemetry JSONL.
+    ``journal_path`` / ``resume_from`` make the sweep crash-safe and
+    resumable (see docs/resilience.md).
     """
     cfg = figure_sweep_config(
         figure,
@@ -102,5 +116,9 @@ def run_figure(
         cache_dir=cache_dir,
         audit=audit,
         telemetry_path=telemetry_path,
+        task_timeout_s=task_timeout_s,
+        max_task_retries=max_task_retries,
+        journal_path=journal_path,
+        resume_from=resume_from,
     )
     return run_sweep(cfg)

@@ -1,0 +1,675 @@
+"""Fault-tolerant, resumable sweep execution.
+
+The sweep engine runs large (point, seed) Monte-Carlo grids on a
+persistent process pool; this module is its crash-and-recover layer --
+the same discipline the paper's checkpointing protocols give mobile
+hosts, applied to our own long-running experiments:
+
+* **Per-task supervision** -- every (t_switch, seed) task runs under a
+  configurable deadline (worker-side alarm) and is retried with
+  exponential backoff + jitter on failure.  Failures carry a structured
+  taxonomy (:class:`TaskError`: ``timeout`` / ``worker-crash`` /
+  ``cache-corrupt`` / ``protocol-error``), and a task that keeps
+  failing is *quarantined*: it becomes an explicit hole in the
+  :class:`~repro.experiments.runner.SweepResult` instead of aborting
+  the grid.
+* **Pool self-healing** -- a worker crash breaks a
+  ``ProcessPoolExecutor``; the supervisor detects it, rebuilds the
+  pool, and re-dispatches every task that was in flight.  A hung-worker
+  watchdog kills workers that blow far past the task deadline (the
+  alarm cannot fire inside C code), which routes them through the same
+  healing path.
+* **Sweep journal** -- an append-only JSONL ledger
+  (:class:`SweepJournal`) of completed task results, fsynced per entry
+  and created via tmp+rename, keyed by a hash of the sweep's
+  result-determining configuration.  ``SweepConfig.resume_from`` loads
+  a journal back and re-runs only the missing (point, seed) cells.
+* **Graceful draining** -- SIGINT/SIGTERM stop dispatch, let the
+  journal keep everything already finished, and hand back a partial
+  result flagged ``interrupted`` (a second SIGINT force-quits).
+
+Because every task is a pure function of its config, a sweep that
+crashed, hung, lost workers or was interrupted still converges to a
+result *value-identical* to a fault-free run once completed or resumed
+-- the chaos tests (``tests/experiments/test_chaos.py``) assert exactly
+that.
+"""
+
+from __future__ import annotations
+
+import errno
+import hashlib
+import heapq
+import json
+import os
+import random
+import signal
+import tempfile
+import threading
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, BrokenExecutor
+from concurrent.futures import wait as futures_wait
+from dataclasses import asdict, dataclass, field
+from typing import Any, Optional, Sequence
+
+#: The TaskError.kind vocabulary.
+TASK_ERROR_KINDS = (
+    "timeout",
+    "worker-crash",
+    "cache-corrupt",
+    "protocol-error",
+)
+
+#: Journal format version (header field; bumped on breaking changes).
+JOURNAL_VERSION = 1
+
+#: Environment variable naming a directory of chaos-injection flags
+#: (test-only; see :func:`_maybe_chaos`).
+CHAOS_DIR_ENV = "REPRO_CHAOS_DIR"
+
+#: Supervisor poll interval while tasks are in flight, seconds.
+_TICK_S = 0.05
+
+#: Extra slack the hung-worker watchdog grants beyond the task deadline
+#: before it starts killing workers (the worker-side alarm should have
+#: fired long before this).
+_WATCHDOG_GRACE_S = 5.0
+
+
+class TaskTimeout(Exception):
+    """Raised inside a worker when a task blows its deadline."""
+
+
+class JournalConfigMismatch(ValueError):
+    """A journal's config hash does not match the resuming sweep."""
+
+
+@dataclass(slots=True)
+class TaskError:
+    """One quarantined (or still-retrying) sweep task failure."""
+
+    #: One of :data:`TASK_ERROR_KINDS`.
+    kind: str
+    t_switch: float
+    seed: int
+    #: Attempts made when the error was recorded (1 = first try).
+    attempts: int = 1
+    detail: str = ""
+
+    def __str__(self) -> str:
+        return (
+            f"{self.kind}(t_switch={self.t_switch:g} seed={self.seed} "
+            f"attempts={self.attempts}): {self.detail or 'no detail'}"
+        )
+
+    def as_json_dict(self) -> dict[str, Any]:
+        """Plain-JSON form (journal / telemetry emission)."""
+        return asdict(self)
+
+
+@dataclass(slots=True)
+class ExecutionReport:
+    """What :func:`execute` hands back to the runner."""
+
+    #: Task outcomes aligned with the grid's task order; ``None`` marks
+    #: a hole (quarantined task, or not reached before an interrupt).
+    outcomes: list
+    #: Quarantined tasks (terminal failures), dispatch order.
+    errors: list[TaskError] = field(default_factory=list)
+    #: Tasks served from the resume journal instead of re-executed.
+    resumed: int = 0
+    #: Re-dispatches that happened across the sweep.
+    retries: int = 0
+    #: True when SIGINT/SIGTERM drained the sweep early.
+    interrupted: bool = False
+
+
+# ----------------------------------------------------------------------
+# config hashing
+# ----------------------------------------------------------------------
+def sweep_config_hash(config) -> str:
+    """Hash of the sweep fields that determine *result values*.
+
+    Covers the workload config (via the trace cache's canonical
+    :func:`~repro.workload.cache.config_key`), the grid, the protocol
+    set and the audit switch.  Execution knobs (workers, cache, journal
+    paths, retry policy) are deliberately excluded: they change how a
+    sweep runs, never what it computes, so a journal stays resumable
+    across them.
+    """
+    from repro.workload.cache import config_key
+
+    payload = {
+        "base": config_key(config.base),
+        "t_switch_values": [repr(float(t)) for t in config.t_switch_values],
+        "protocols": list(config.protocols),
+        "seeds": [int(s) for s in config.seeds],
+        "audit": bool(config.audit),
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# the sweep journal
+# ----------------------------------------------------------------------
+class SweepJournal:
+    """Append-only JSONL ledger of completed sweep tasks.
+
+    Line 1 is a header ``{"kind": "header", "version": ...,
+    "config_hash": ...}``; every completed task appends one
+    ``{"kind": "task", ...}`` line carrying its runs, telemetry and
+    audit violations.  The file is *created* atomically (header written
+    to a tmp file, fsynced, renamed into place) and every append is
+    flushed and fsynced, so a crash loses at most the line being
+    written -- and the loader ignores a torn trailing line.
+    """
+
+    def __init__(self, path, config_hash: str):
+        self.path = os.fspath(path)
+        self.config_hash = config_hash
+        self._fh = None
+
+    # -- creation / opening -------------------------------------------
+    def open(self) -> "SweepJournal":
+        """Create the journal (atomic) or re-open a matching one."""
+        if os.path.exists(self.path):
+            header = self._read_header(self.path)
+            if header.get("config_hash") != self.config_hash:
+                raise JournalConfigMismatch(
+                    f"journal {self.path} was written for config hash "
+                    f"{header.get('config_hash')!r}, not "
+                    f"{self.config_hash!r}; refusing to append"
+                )
+        else:
+            parent = os.path.dirname(self.path) or "."
+            os.makedirs(parent, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=parent, prefix=".journal-", suffix=".tmp"
+            )
+            try:
+                header = {
+                    "kind": "header",
+                    "version": JOURNAL_VERSION,
+                    "config_hash": self.config_hash,
+                }
+                with os.fdopen(fd, "w") as fh:
+                    fh.write(json.dumps(header, sort_keys=True) + "\n")
+                    fh.flush()
+                    os.fsync(fh.fileno())
+                os.replace(tmp, self.path)
+            except BaseException:
+                if os.path.exists(tmp):
+                    os.unlink(tmp)
+                raise
+        self._fh = open(self.path, "a")
+        return self
+
+    @staticmethod
+    def _read_header(path) -> dict:
+        with open(path) as fh:
+            first = fh.readline().strip()
+        try:
+            header = json.loads(first) if first else {}
+        except ValueError:
+            header = {}
+        if header.get("kind") != "header":
+            raise JournalConfigMismatch(
+                f"{path} is not a sweep journal (missing header line)"
+            )
+        return header
+
+    # -- appending -----------------------------------------------------
+    def record(
+        self,
+        t_switch: float,
+        seed: int,
+        runs,
+        telemetry,
+        violations,
+        attempts: int = 1,
+    ) -> None:
+        """Append one completed task; flushed and fsynced before
+        returning, so the entry survives any subsequent crash."""
+        if self._fh is None:
+            raise RuntimeError("journal is not open")
+        entry = {
+            "kind": "task",
+            "t_switch": float(t_switch),
+            "seed": int(seed),
+            "attempts": int(attempts),
+            "runs": [asdict(r) for r in runs],
+            "telemetry": telemetry.as_json_dict(),
+            "violations": [v.as_dict() for v in violations],
+        }
+        self._fh.write(json.dumps(entry, sort_keys=True) + "\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    # -- loading -------------------------------------------------------
+    @staticmethod
+    def load(path, config_hash: str) -> dict[tuple[float, int], tuple]:
+        """Completed task outcomes from *path*, keyed ``(t_switch,
+        seed)``.
+
+        Verifies the header's config hash against *config_hash*
+        (raising :class:`JournalConfigMismatch` otherwise) and skips
+        undecodable lines -- a torn trailing line from a crash mid-append
+        simply isn't resumed.  Values are ``(t_switch, seed, runs,
+        telemetry, violations)`` tuples shaped exactly like a live
+        ``_evaluate_task`` outcome.
+        """
+        from repro.experiments.runner import RunOutcome
+        from repro.obs.audit import AuditViolation
+        from repro.obs.telemetry import TaskTelemetry
+
+        header = SweepJournal._read_header(path)
+        if header.get("config_hash") != config_hash:
+            raise JournalConfigMismatch(
+                f"journal {path} was written for config hash "
+                f"{header.get('config_hash')!r}, not {config_hash!r}"
+            )
+        entries: dict[tuple[float, int], tuple] = {}
+        with open(path) as fh:
+            fh.readline()  # header, already verified
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    obj = json.loads(line)
+                    if obj.get("kind") != "task":
+                        continue
+                    t = float(obj["t_switch"])
+                    seed = int(obj["seed"])
+                    runs = [RunOutcome(**r) for r in obj["runs"]]
+                    telemetry = TaskTelemetry(**obj["telemetry"])
+                    violations = [
+                        AuditViolation(**v) for v in obj["violations"]
+                    ]
+                except (ValueError, KeyError, TypeError):
+                    continue  # torn or foreign line: not resumable
+                entries[(t, seed)] = (t, seed, runs, telemetry, violations)
+        return entries
+
+
+# ----------------------------------------------------------------------
+# worker-side supervision
+# ----------------------------------------------------------------------
+def _alarm_usable() -> bool:
+    return (
+        hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+
+
+class _deadline:
+    """Context manager: raise :class:`TaskTimeout` after *seconds*.
+
+    Uses ``SIGALRM``/``setitimer`` where available (POSIX main thread);
+    elsewhere it is a no-op and the parent-side watchdog is the only
+    defense against hangs.
+    """
+
+    def __init__(self, seconds: Optional[float]):
+        self.seconds = seconds
+        self._armed = False
+        self._previous = None
+
+    def __enter__(self):
+        if self.seconds and _alarm_usable():
+            def _fire(signum, frame):
+                raise TaskTimeout(f"task exceeded {self.seconds:g}s")
+
+            self._previous = signal.signal(signal.SIGALRM, _fire)
+            signal.setitimer(signal.ITIMER_REAL, self.seconds)
+            self._armed = True
+        return self
+
+    def __exit__(self, *exc):
+        if self._armed:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            signal.signal(signal.SIGALRM, self._previous)
+        return False
+
+
+def _maybe_chaos(t_switch: float, seed: int) -> None:
+    """Test-only fault injection hook for the chaos harness.
+
+    When ``REPRO_CHAOS_DIR`` names a directory, a flag file
+    ``kill-<t_switch>-<seed>`` makes this worker die hard
+    (``os._exit``, breaking the whole pool),
+    ``hang-<t_switch>-<seed>`` makes it sleep past any deadline, and
+    ``fail-<t_switch>-<seed>`` raises a plain task-local error (the
+    worker survives).  Each flag is consumed (unlinked) before acting,
+    so the injected fault strikes exactly one attempt and the retry
+    succeeds.  No-op outside the chaos tests.
+    """
+    chaos_dir = os.environ.get(CHAOS_DIR_ENV)
+    if not chaos_dir:
+        return
+    cell = f"{t_switch:g}-{seed}"
+    if _consume_flag(os.path.join(chaos_dir, f"kill-{cell}")):
+        os._exit(1)
+    if _consume_flag(os.path.join(chaos_dir, f"hang-{cell}")):
+        time.sleep(3600.0)
+    if _consume_flag(os.path.join(chaos_dir, f"fail-{cell}")):
+        raise RuntimeError(f"chaos: injected failure on cell {cell}")
+
+
+def _consume_flag(path: str) -> bool:
+    try:
+        os.unlink(path)
+        return True
+    except OSError as exc:
+        if exc.errno not in (errno.ENOENT, errno.ENOTDIR):
+            raise
+        return False
+
+
+def _classify(exc: BaseException) -> str:
+    """Map a task exception onto the :data:`TASK_ERROR_KINDS` taxonomy."""
+    from repro.core.trace_io import TraceIntegrityError
+
+    if isinstance(exc, TaskTimeout):
+        return "timeout"
+    if isinstance(exc, TraceIntegrityError):
+        return "cache-corrupt"
+    if isinstance(exc, (BrokenExecutor, BrokenPipeError, SystemExit)):
+        return "worker-crash"
+    return "protocol-error"
+
+
+def _supervised_entry(index: int, args: tuple, timeout_s: Optional[float]):
+    """Pool entry point: run one task under its deadline.
+
+    Returns ``(index, outcome, None)`` on success or ``(index, None,
+    TaskError)`` on a failure the worker itself survived (timeouts,
+    protocol errors); a hard worker death surfaces in the parent as a
+    broken future instead.
+    """
+    t_switch, seed = args[1], args[2]
+    try:
+        _maybe_chaos(t_switch, seed)
+        with _deadline(timeout_s):
+            from repro.experiments.runner import _evaluate_task
+
+            outcome = _evaluate_task(*args)
+        return index, outcome, None
+    except Exception as exc:
+        return index, None, TaskError(
+            kind=_classify(exc),
+            t_switch=t_switch,
+            seed=seed,
+            detail=repr(exc),
+        )
+
+
+# ----------------------------------------------------------------------
+# signal draining
+# ----------------------------------------------------------------------
+class _SignalDrain:
+    """Install SIGINT/SIGTERM handlers that request a graceful drain.
+
+    First signal: set :attr:`triggered` (the supervisor stops
+    dispatching, flushes the journal, returns partial results).  Second
+    SIGINT: restore the default behavior so a stuck drain can still be
+    force-killed.  Outside the main thread (or where signals are
+    unavailable) this degrades to a no-op.
+    """
+
+    def __init__(self):
+        self.triggered = False
+        self._previous: dict[int, Any] = {}
+
+    def __enter__(self):
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                self._previous[sig] = signal.signal(sig, self._handle)
+            except (ValueError, OSError, AttributeError):
+                pass  # non-main thread / unsupported platform
+        return self
+
+    def _handle(self, signum, frame):
+        if self.triggered:  # second signal: give up gracefully draining
+            self.restore()
+            raise KeyboardInterrupt
+        self.triggered = True
+
+    def restore(self) -> None:
+        for sig, previous in self._previous.items():
+            try:
+                signal.signal(sig, previous)
+            except (ValueError, OSError):
+                pass
+        self._previous = {}
+
+    def __exit__(self, *exc):
+        self.restore()
+        return False
+
+
+# ----------------------------------------------------------------------
+# the supervisor
+# ----------------------------------------------------------------------
+@dataclass(slots=True)
+class _TaskSpec:
+    index: int
+    t_switch: float
+    seed: int
+    args: tuple
+
+
+def _backoff(config, attempt: int, rng: random.Random) -> float:
+    """Delay before re-dispatching a task that failed *attempt* times."""
+    base = config.retry_backoff_s * (2 ** max(0, attempt - 1))
+    return base * (1.0 + config.retry_jitter * rng.random())
+
+
+def execute(config, tasks: Sequence[tuple]) -> ExecutionReport:
+    """Run the sweep's task grid with supervision, healing, journaling
+    and resumption; the runner assembles the report into a
+    :class:`~repro.experiments.runner.SweepResult`.
+
+    *tasks* is the point-major list of ``_evaluate_task`` argument
+    tuples (``tasks[i][1]`` / ``tasks[i][2]`` are the task's t_switch
+    and seed).
+    """
+    specs = [_TaskSpec(i, t[1], t[2], tuple(t)) for i, t in enumerate(tasks)]
+    report = ExecutionReport(outcomes=[None] * len(specs))
+    config_hash = sweep_config_hash(config)
+
+    if config.resume_from and os.path.exists(config.resume_from):
+        entries = SweepJournal.load(config.resume_from, config_hash)
+        for spec in specs:
+            hit = entries.get((spec.t_switch, spec.seed))
+            if hit is not None:
+                report.outcomes[spec.index] = hit
+                report.resumed += 1
+
+    journal = None
+    if config.journal_path:
+        journal = SweepJournal(config.journal_path, config_hash).open()
+
+    pending = [s for s in specs if report.outcomes[s.index] is None]
+    # Deterministic jitter per sweep: retries are reproducible and
+    # tests can reason about delays.
+    rng = random.Random(int(config_hash[:8], 16))
+    try:
+        with _SignalDrain() as drain:
+            if config.workers > 1 and pending:
+                _run_pooled(config, pending, report, journal, drain, rng)
+            elif pending:
+                _run_serial(config, pending, report, journal, drain, rng)
+            report.interrupted = drain.triggered
+    finally:
+        if journal is not None:
+            journal.close()
+    return report
+
+
+def _complete(spec, outcome, attempts, report, journal) -> None:
+    t, seed, runs, telemetry, violations = outcome
+    telemetry.attempts = attempts
+    report.outcomes[spec.index] = outcome
+    if journal is not None:
+        journal.record(
+            t, seed, runs, telemetry, violations, attempts=attempts
+        )
+
+
+def _run_serial(config, pending, report, journal, drain, rng) -> None:
+    from repro.experiments.runner import _evaluate_task
+
+    for spec in pending:
+        if drain.triggered:
+            return
+        attempts = 0
+        while True:
+            attempts += 1
+            try:
+                with _deadline(config.task_timeout_s):
+                    outcome = _evaluate_task(*spec.args)
+                _complete(spec, outcome, attempts, report, journal)
+                break
+            except KeyboardInterrupt:
+                raise
+            except Exception as exc:
+                error = TaskError(
+                    kind=_classify(exc),
+                    t_switch=spec.t_switch,
+                    seed=spec.seed,
+                    attempts=attempts,
+                    detail=repr(exc),
+                )
+                if attempts > config.max_task_retries or drain.triggered:
+                    report.errors.append(error)
+                    break
+                report.retries += 1
+                time.sleep(_backoff(config, attempts, rng))
+
+
+def _run_pooled(config, pending, report, journal, drain, rng) -> None:
+    from repro.experiments import runner as _runner
+
+    queue = deque(pending)
+    waiting: list[tuple[float, int, _TaskSpec]] = []  # (due, tie, spec)
+    tie = 0
+    attempts: dict[int, int] = {}
+    inflight: dict = {}  # future -> spec
+    deadlines: dict = {}  # future -> watchdog deadline (monotonic)
+    watchdog_budget = (
+        config.task_timeout_s * 1.5 + _WATCHDOG_GRACE_S
+        if config.task_timeout_s
+        else None
+    )
+    pool = _runner._get_pool(config.workers)
+
+    def fail(spec: _TaskSpec, error: TaskError) -> None:
+        nonlocal tie
+        error.attempts = attempts[spec.index]
+        if attempts[spec.index] > config.max_task_retries:
+            report.errors.append(error)  # quarantined: explicit hole
+        elif drain.triggered:
+            pass  # draining: leave the cell for a resumed run
+        else:
+            report.retries += 1
+            due = time.monotonic() + _backoff(
+                config, attempts[spec.index], rng
+            )
+            tie += 1
+            heapq.heappush(waiting, (due, tie, spec))
+
+    while queue or waiting or inflight:
+        if drain.triggered:
+            # Drain: abandon queued and waiting work, let in-flight
+            # tasks finish (they journal), then return.
+            queue.clear()
+            waiting.clear()
+            if not inflight:
+                return
+        now = time.monotonic()
+        while waiting and waiting[0][0] <= now:
+            queue.append(heapq.heappop(waiting)[2])
+        # -- dispatch ---------------------------------------------------
+        while queue and not drain.triggered:
+            spec = queue.popleft()
+            attempts[spec.index] = attempts.get(spec.index, 0) + 1
+            try:
+                future = pool.submit(
+                    _supervised_entry,
+                    spec.index,
+                    spec.args,
+                    config.task_timeout_s,
+                )
+            except (BrokenExecutor, RuntimeError):
+                # The pool died between tasks: heal it and re-dispatch.
+                attempts[spec.index] -= 1
+                queue.appendleft(spec)
+                pool = _runner._get_pool(config.workers)
+                continue
+            inflight[future] = spec
+            if watchdog_budget is not None:
+                deadlines[future] = time.monotonic() + watchdog_budget
+        if not inflight:
+            if waiting and not drain.triggered:
+                time.sleep(
+                    min(_TICK_S, max(0.0, waiting[0][0] - time.monotonic()))
+                )
+            continue
+        # -- collect ----------------------------------------------------
+        done, _ = futures_wait(
+            set(inflight), timeout=_TICK_S, return_when=FIRST_COMPLETED
+        )
+        pool_broke = False
+        for future in done:
+            spec = inflight.pop(future)
+            deadlines.pop(future, None)
+            try:
+                _, outcome, error = future.result()
+            except Exception as exc:
+                # The worker died (os._exit, SIGKILL, OOM): the future
+                # breaks, and usually the whole executor with it.
+                pool_broke = True
+                outcome, error = None, TaskError(
+                    kind="worker-crash",
+                    t_switch=spec.t_switch,
+                    seed=spec.seed,
+                    detail=repr(exc),
+                )
+            if error is None:
+                _complete(
+                    spec, outcome, attempts[spec.index], report, journal
+                )
+            else:
+                fail(spec, error)
+        # -- heal -------------------------------------------------------
+        if pool_broke or getattr(pool, "_broken", False):
+            pool = _runner._get_pool(config.workers)
+        # -- hung-worker watchdog --------------------------------------
+        if deadlines:
+            now = time.monotonic()
+            hung = [f for f, dl in deadlines.items() if dl <= now]
+            if hung:
+                # The worker-side alarm failed to fire (blocked in C
+                # code or alarm-less platform): kill the workers; the
+                # broken futures route through the healing path above.
+                _kill_pool_workers(pool)
+                for f in hung:
+                    deadlines.pop(f, None)
+
+
+def _kill_pool_workers(pool) -> None:
+    """Forcefully terminate a pool's worker processes (watchdog path)."""
+    processes = getattr(pool, "_processes", None) or {}
+    for process in list(processes.values()):
+        try:
+            process.terminate()
+        except (OSError, AttributeError):  # already gone
+            pass

@@ -26,6 +26,13 @@ record (wall time, trace cache tier, event counts, worker pid,
 per-protocol checkpoint counters), and ``SweepConfig.audit`` arms the
 invariant audit of :mod:`repro.obs.audit` on each task -- see
 docs/simulation-model.md, "Auditing & telemetry".
+
+Execution is supervised by :mod:`repro.experiments.resilience`: tasks
+run under per-task deadlines with retry/backoff, a broken pool is
+rebuilt and its in-flight tasks re-dispatched, completed tasks can be
+journaled for crash-safe resumption, and SIGINT/SIGTERM drain the
+sweep into a partial result instead of losing it -- see
+docs/resilience.md.
 """
 
 from __future__ import annotations
@@ -34,6 +41,7 @@ import atexit
 import csv
 import os
 import time
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from multiprocessing import get_context
 from typing import Optional, Sequence
@@ -124,11 +132,32 @@ class SweepResult:
     violations: list = field(default_factory=list)
     #: Wall time of the whole sweep as seen by :func:`run_sweep`.
     sweep_wall_s: float = 0.0
+    #: Quarantined tasks (terminal :class:`TaskError` records); each is
+    #: an explicit hole in the grid rather than an aborted sweep.
+    errors: list = field(default_factory=list)
+    #: Tasks served from a resume journal instead of re-executed.
+    resumed_tasks: int = 0
+    #: Re-dispatches (retries) that happened across the sweep.
+    task_retries: int = 0
+    #: True when the sweep was drained early by SIGINT/SIGTERM; the
+    #: points cover only the tasks that finished (plus resumed ones).
+    interrupted: bool = False
 
     @property
     def telemetry(self) -> list[TaskTelemetry]:
         """All task telemetry records, (point, seed)-ordered."""
         return [rec for point in self.points for rec in point.telemetry]
+
+    @property
+    def n_holes(self) -> int:
+        """Grid cells with no outcome (quarantined or not reached)."""
+        expected = len(self.config.t_switch_values) * len(self.config.seeds)
+        return expected - sum(len(p.telemetry) for p in self.points)
+
+    @property
+    def complete(self) -> bool:
+        """True iff every (point, seed) cell produced a result."""
+        return self.n_holes == 0 and not self.interrupted
 
     def telemetry_summary(self) -> TelemetrySummary:
         """Aggregate telemetry (busy time, utilization, cache tiers)."""
@@ -136,6 +165,8 @@ class SweepResult:
             self.telemetry,
             sweep_wall_s=self.sweep_wall_s,
             workers=max(1, self.config.workers),
+            n_quarantined=len(self.errors),
+            n_resumed=self.resumed_tasks,
         )
 
     def curve(self, protocol: str) -> list[tuple[float, float]]:
@@ -234,24 +265,31 @@ def _evaluate_task(
     return t_switch, seed, runs, telemetry, violations
 
 
-def _pool_task(args: tuple):  # pragma: no cover - subprocess
-    """Picklable pool entry: run one task, echo its position back."""
-    index, task = args
-    return index, _evaluate_task(*task)
-
-
 #: Persistent worker pool, reused across sweeps in this process.
-_pool = None
+_pool: Optional[ProcessPoolExecutor] = None
 _pool_size = 0
 
 
-def _get_pool(workers: int):
-    """Return the process pool, recreating it when the width changes."""
+def _pool_is_broken(pool: ProcessPoolExecutor) -> bool:
+    """True when *pool* can no longer accept work (a worker died or it
+    was shut down) and must be replaced, not reused."""
+    return bool(getattr(pool, "_broken", False)) or bool(
+        getattr(pool, "_shutdown_thread", None)
+    )
+
+
+def _get_pool(workers: int) -> ProcessPoolExecutor:
+    """Return the process pool, recreating it when the width changes or
+    the cached executor has broken (a dead worker poisons a
+    ``ProcessPoolExecutor`` permanently -- reusing it would fail every
+    subsequent sweep)."""
     global _pool, _pool_size
-    if _pool is not None and _pool_size != workers:
+    if _pool is not None and (_pool_size != workers or _pool_is_broken(_pool)):
         shutdown_pool()
     if _pool is None:
-        _pool = get_context("spawn").Pool(workers)
+        _pool = ProcessPoolExecutor(
+            max_workers=workers, mp_context=get_context("spawn")
+        )
         _pool_size = workers
     return _pool
 
@@ -260,8 +298,7 @@ def shutdown_pool() -> None:
     """Terminate the persistent sweep pool (no-op when none exists)."""
     global _pool, _pool_size
     if _pool is not None:
-        _pool.terminate()
-        _pool.join()
+        _pool.shutdown(wait=False, cancel_futures=True)
         _pool = None
         _pool_size = 0
 
@@ -276,16 +313,23 @@ def _assemble(
     """Deterministic reassembly: points follow ``t_switch_values``
     order and each point's runs are seed-major in ``seeds`` order,
     regardless of task completion order.  Telemetry and audit
-    violations follow the same (point, seed) order."""
+    violations follow the same (point, seed) order.  ``None`` outcomes
+    (quarantined tasks, interrupted sweeps) are holes: the cell is
+    simply absent from the point."""
     by_key = {
         (t, seed): (runs, telemetry, violations)
-        for t, seed, runs, telemetry, violations in outcomes
+        for t, seed, runs, telemetry, violations in (
+            o for o in outcomes if o is not None
+        )
     }
     result = SweepResult(config=config)
     for t in config.t_switch_values:
         point = PointResult(t_switch=t)
         for seed in config.seeds:
-            runs, telemetry, violations = by_key[(t, seed)]
+            cell = by_key.get((t, seed))
+            if cell is None:
+                continue  # explicit hole
+            runs, telemetry, violations = cell
             point.runs.extend(runs)
             point.telemetry.append(telemetry)
             result.violations.extend(violations)
@@ -333,23 +377,28 @@ def run_sweep(config: SweepConfig) -> SweepResult:
     """Run the whole sweep; uses the persistent process pool when
     ``workers > 1``, fanning out over (point, seed) tasks.
 
+    Execution goes through the resilience supervisor
+    (:func:`repro.experiments.resilience.execute`): per-task deadlines
+    and retries, pool healing, journaling/resumption and graceful
+    signal draining all apply according to the config's knobs.  A task
+    that exhausts its retries becomes a hole in the result (see
+    :attr:`SweepResult.errors`), never an aborted sweep.
+
     Telemetry is collected for every task; when
     ``config.telemetry_path`` is set the records (plus an aggregate
     summary line) are written there as JSONL.  In audit mode the
     result additionally carries every invariant violation found."""
+    from repro.experiments.resilience import execute
+
     config.validate()
     started = time.perf_counter()
     tasks = _tasks(config)
-    if config.workers > 1:
-        pool = _get_pool(config.workers)
-        outcomes = [None] * len(tasks)
-        for index, outcome in pool.imap_unordered(
-            _pool_task, list(enumerate(tasks))
-        ):
-            outcomes[index] = outcome
-    else:
-        outcomes = [_evaluate_task(*task) for task in tasks]
-    result = _assemble(config, outcomes)
+    report = execute(config, tasks)
+    result = _assemble(config, report.outcomes)
+    result.errors = report.errors
+    result.resumed_tasks = report.resumed
+    result.task_retries = report.retries
+    result.interrupted = report.interrupted
     result.sweep_wall_s = time.perf_counter() - started
     if config.telemetry_path:
         from repro.obs.telemetry import write_jsonl

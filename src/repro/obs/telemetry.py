@@ -55,6 +55,9 @@ class TaskTelemetry:
     counters: dict[str, dict[str, int]] = field(default_factory=dict)
     #: Audit violations found on this task (0 when audit is off).
     n_violations: int = 0
+    #: Dispatch attempts the supervisor needed for this task (1 = first
+    #: try succeeded; >1 means timeouts/crashes forced retries).
+    attempts: int = 1
 
     def as_json_dict(self) -> dict[str, Any]:
         """Plain-JSON form (one telemetry JSONL line)."""
@@ -79,6 +82,12 @@ class TelemetrySummary:
     #: pid -> busy seconds (worker load balance).
     busy_by_pid: dict[int, float] = field(default_factory=dict)
     n_violations: int = 0
+    #: Re-dispatches across successful tasks (sum of attempts - 1).
+    n_retries: int = 0
+    #: Tasks quarantined after exhausting their retries (grid holes).
+    n_quarantined: int = 0
+    #: Tasks served from a resume journal instead of executed.
+    n_resumed: int = 0
 
     def __str__(self) -> str:
         src = " ".join(
@@ -86,12 +95,20 @@ class TelemetrySummary:
             for name in TRACE_SOURCES
             if self.trace_sources.get(name)
         )
+        resilience = ""
+        if self.n_retries or self.n_quarantined or self.n_resumed:
+            resilience = (
+                f"; retries: {self.n_retries}, "
+                f"quarantined: {self.n_quarantined}, "
+                f"resumed: {self.n_resumed}"
+            )
         return (
             f"{self.n_tasks} tasks in {self.sweep_wall_s:.2f}s wall "
             f"({self.total_task_wall_s:.2f}s busy, {self.workers} worker(s), "
             f"{100 * self.utilization:.0f}% utilization); "
             f"trace sources: {src or 'none'}; "
             f"violations: {self.n_violations}"
+            f"{resilience}"
         )
 
 
@@ -99,11 +116,15 @@ def summarize(
     records: Sequence[TaskTelemetry],
     sweep_wall_s: float = 0.0,
     workers: int = 1,
+    n_quarantined: int = 0,
+    n_resumed: int = 0,
 ) -> TelemetrySummary:
     """Aggregate *records* into a :class:`TelemetrySummary`.
 
     ``workers`` counts execution lanes, so serial runs pass 1 (the
     sweep configs' ``workers=0`` convention is normalised by callers).
+    ``n_quarantined`` / ``n_resumed`` come from the sweep supervisor --
+    quarantined tasks have no telemetry record to count from.
     """
     workers = max(1, workers)
     total = sum(r.wall_time_s for r in records)
@@ -124,6 +145,9 @@ def summarize(
         trace_sources=sources,
         busy_by_pid=busy,
         n_violations=sum(r.n_violations for r in records),
+        n_retries=sum(max(0, r.attempts - 1) for r in records),
+        n_quarantined=n_quarantined,
+        n_resumed=n_resumed,
     )
 
 

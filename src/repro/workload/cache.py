@@ -112,6 +112,8 @@ class TraceCache:
         self.disk_hits = 0
         #: Required a fresh generate_trace call.
         self.misses = 0
+        #: Disk entries that failed checksum/decode and were evicted.
+        self.corrupt_evictions = 0
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -157,9 +159,20 @@ class TraceCache:
             return None
         from repro.core import trace_io
 
-        # The stored trace was validated at generation time; skip the
-        # O(events) structural re-check on the hot path.
-        return trace_io.load_trace(path, validate=False)
+        try:
+            # The stored trace was validated at generation time; skip
+            # the O(events) structural re-check but verify the column
+            # checksum so a truncated/bit-flipped file cannot replay.
+            return trace_io.load_trace(path, validate=False, verify=True)
+        except trace_io.TraceIntegrityError:
+            # A corrupt entry is a miss: evict it so the regenerated
+            # trace can take its slot, never poison the sweep.
+            self.corrupt_evictions += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
 
     # ------------------------------------------------------------------
     def get_or_generate(self, config: WorkloadConfig) -> Trace:
@@ -192,13 +205,16 @@ class TraceCache:
         """Drop the memory tier and reset counters (disk files stay)."""
         self._memory.clear()
         self.hits = self.disk_hits = self.misses = 0
+        self.corrupt_evictions = 0
 
     def stats(self) -> dict[str, int]:
-        """Counter snapshot: hits / disk_hits / misses / entries."""
+        """Counter snapshot: hits / disk_hits / misses / corrupt /
+        entries."""
         return {
             "hits": self.hits,
             "disk_hits": self.disk_hits,
             "misses": self.misses,
+            "corrupt_evictions": self.corrupt_evictions,
             "entries": len(self._memory),
         }
 

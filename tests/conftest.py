@@ -1,0 +1,59 @@
+"""Shared pytest plumbing.
+
+Provides a minimal fallback for the ``timeout`` marker when the
+``pytest-timeout`` plugin is not installed: a ``SIGALRM``-based
+per-test deadline (POSIX main thread only) so a hung sweep test fails
+fast instead of stalling the whole run.  With ``pytest-timeout``
+present (CI installs it) the real plugin takes over and this fallback
+stays out of the way.
+"""
+
+import signal
+import threading
+
+import pytest
+
+try:  # the real plugin wins when available
+    import pytest_timeout  # noqa: F401
+
+    HAVE_PYTEST_TIMEOUT = True
+except ImportError:
+    HAVE_PYTEST_TIMEOUT = False
+
+
+def _fallback_usable() -> bool:
+    return (
+        hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+
+
+if not HAVE_PYTEST_TIMEOUT:
+
+    def pytest_configure(config):
+        config.addinivalue_line(
+            "markers",
+            "timeout(seconds): fail the test if it runs longer than "
+            "SECONDS (fallback implementation; install pytest-timeout "
+            "for the real one)",
+        )
+
+    @pytest.hookimpl(wrapper=True)
+    def pytest_runtest_call(item):
+        marker = item.get_closest_marker("timeout")
+        seconds = float(marker.args[0]) if marker and marker.args else 0.0
+        if seconds <= 0 or not _fallback_usable():
+            return (yield)
+
+        def _expired(signum, frame):
+            pytest.fail(
+                f"test exceeded its {seconds:g}s timeout", pytrace=False
+            )
+
+        previous = signal.signal(signal.SIGALRM, _expired)
+        signal.setitimer(signal.ITIMER_REAL, seconds)
+        try:
+            return (yield)
+        finally:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            signal.signal(signal.SIGALRM, previous)

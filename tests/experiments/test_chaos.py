@@ -1,0 +1,216 @@
+"""Chaos tests: the sweep engine under injected faults.
+
+These kill real worker processes mid-sweep, hang tasks past their
+deadline and corrupt on-disk cache entries, then assert the final
+``SweepResult`` is value-identical to a fault-free run -- the
+acceptance bar for the resilience layer.  Fault injection uses the
+``REPRO_CHAOS_DIR`` flag-file hook consumed by the worker entry
+(:func:`repro.experiments.resilience._maybe_chaos`); each flag strikes
+exactly one attempt, so the retry path must heal the sweep.
+"""
+
+import json
+import os
+import signal
+import time
+from concurrent.futures.process import BrokenProcessPool
+
+import pytest
+
+from repro.experiments import SweepConfig, run_sweep
+from repro.experiments import runner as runner_mod
+from repro.experiments.resilience import (
+    CHAOS_DIR_ENV,
+    SweepJournal,
+    sweep_config_hash,
+)
+from repro.experiments.runner import _get_pool, shutdown_pool
+from repro.workload import WorkloadConfig
+
+pytestmark = pytest.mark.timeout(300)
+
+GRID = dict(t_switch_values=(100.0, 800.0), seeds=(0, 1))
+
+
+def sweep_config(**overrides):
+    kw = dict(
+        base=WorkloadConfig(p_switch=0.8, sim_time=200.0),
+        workers=2,
+        retry_backoff_s=0.01,
+        **GRID,
+    )
+    kw.update(overrides)
+    return SweepConfig(**kw)
+
+
+def _values(result):
+    return [[r for r in p.runs] for p in result.points]
+
+
+@pytest.fixture(autouse=True)
+def fresh_pool():
+    """Chaos flags ride on os.environ, which workers inherit at spawn:
+    every test must start (and leave behind) a clean pool."""
+    shutdown_pool()
+    yield
+    shutdown_pool()
+
+
+# ----------------------------------------------------------------------
+# picklable helpers for pool-level tests (spawn imports this module)
+# ----------------------------------------------------------------------
+def _die_hard():  # pragma: no cover - dies before returning
+    os._exit(1)
+
+
+def _ping(x):  # pragma: no cover - runs in a worker
+    return x + 1
+
+
+# ----------------------------------------------------------------------
+# the acceptance chaos test
+# ----------------------------------------------------------------------
+def test_killed_workers_and_corrupt_cache_still_converge(
+    tmp_path, monkeypatch
+):
+    """Workers killed mid-sweep + one corrupted cache entry: the sweep
+    completes with results value-identical to a fault-free run."""
+    cache_dir = tmp_path / "cache"
+    chaos_dir = tmp_path / "chaos"
+    chaos_dir.mkdir()
+
+    # Fault-free baseline (serial) -- also populates the disk cache.
+    baseline = run_sweep(sweep_config(workers=0, cache_dir=str(cache_dir)))
+    assert baseline.complete
+
+    # Corrupt one cache entry in place (truncation).
+    entries = sorted(cache_dir.glob("*.npz"))
+    assert entries
+    data = entries[0].read_bytes()
+    entries[0].write_bytes(data[: len(data) // 2])
+
+    # Arm worker kills for two different cells.
+    (chaos_dir / "kill-100-0").touch()
+    (chaos_dir / "kill-800-1").touch()
+    monkeypatch.setenv(CHAOS_DIR_ENV, str(chaos_dir))
+
+    result = run_sweep(sweep_config(
+        cache_dir=str(cache_dir), max_task_retries=3
+    ))
+    assert result.complete
+    assert not result.errors
+    assert result.task_retries >= 2  # both killed cells were re-dispatched
+    assert _values(result) == _values(baseline)
+    # All flags were consumed: the faults really fired.
+    assert not list(chaos_dir.iterdir())
+
+
+def test_journal_resume_reexecutes_only_missing_cells(tmp_path, monkeypatch):
+    """A journaled sweep with a quarantined cell resumes by running
+    exactly the missing (point, seed) tasks."""
+    journal = str(tmp_path / "sweep.jsonl")
+    chaos_dir = tmp_path / "chaos"
+    chaos_dir.mkdir()
+    cache_dir = str(tmp_path / "cache")
+
+    baseline = run_sweep(sweep_config(workers=0, cache_dir=cache_dir))
+
+    # First run: zero retries, so one task-local fault on cell (800, 0)
+    # quarantines it and leaves exactly one hole.  (A kill- flag would
+    # break the whole pool and take the other in-flight cells down with
+    # it -- worker-crash blast radius is covered by the test above.)
+    (chaos_dir / "fail-800-0").touch()
+    monkeypatch.setenv(CHAOS_DIR_ENV, str(chaos_dir))
+    first = run_sweep(sweep_config(
+        cache_dir=cache_dir, journal_path=journal, max_task_retries=0
+    ))
+    assert first.n_holes == 1
+    (error,) = first.errors
+    assert error.kind == "protocol-error"
+    assert (error.t_switch, error.seed) == (800.0, 0)
+
+    cfg = sweep_config(cache_dir=cache_dir)
+    journaled = SweepJournal.load(journal, sweep_config_hash(cfg))
+    assert (800.0, 0) not in journaled
+    assert len(journaled) == 3
+
+    # Resume: only the missing cell may execute.  The chaos flag was
+    # consumed, so its retry-free re-run now succeeds.
+    monkeypatch.delenv(CHAOS_DIR_ENV)
+    resumed = run_sweep(sweep_config(
+        cache_dir=cache_dir, journal_path=journal, resume_from=journal
+    ))
+    assert resumed.complete
+    assert resumed.resumed_tasks == 3
+    assert _values(resumed) == _values(baseline)
+    # The journal's new entries are exactly the previously missing cell.
+    with open(journal) as fh:
+        tasks = [
+            obj
+            for obj in (json.loads(line) for line in fh)
+            if obj.get("kind") == "task"
+        ]
+    appended = tasks[len(journaled):]
+    assert [(t["t_switch"], t["seed"]) for t in appended] == [(800.0, 0)]
+
+
+@pytest.mark.skipif(
+    not hasattr(signal, "SIGALRM"), reason="needs POSIX alarms in workers"
+)
+def test_hung_worker_times_out_and_recovers(tmp_path, monkeypatch):
+    """A task hanging past its deadline is aborted by the worker-side
+    alarm, retried, and the sweep still converges."""
+    chaos_dir = tmp_path / "chaos"
+    chaos_dir.mkdir()
+    cache_dir = str(tmp_path / "cache")
+    baseline = run_sweep(sweep_config(workers=0, cache_dir=cache_dir))
+
+    (chaos_dir / "hang-100-1").touch()
+    monkeypatch.setenv(CHAOS_DIR_ENV, str(chaos_dir))
+    started = time.perf_counter()
+    result = run_sweep(sweep_config(
+        cache_dir=cache_dir, task_timeout_s=1.0, max_task_retries=2
+    ))
+    assert time.perf_counter() - started < 120.0
+    assert result.complete
+    assert result.task_retries >= 1
+    assert _values(result) == _values(baseline)
+    (record,) = [
+        r for r in result.telemetry if (r.t_switch, r.seed) == (100.0, 1)
+    ]
+    assert record.attempts >= 2
+
+
+# ----------------------------------------------------------------------
+# broken-pool regression (satellite): _get_pool must not hand back a
+# poisoned executor
+# ----------------------------------------------------------------------
+def test_get_pool_detects_and_replaces_broken_executor():
+    pool = _get_pool(2)
+    future = pool.submit(_die_hard)
+    with pytest.raises(BrokenProcessPool):
+        future.result(timeout=60)
+    # The executor is now permanently broken...
+    with pytest.raises(BrokenProcessPool):
+        pool.submit(_ping, 1)
+    # ...but _get_pool notices and hands back a working replacement.
+    healed = _get_pool(2)
+    assert healed is not pool
+    assert healed.submit(_ping, 41).result(timeout=60) == 42
+
+
+def test_get_pool_reuses_healthy_executor():
+    pool = _get_pool(2)
+    assert pool.submit(_ping, 1).result(timeout=60) == 2
+    assert _get_pool(2) is pool
+    assert _get_pool(3) is not pool  # width change still recreates
+
+
+def test_sweep_completes_after_externally_broken_pool(tmp_path):
+    """A sweep right after some earlier code broke the shared pool must
+    transparently rebuild it (the old bug: cached forever-broken pool)."""
+    pool = _get_pool(2)
+    with pytest.raises(BrokenProcessPool):
+        pool.submit(_die_hard).result(timeout=60)
+    result = run_sweep(sweep_config(cache_dir=str(tmp_path / "cache")))
+    assert result.complete

@@ -109,3 +109,108 @@ def test_figure_requires_valid_number():
 def test_missing_subcommand_errors():
     with pytest.raises(SystemExit):
         main([])
+
+
+# ----------------------------------------------------------------------
+# standardized exit codes: 0 ok, 1 failure, 2 usage, 130 interrupted
+# ----------------------------------------------------------------------
+def _fail_one_cell(monkeypatch, t_switch, seed):
+    """Patch the task body so exactly one (point, seed) cell errors."""
+    from repro.experiments import runner as runner_mod
+
+    real = runner_mod._evaluate_task
+
+    def sabotaged(*args):
+        if (args[1], args[2]) == (t_switch, seed):
+            raise RuntimeError("injected task failure")
+        return real(*args)
+
+    monkeypatch.setattr(runner_mod, "_evaluate_task", sabotaged)
+
+
+def test_figure_exit_code_1_on_quarantined_hole(monkeypatch, capsys):
+    _fail_one_cell(monkeypatch, 500.0, 1)
+    rc = main(
+        [
+            "figure", "1",
+            "--sim-time", "400",
+            "--seeds", "0", "1",
+            "--sweep", "100", "500",
+            "--retries", "0",
+        ]
+    )
+    assert rc == 1
+    out = capsys.readouterr().out
+    assert "quarantined" in out
+    assert "protocol-error" in out
+
+
+def test_figure_exit_code_130_on_interrupt(monkeypatch, capsys):
+    import repro.cli as cli
+
+    def interrupted(args):
+        raise KeyboardInterrupt
+
+    monkeypatch.setattr(cli, "_cmd_figure", interrupted)
+    rc = main(["figure", "1"])
+    assert rc == 130
+    assert "interrupted" in capsys.readouterr().err
+
+
+def test_figure_usage_errors_exit_2():
+    with pytest.raises(SystemExit) as exc:
+        main(["figure", "9"])
+    assert exc.value.code == 2
+    with pytest.raises(SystemExit) as exc:
+        main([])
+    assert exc.value.code == 2
+
+
+def test_figure_journal_and_resume_roundtrip(tmp_path, capsys):
+    journal = str(tmp_path / "sweep.jsonl")
+    args = [
+        "figure", "1",
+        "--sim-time", "400",
+        "--seeds", "0",
+        "--sweep", "100", "1000",
+    ]
+    assert main(args + ["--journal", journal]) == 0
+    # Resume against the complete journal: nothing re-executes, the
+    # figure is rebuilt from the ledger, and the exit code stays 0.
+    assert main(args + ["--resume", journal]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 1" in out and "[PASS]" in out
+
+
+def test_audit_exit_code_0_when_clean(capsys):
+    rc = main(
+        [
+            "audit",
+            "--sim-time", "400",
+            "--seeds", "0",
+            "--sweep", "100", "1000",
+            "--protocols", "BCS",
+        ]
+    )
+    assert rc == 0
+    assert "audit" in capsys.readouterr().out.lower()
+
+
+def test_audit_exit_code_1_on_quarantined_hole(monkeypatch, capsys):
+    _fail_one_cell(monkeypatch, 1000.0, 0)
+    rc = main(
+        [
+            "audit",
+            "--sim-time", "400",
+            "--seeds", "0",
+            "--sweep", "100", "1000",
+            "--protocols", "BCS",
+        ]
+    )
+    assert rc == 1
+
+
+def test_audit_unknown_protocol_exits_2(capsys):
+    rc = main(["audit", "--protocols", "NOPE", "--sim-time", "200"])
+    assert rc == 2
+    assert "unknown protocols" in capsys.readouterr().err
