@@ -39,6 +39,16 @@ class TraceIntegrityError(ValueError):
     """
 
 
+class TraceDigestMissing(TraceIntegrityError):
+    """A stored trace carries no column digest (pre-digest legacy file).
+
+    Raised by ``load_trace(verify=True)`` when the file has no
+    ``digest`` array at all -- distinct from a checksum *mismatch* so
+    callers (the trace cache) can fall back to a structural validation
+    instead of condemning every legacy file as corrupt.
+    """
+
+
 def _column_digest(header_json: str, columns) -> str:
     """Hex SHA-256 over the header JSON and the raw column bytes."""
     h = hashlib.sha256()
@@ -96,8 +106,9 @@ def load_trace(
     Raises ``ValueError`` on unknown format versions; validates the
     trace structurally unless ``validate=False``.  ``verify=True``
     additionally recomputes the stored SHA-256 column digest and raises
-    :class:`TraceIntegrityError` on mismatch (files written before the
-    digest existed fail verification too); any undecodable file --
+    :class:`TraceIntegrityError` on mismatch (a file written before the
+    digest existed raises the :class:`TraceDigestMissing` subclass so
+    callers can tell "legacy" from "damaged"); any undecodable file --
     truncated zip, garbage bytes, missing arrays -- is reported as a
     :class:`TraceIntegrityError` as well.
     """
@@ -134,15 +145,16 @@ def _load_trace_inner(path: Path, verify: bool) -> Trace:
                 f"{header.get('format_version')!r} (expected {FORMAT_VERSION})"
             )
         if verify:
+            if "digest" not in data.files:
+                raise TraceDigestMissing(
+                    f"trace file {path} has no stored digest (written "
+                    f"before checksums existed) and cannot be verified"
+                )
             columns = tuple(
                 data[name]
                 for name in ("time", "etype", "host", "msg_id", "peer", "cell")
             )
-            stored = (
-                bytes(data["digest"]).decode("ascii")
-                if "digest" in data.files
-                else None
-            )
+            stored = bytes(data["digest"]).decode("ascii")
             computed = _column_digest(header_json, columns)
             if stored != computed:
                 raise TraceIntegrityError(

@@ -16,9 +16,11 @@ hosts, applied to our own long-running experiments:
 * **Pool self-healing** -- a worker crash breaks a
   ``ProcessPoolExecutor``; the supervisor detects it, rebuilds the
   pool, and re-dispatches every task that was in flight.  A hung-worker
-  watchdog kills workers that blow far past the task deadline (the
+  watchdog kills workers whose task blows far past its deadline (the
   alarm cannot fire inside C code), which routes them through the same
-  healing path.
+  healing path; the watchdog clock starts when a task begins
+  *executing*, not when it is submitted, and in-flight siblings lost
+  to the kill are re-dispatched without spending a retry.
 * **Sweep journal** -- an append-only JSONL ledger
   (:class:`SweepJournal`) of completed task results, fsynced per entry
   and created via tmp+rename, keyed by a hash of the sweep's
@@ -345,11 +347,13 @@ def _maybe_chaos(t_switch: float, seed: int) -> None:
     When ``REPRO_CHAOS_DIR`` names a directory, a flag file
     ``kill-<t_switch>-<seed>`` makes this worker die hard
     (``os._exit``, breaking the whole pool),
-    ``hang-<t_switch>-<seed>`` makes it sleep past any deadline, and
+    ``hang-<t_switch>-<seed>`` makes it sleep past any deadline,
     ``fail-<t_switch>-<seed>`` raises a plain task-local error (the
-    worker survives).  Each flag is consumed (unlinked) before acting,
-    so the injected fault strikes exactly one attempt and the retry
-    succeeds.  No-op outside the chaos tests.
+    worker survives), and ``slow-<t_switch>-<seed>`` delays the task
+    by one second while staying well within its deadline.  Each flag
+    is consumed (unlinked) before acting, so the injected fault
+    strikes exactly one attempt and the retry succeeds.  No-op outside
+    the chaos tests.
     """
     chaos_dir = os.environ.get(CHAOS_DIR_ENV)
     if not chaos_dir:
@@ -361,6 +365,8 @@ def _maybe_chaos(t_switch: float, seed: int) -> None:
         time.sleep(3600.0)
     if _consume_flag(os.path.join(chaos_dir, f"fail-{cell}")):
         raise RuntimeError(f"chaos: injected failure on cell {cell}")
+    if _consume_flag(os.path.join(chaos_dir, f"slow-{cell}")):
+        time.sleep(1.0)
 
 
 def _consume_flag(path: str) -> bool:
@@ -402,7 +408,10 @@ def _supervised_entry(index: int, args: tuple, timeout_s: Optional[float]):
 
             outcome = _evaluate_task(*args)
         return index, outcome, None
-    except Exception as exc:
+    # SystemExit is caught here too: letting it escape would abort the
+    # pool worker's serve loop (and surface as a raw SystemExit from
+    # future.result() in the parent) for what is just a failed task.
+    except (Exception, SystemExit) as exc:
         return index, None, TaskError(
             kind=_classify(exc),
             t_switch=t_switch,
@@ -540,7 +549,7 @@ def _run_serial(config, pending, report, journal, drain, rng) -> None:
                 break
             except KeyboardInterrupt:
                 raise
-            except Exception as exc:
+            except (Exception, SystemExit) as exc:
                 error = TaskError(
                     kind=_classify(exc),
                     t_switch=spec.t_switch,
@@ -548,8 +557,13 @@ def _run_serial(config, pending, report, journal, drain, rng) -> None:
                     attempts=attempts,
                     detail=repr(exc),
                 )
-                if attempts > config.max_task_retries or drain.triggered:
+                if attempts > config.max_task_retries:
                     report.errors.append(error)
+                    break
+                if drain.triggered:
+                    # Draining with retries left: like the pooled path,
+                    # leave the cell as a plain hole a resumed run will
+                    # re-execute, not a quarantined error.
                     break
                 report.retries += 1
                 time.sleep(_backoff(config, attempts, rng))
@@ -563,7 +577,13 @@ def _run_pooled(config, pending, report, journal, drain, rng) -> None:
     tie = 0
     attempts: dict[int, int] = {}
     inflight: dict = {}  # future -> spec
+    # Watchdog deadlines, keyed by future, armed only once the future is
+    # observed ``running()`` -- never at submission, where a task still
+    # queued behind its siblings would be charged for their runtime and
+    # a deep backlog would read as a pool full of hung workers.
     deadlines: dict = {}  # future -> watchdog deadline (monotonic)
+    hung_killed: set = set()  # futures whose own hang triggered a kill
+    collateral: set = set()  # healthy in-flight futures doomed by it
     watchdog_budget = (
         config.task_timeout_s * 1.5 + _WATCHDOG_GRACE_S
         if config.task_timeout_s
@@ -598,7 +618,15 @@ def _run_pooled(config, pending, report, journal, drain, rng) -> None:
         while waiting and waiting[0][0] <= now:
             queue.append(heapq.heappop(waiting)[2])
         # -- dispatch ---------------------------------------------------
-        while queue and not drain.triggered:
+        # Cap in-flight work at the pool width so a submitted task
+        # starts executing (almost) immediately: that makes running()
+        # a faithful "began executing" signal for the watchdog below,
+        # and keeps the drain path from waiting on a deep backlog.
+        while (
+            queue
+            and not drain.triggered
+            and len(inflight) < config.workers
+        ):
             spec = queue.popleft()
             attempts[spec.index] = attempts.get(spec.index, 0) + 1
             try:
@@ -613,10 +641,9 @@ def _run_pooled(config, pending, report, journal, drain, rng) -> None:
                 attempts[spec.index] -= 1
                 queue.appendleft(spec)
                 pool = _runner._get_pool(config.workers)
+                deadlines.clear()
                 continue
             inflight[future] = spec
-            if watchdog_budget is not None:
-                deadlines[future] = time.monotonic() + watchdog_budget
         if not inflight:
             if waiting and not drain.triggered:
                 time.sleep(
@@ -631,38 +658,78 @@ def _run_pooled(config, pending, report, journal, drain, rng) -> None:
         for future in done:
             spec = inflight.pop(future)
             deadlines.pop(future, None)
+            was_hung = future in hung_killed
+            hung_killed.discard(future)
+            was_collateral = future in collateral
+            collateral.discard(future)
+            crashed = False
             try:
                 _, outcome, error = future.result()
-            except Exception as exc:
+            except KeyboardInterrupt:
+                raise
+            except BaseException as exc:
                 # The worker died (os._exit, SIGKILL, OOM): the future
-                # breaks, and usually the whole executor with it.
+                # breaks, and usually the whole executor with it.  The
+                # wide catch matters: a worker that raised SystemExit
+                # (or a cancelled future) re-raises a *non-Exception*
+                # BaseException from result(), and must route through
+                # the same fail path instead of crashing the supervisor.
+                crashed = True
                 pool_broke = True
-                outcome, error = None, TaskError(
-                    kind="worker-crash",
-                    t_switch=spec.t_switch,
-                    seed=spec.seed,
-                    detail=repr(exc),
-                )
+                outcome = None
+                if was_hung:
+                    error = TaskError(
+                        kind="timeout",
+                        t_switch=spec.t_switch,
+                        seed=spec.seed,
+                        detail=f"hung worker killed by watchdog: {exc!r}",
+                    )
+                else:
+                    error = TaskError(
+                        kind="worker-crash",
+                        t_switch=spec.t_switch,
+                        seed=spec.seed,
+                        detail=repr(exc),
+                    )
             if error is None:
                 _complete(
                     spec, outcome, attempts[spec.index], report, journal
                 )
+            elif crashed and was_collateral and not drain.triggered:
+                # This future died only because the watchdog shot the
+                # pool out from under a hung sibling: re-dispatch it
+                # without charging the task an attempt or a retry.
+                attempts[spec.index] -= 1
+                queue.append(spec)
             else:
                 fail(spec, error)
         # -- heal -------------------------------------------------------
         if pool_broke or getattr(pool, "_broken", False):
             pool = _runner._get_pool(config.workers)
+            # Every armed deadline belongs to a future of the dead
+            # pool; drop them so a stale one can never trigger a kill
+            # against the fresh pool's workers.
+            deadlines.clear()
         # -- hung-worker watchdog --------------------------------------
-        if deadlines:
+        if watchdog_budget is not None and inflight:
             now = time.monotonic()
+            for future in inflight:
+                if future not in deadlines and future.running():
+                    deadlines[future] = now + watchdog_budget
             hung = [f for f, dl in deadlines.items() if dl <= now]
             if hung:
                 # The worker-side alarm failed to fire (blocked in C
-                # code or alarm-less platform): kill the workers; the
-                # broken futures route through the healing path above.
-                _kill_pool_workers(pool)
+                # code or alarm-less platform).  Killing any worker
+                # breaks the standard-library pool as a unit, so the
+                # innocent in-flight futures are marked collateral:
+                # their re-dispatch above is free of retry accounting.
                 for f in hung:
                     deadlines.pop(f, None)
+                    hung_killed.add(f)
+                for f in inflight:
+                    if f not in hung_killed:
+                        collateral.add(f)
+                _kill_pool_workers(pool)
 
 
 def _kill_pool_workers(pool) -> None:

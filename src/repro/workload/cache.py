@@ -114,6 +114,9 @@ class TraceCache:
         self.misses = 0
         #: Disk entries that failed checksum/decode and were evicted.
         self.corrupt_evictions = 0
+        #: Pre-digest disk entries accepted after a structural
+        #: validation and rewritten in place with a checksum.
+        self.legacy_upgrades = 0
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -136,6 +139,9 @@ class TraceCache:
         path = self._disk_path(key)
         if path is None or path.exists():
             return
+        self._write_atomic(key, path, trace)
+
+    def _write_atomic(self, key: str, path: Path, trace: Trace) -> None:
         # Import locally-late so monkeypatched savers are honoured and
         # numpy stays off the import path of cache-less runs.
         from repro.core import trace_io
@@ -164,15 +170,39 @@ class TraceCache:
             # the O(events) structural re-check but verify the column
             # checksum so a truncated/bit-flipped file cannot replay.
             return trace_io.load_trace(path, validate=False, verify=True)
+        except trace_io.TraceDigestMissing:
+            return self._load_legacy(key, path)
         except trace_io.TraceIntegrityError:
-            # A corrupt entry is a miss: evict it so the regenerated
-            # trace can take its slot, never poison the sweep.
-            self.corrupt_evictions += 1
-            try:
-                path.unlink()
-            except OSError:
-                pass
-            return None
+            return self._evict_corrupt(path)
+
+    def _load_legacy(self, key: str, path: Path) -> Optional[Trace]:
+        """A pre-digest cache entry: accept it after a structural
+        validation (the only check those files ever had) and rewrite it
+        in place with a checksum so every later load verifies cheaply.
+        Evicting it instead would silently regenerate a whole existing
+        cache on upgrade."""
+        from repro.core import trace_io
+
+        try:
+            trace = trace_io.load_trace(path, validate=True, verify=False)
+        except (trace_io.TraceIntegrityError, ValueError):
+            return self._evict_corrupt(path)
+        self.legacy_upgrades += 1
+        try:
+            self._write_atomic(key, path, trace)
+        except OSError:
+            pass  # the upgrade is best-effort; the trace itself is good
+        return trace
+
+    def _evict_corrupt(self, path: Path) -> None:
+        # A corrupt entry is a miss: evict it so the regenerated
+        # trace can take its slot, never poison the sweep.
+        self.corrupt_evictions += 1
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        return None
 
     # ------------------------------------------------------------------
     def get_or_generate(self, config: WorkloadConfig) -> Trace:
@@ -206,15 +236,17 @@ class TraceCache:
         self._memory.clear()
         self.hits = self.disk_hits = self.misses = 0
         self.corrupt_evictions = 0
+        self.legacy_upgrades = 0
 
     def stats(self) -> dict[str, int]:
         """Counter snapshot: hits / disk_hits / misses / corrupt /
-        entries."""
+        legacy / entries."""
         return {
             "hits": self.hits,
             "disk_hits": self.disk_hits,
             "misses": self.misses,
             "corrupt_evictions": self.corrupt_evictions,
+            "legacy_upgrades": self.legacy_upgrades,
             "entries": len(self._memory),
         }
 

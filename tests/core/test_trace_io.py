@@ -77,6 +77,24 @@ def test_unknown_format_version_rejected(tmp_path):
         load_trace(path)
 
 
+def test_missing_digest_raises_digest_missing_on_verify(tmp_path):
+    from repro.core.trace_io import TraceDigestMissing, TraceIntegrityError
+
+    cfg = WorkloadConfig(sim_time=200.0, seed=1)
+    trace = generate_trace(cfg)
+    path = tmp_path / "legacy.npz"
+    save_trace(trace, path)
+    with np.load(path) as data:
+        arrays = {k: data[k] for k in data.files if k != "digest"}
+    np.savez(path, **arrays)  # a file from before checksums existed
+    with pytest.raises(TraceDigestMissing):
+        load_trace(path, verify=True)
+    assert issubclass(TraceDigestMissing, TraceIntegrityError)
+    # Without verification the legacy file still loads fine.
+    loaded = load_trace(path)
+    assert len(loaded) == len(trace)
+
+
 def test_load_validates_by_default(tmp_path):
     import json
 

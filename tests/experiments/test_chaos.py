@@ -181,6 +181,44 @@ def test_hung_worker_times_out_and_recovers(tmp_path, monkeypatch):
     assert record.attempts >= 2
 
 
+def test_backlog_deeper_than_watchdog_budget_is_not_killed(
+    tmp_path, monkeypatch
+):
+    """Regression: the watchdog clock must start when a task begins
+    executing, not at submission.  With deadlines armed at submit time,
+    any backlog deeper than the watchdog budget read as a pool full of
+    hung workers -- every worker was killed repeatedly and healthy
+    tasks burned their retries into quarantine."""
+    from repro.experiments import resilience
+
+    chaos_dir = tmp_path / "chaos"
+    chaos_dir.mkdir()
+    cache_dir = str(tmp_path / "cache")
+    grid = dict(t_switch_values=(100.0,), seeds=tuple(range(8)))
+    baseline = run_sweep(sweep_config(workers=0, cache_dir=cache_dir, **grid))
+
+    # Every task dawdles 1s inside a 2s deadline; with two workers and
+    # a zeroed grace the per-worker backlog (~4s+) far exceeds the 3s
+    # watchdog budget, so submission-time deadlines would all blow.
+    for seed in grid["seeds"]:
+        (chaos_dir / f"slow-100-{seed}").touch()
+    monkeypatch.setenv(CHAOS_DIR_ENV, str(chaos_dir))
+    monkeypatch.setattr(resilience, "_WATCHDOG_GRACE_S", 0.0)
+    # Warm the pool first so worker spawn/import time is not on any
+    # task's watchdog clock.
+    pool = _get_pool(2)
+    assert pool.submit(_ping, 1).result(timeout=60) == 2
+
+    result = run_sweep(sweep_config(
+        cache_dir=cache_dir, task_timeout_s=2.0, **grid
+    ))
+    assert result.complete
+    assert not result.errors
+    assert result.task_retries == 0  # no spurious watchdog kills
+    assert _values(result) == _values(baseline)
+    assert not list(chaos_dir.iterdir())  # every slow- flag really fired
+
+
 # ----------------------------------------------------------------------
 # broken-pool regression (satellite): _get_pool must not hand back a
 # poisoned executor

@@ -322,6 +322,38 @@ def test_serial_task_timeout_quarantines_hung_task(monkeypatch):
     assert (error.t_switch, error.seed) == (800.0, 1)
 
 
+def test_system_exit_in_task_is_quarantined_not_fatal(monkeypatch):
+    """A task raising SystemExit must be classified (worker-crash) and
+    quarantined like any failure, never exit the supervisor."""
+    cfg = sweep_config(use_cache=False, max_task_retries=0)
+    flaky = _FlakyTask(
+        runner_mod._evaluate_task, (100.0, 0), n=99, exc=SystemExit(3)
+    )
+    monkeypatch.setattr(runner_mod, "_evaluate_task", flaky)
+    result = run_sweep(cfg)
+    assert result.n_holes == 1
+    (error,) = result.errors
+    assert error.kind == "worker-crash"
+    assert (error.t_switch, error.seed) == (100.0, 0)
+
+
+def test_supervised_entry_survives_system_exit(monkeypatch):
+    """The worker entry point converts SystemExit into a TaskError so
+    the pool worker's serve loop is never aborted by a failed task."""
+    from repro.experiments.resilience import _supervised_entry
+
+    def exiting(*args):
+        raise SystemExit(2)
+
+    monkeypatch.setattr(runner_mod, "_evaluate_task", exiting)
+    index, outcome, error = _supervised_entry(
+        7, (None, 100.0, 3, (), False, None, False), None
+    )
+    assert index == 7 and outcome is None
+    assert error.kind == "worker-crash"
+    assert (error.t_switch, error.seed) == (100.0, 3)
+
+
 def test_task_error_serialization():
     error = TaskError(
         kind="timeout", t_switch=100.0, seed=3, attempts=2, detail="boom"
@@ -366,6 +398,32 @@ def test_sigint_drains_to_partial_result(tmp_path, monkeypatch):
     ))
     assert finished.complete
     assert finished.resumed_tasks == 2
+
+
+@pytest.mark.skipif(
+    not hasattr(signal, "SIGALRM"), reason="needs POSIX signals"
+)
+def test_drained_failure_with_retries_left_is_a_hole_not_an_error(
+    monkeypatch,
+):
+    """A task that fails while a drain is in progress (and still has
+    retries left) must stay a plain resumable hole, matching the pooled
+    path -- not be misreported as a quarantined error."""
+    real = runner_mod._evaluate_task
+
+    def interrupt_then_fail(*args):
+        if (args[1], args[2]) == (100.0, 1):
+            os.kill(os.getpid(), signal.SIGINT)
+            raise RuntimeError("transient failure during the drain")
+        return real(*args)
+
+    monkeypatch.setattr(runner_mod, "_evaluate_task", interrupt_then_fail)
+    cfg = sweep_config(use_cache=False, max_task_retries=5)
+    result = run_sweep(cfg)
+    assert result.interrupted
+    assert result.errors == []  # not quarantined: retries were left
+    assert sum(len(p.telemetry) for p in result.points) == 1
+    assert result.n_holes == 3
 
 
 # ----------------------------------------------------------------------

@@ -73,7 +73,7 @@ def test_memory_hit_returns_same_object():
     assert second is first
     assert cache.stats() == {
         "hits": 1, "disk_hits": 0, "misses": 1,
-        "corrupt_evictions": 0, "entries": 1,
+        "corrupt_evictions": 0, "legacy_upgrades": 0, "entries": 1,
     }
 
 
@@ -113,7 +113,7 @@ def test_clear_resets_counters_and_entries():
     cache.clear()
     assert cache.stats() == {
         "hits": 0, "disk_hits": 0, "misses": 0,
-        "corrupt_evictions": 0, "entries": 0,
+        "corrupt_evictions": 0, "legacy_upgrades": 0, "entries": 0,
     }
 
 
@@ -153,7 +153,7 @@ def test_disk_miss_counts_generation(tmp_path, monkeypatch):
     assert len(calls) == 1
     assert cache.stats() == {
         "hits": 0, "disk_hits": 1, "misses": 1,
-        "corrupt_evictions": 0, "entries": 0,
+        "corrupt_evictions": 0, "legacy_upgrades": 0, "entries": 0,
     }
 
 
@@ -228,6 +228,34 @@ def test_bitflipped_disk_entry_fails_checksum(tmp_path):
     regenerated = reader.get_or_generate(cfg())
     assert reader.stats()["corrupt_evictions"] == 1
     assert _trace_values(regenerated) == _trace_values(original)
+
+
+def test_legacy_entry_without_digest_is_upgraded_not_evicted(tmp_path):
+    """A cache entry written before the digest field existed must be
+    accepted (structural validation) and upgraded in place -- not
+    silently regenerated as 'corrupt' on every upgrade."""
+    import numpy as np
+
+    writer = TraceCache(disk_dir=tmp_path)
+    original = writer.get_or_generate(cfg())
+    (entry,) = tmp_path.glob("*.npz")
+    with np.load(entry) as data:
+        arrays = {k: data[k] for k in data.files if k != "digest"}
+    np.savez_compressed(entry, **arrays)  # a pre-checksum legacy file
+
+    reader = TraceCache(disk_dir=tmp_path)
+    loaded = reader.get_or_generate(cfg())
+    assert reader.stats()["disk_hits"] == 1
+    assert reader.stats()["misses"] == 0
+    assert reader.stats()["legacy_upgrades"] == 1
+    assert reader.stats()["corrupt_evictions"] == 0
+    assert _trace_values(loaded) == _trace_values(original)
+    # The entry was rewritten with a digest: a later cache verifies it
+    # as a plain (non-legacy) disk hit.
+    third = TraceCache(disk_dir=tmp_path)
+    third.get_or_generate(cfg())
+    assert third.stats()["disk_hits"] == 1
+    assert third.stats()["legacy_upgrades"] == 0
 
 
 def test_garbage_disk_entry_is_unlinked(tmp_path):
