@@ -9,8 +9,7 @@ time units (10x-100x the 0.01 message leg) and comparing N_tot.
 
 import os
 
-from repro.core.online import run_online
-from repro.protocols import BCSProtocol, QBCProtocol
+from repro.engine import RunSpec, execute
 from repro.workload import WorkloadConfig
 
 
@@ -28,14 +27,18 @@ LATENCIES = (0.0, 0.1, 1.0)
 
 
 def _run_all() -> dict[str, dict[float, int]]:
-    out: dict[str, dict[float, int]] = {}
-    for cls in (BCSProtocol, QBCProtocol):
-        per_latency = {}
-        for lat in LATENCIES:
-            cfg = _config(seed=0)
-            result = run_online(cfg, cls(cfg.n_hosts, cfg.n_mss), ckpt_latency=lat)
-            per_latency[lat] = result.metrics.n_total
-        out[cls.name] = per_latency
+    out: dict[str, dict[float, int]] = {"BCS": {}, "QBC": {}}
+    for lat in LATENCIES:
+        result = execute(
+            RunSpec(
+                protocols=("BCS", "QBC"),
+                workload=_config(seed=0),
+                engine="online",
+                ckpt_latency=lat,
+            )
+        )
+        for outcome in result.outcomes:
+            out[outcome.name][lat] = outcome.metrics.n_total
     return out
 
 

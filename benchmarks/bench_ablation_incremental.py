@@ -9,8 +9,7 @@ how much application progress the smaller transfers preserve.
 
 import os
 
-from repro.core.online import run_online
-from repro.protocols import BCSProtocol, QBCProtocol
+from repro.engine import RunSpec, execute
 from repro.workload import WorkloadConfig
 
 
@@ -21,29 +20,31 @@ def _sim_time() -> float:
 def _run():
     rows = {}
     for incremental in (False, True):
-        per_protocol = {}
-        for cls in (BCSProtocol, QBCProtocol):
-            cfg = WorkloadConfig(
-                p_send=0.4,
-                p_switch=0.9,
-                t_switch=200.0,
-                sim_time=_sim_time(),
-                seed=2,
-                incremental_checkpointing=incremental,
-                # 1 MiB state, ~2 pages dirtied per op: between two
-                # checkpoints only a small fraction of the state changes
-                state_pages=256,
-                dirty_pages_per_op=2,
-                wireless_bandwidth=100_000.0,
+        cfg = WorkloadConfig(
+            p_send=0.4,
+            p_switch=0.9,
+            t_switch=200.0,
+            sim_time=_sim_time(),
+            seed=2,
+            incremental_checkpointing=incremental,
+            # 1 MiB state, ~2 pages dirtied per op: between two
+            # checkpoints only a small fraction of the state changes
+            state_pages=256,
+            dirty_pages_per_op=2,
+            wireless_bandwidth=100_000.0,
+        )
+        result = execute(
+            RunSpec(protocols=("BCS", "QBC"), workload=cfg, engine="online")
+        )
+        rows[incremental] = {
+            o.name: dict(
+                n_total=o.metrics.n_total,
+                bytes_shipped=o.online.bytes_shipped,
+                fetches=o.online.system.checkpoint_fetches,
+                n_sends=o.metrics.n_sends,
             )
-            result = run_online(cfg, cls(cfg.n_hosts, cfg.n_mss))
-            per_protocol[cls.name] = dict(
-                n_total=result.metrics.n_total,
-                bytes_shipped=result.bytes_shipped,
-                fetches=result.system.checkpoint_fetches,
-                n_sends=result.metrics.n_sends,
-            )
-        rows[incremental] = per_protocol
+            for o in result.outcomes
+        }
     return rows
 
 

@@ -13,10 +13,8 @@ Two comparisons the paper argues qualitatively, measured here:
 
 import os
 
-from repro.core.online import CoordinatedScheme, run_coordinated
-from repro.core.replay import replay
-from repro.protocols import BCSProtocol, QBCProtocol, TwoPhaseProtocol
-from repro.workload import WorkloadConfig, generate_trace
+from repro.engine import RunSpec, execute
+from repro.workload import WorkloadConfig
 
 
 def _sim_time() -> float:
@@ -27,32 +25,38 @@ def _run():
     cfg = WorkloadConfig(
         p_send=0.4, p_switch=0.9, t_switch=500.0, sim_time=_sim_time(), seed=0
     )
-    trace = generate_trace(cfg)
-    cic_rows = []
-    for cls in (TwoPhaseProtocol, BCSProtocol, QBCProtocol):
-        result = replay(trace, cls(cfg.n_hosts, cfg.n_mss))
-        cic_rows.append(
-            dict(
-                protocol=result.metrics.protocol,
-                n_total=result.metrics.n_total,
-                piggyback_per_msg=result.protocol.piggyback_ints,
-                piggyback_ints=result.metrics.piggyback_ints_total,
-                control_messages=0,
-            )
+    cic = execute(
+        RunSpec(protocols=("TP", "BCS", "QBC"), workload=cfg, engine="fused")
+    )
+    cic_rows = [
+        dict(
+            protocol=o.name,
+            n_total=o.metrics.n_total,
+            piggyback_per_msg=o.protocol.piggyback_ints,
+            piggyback_ints=o.metrics.piggyback_ints_total,
+            control_messages=0,
         )
-    coord_rows = []
-    for scheme in CoordinatedScheme:
-        res = run_coordinated(cfg, scheme, snapshot_interval=200.0)
-        coord_rows.append(
-            dict(
-                protocol=scheme.value,
-                n_total=res.n_total,
-                piggyback_per_msg=0,
-                piggyback_ints=0,
-                control_messages=res.control_messages,
-                blocked_time=res.blocked_time,
-            )
+        for o in cic.outcomes
+    ]
+    coord = execute(
+        RunSpec(
+            protocols=("CL", "KT", "PS"),
+            workload=cfg,
+            engine="online",
+            snapshot_interval=200.0,
         )
+    )
+    coord_rows = [
+        dict(
+            protocol=o.coordinated.scheme.value,
+            n_total=o.coordinated.n_total,
+            piggyback_per_msg=0,
+            piggyback_ints=0,
+            control_messages=o.coordinated.control_messages,
+            blocked_time=o.coordinated.blocked_time,
+        )
+        for o in coord.outcomes
+    ]
     return cic_rows, coord_rows
 
 

@@ -11,12 +11,16 @@ Three questions DESIGN.md calls out:
   geographic mobility model?
 * **Blocking receive** -- the paper under-specifies the receive
   operation; non-blocking (our default) vs blocking semantics.
+
+All variants run through the fused engine
+(:func:`repro.engine.execute`); the BQF periods ride along as factory
+overrides in a single shared-trace pass.
 """
 
 import os
 
-from repro.core.replay import replay
-from repro.protocols import BCSProtocol, BQFProtocol, QBCProtocol, TwoPhaseProtocol
+from repro.engine import RunSpec, execute
+from repro.protocols import BQFProtocol
 from repro.workload import WorkloadConfig, generate_trace
 
 
@@ -32,19 +36,42 @@ def _base(seed=0, **kw):
     return WorkloadConfig(**defaults)
 
 
+def _totals(cfg, names, factories=None):
+    """{protocol: N_tot} from one fused engine pass over cfg's trace."""
+    result = execute(
+        RunSpec(
+            protocols=tuple(names),
+            workload=cfg,
+            engine="fused",
+            factories=factories,
+        )
+    )
+    return {o.name: o.n_total for o in result.outcomes}
+
+
 def test_bqf_period_ablation(benchmark):
     def run():
         cfg = _base()
         trace = generate_trace(cfg)
-        rows = {}
-        qbc = replay(trace, QBCProtocol(cfg.n_hosts, cfg.n_mss)).n_total
-        rows["QBC"] = qbc
-        for period in (float("inf"), 2000.0, 500.0, 100.0):
-            n = replay(
-                trace, BQFProtocol(cfg.n_hosts, cfg.n_mss, period=period)
-            ).n_total
-            rows[f"BQF(period={period:g})"] = n
-        return rows
+
+        def bqf_factory(period):
+            return lambda n_hosts, n_mss: BQFProtocol(
+                n_hosts, n_mss, period=period
+            )
+
+        factories = {
+            f"BQF(period={period:g})": bqf_factory(period)
+            for period in (float("inf"), 2000.0, 500.0, 100.0)
+        }
+        result = execute(
+            RunSpec(
+                protocols=("QBC", *factories),
+                trace=trace,
+                engine="fused",
+                factories=factories,
+            )
+        )
+        return {o.name: o.n_total for o in result.outcomes}
 
     rows = benchmark.pedantic(run, rounds=1, iterations=1)
     print()
@@ -57,15 +84,10 @@ def test_bqf_period_ablation(benchmark):
 
 def test_mobility_model_ablation(benchmark):
     def run():
-        rows = {}
-        for chooser in ("uniform", "graph"):
-            cfg = _base(cell_chooser=chooser)
-            trace = generate_trace(cfg)
-            rows[chooser] = {
-                cls.name: replay(trace, cls(cfg.n_hosts, cfg.n_mss)).n_total
-                for cls in (TwoPhaseProtocol, BCSProtocol, QBCProtocol)
-            }
-        return rows
+        return {
+            chooser: _totals(_base(cell_chooser=chooser), ("TP", "BCS", "QBC"))
+            for chooser in ("uniform", "graph")
+        }
 
     rows = benchmark.pedantic(run, rounds=1, iterations=1)
     print()
@@ -95,9 +117,9 @@ def test_destination_sampling_ablation(benchmark):
                     heterogeneity=0.5,
                     send_to_connected_only=connected_only,
                 )
-                trace = generate_trace(cfg)
-                bcs += replay(trace, BCSProtocol(cfg.n_hosts, cfg.n_mss)).n_total
-                qbc += replay(trace, QBCProtocol(cfg.n_hosts, cfg.n_mss)).n_total
+                counts = _totals(cfg, ("BCS", "QBC"))
+                bcs += counts["BCS"]
+                qbc += counts["QBC"]
             rows[connected_only] = (bcs, qbc)
         return rows
 
@@ -116,15 +138,13 @@ def test_destination_sampling_ablation(benchmark):
 
 def test_blocking_receive_ablation(benchmark):
     def run():
-        rows = {}
-        for blocking in (False, True):
-            cfg = _base(block_on_empty_receive=blocking, p_send=0.5)
-            trace = generate_trace(cfg)
-            rows[blocking] = {
-                cls.name: replay(trace, cls(cfg.n_hosts, cfg.n_mss)).n_total
-                for cls in (TwoPhaseProtocol, BCSProtocol, QBCProtocol)
-            }
-        return rows
+        return {
+            blocking: _totals(
+                _base(block_on_empty_receive=blocking, p_send=0.5),
+                ("TP", "BCS", "QBC"),
+            )
+            for blocking in (False, True)
+        }
 
     rows = benchmark.pedantic(run, rounds=1, iterations=1)
     print()

@@ -4,22 +4,30 @@ Not a paper experiment -- these guard the substrate's performance so the
 figure sweeps stay tractable (the whole methodology leans on cheap
 trace generation and cheaper replay).
 
+The replay cases run through the unified execution engine
+(:mod:`repro.engine`), so the timings cover the full production path:
+plan resolution, observer dispatch and result assembly, not just the
+inner loops.  ``test_engine_overhead`` pins the cost of that layer --
+a fused run through the engine must stay within a few percent of
+calling :func:`repro.core.replay.replay_fused` directly (this file is
+the one sanctioned raw call site outside the engine, allowlisted by
+``tests/test_import_contracts.py``).
+
 Besides the pytest-benchmark timings, the headline engine numbers
-(fused-replay speedup, trace-cache speedup) are appended to
-``BENCH_engine.json`` in the working directory so CI can archive the
-trend without parsing benchmark output.
+(fused-replay speedup, engine overhead, trace-cache speedup) are
+appended to ``BENCH_engine.json`` in the working directory so CI can
+archive the trend without parsing benchmark output.
 """
 
 import json
 import os
 import time
 
-from repro.core.replay import replay, replay_fused
+from repro.core.replay import replay_fused
 from repro.des import Environment
+from repro.engine import RunSpec, execute, resolve_protocols
 from repro.experiments.config import SweepConfig
 from repro.experiments.runner import run_sweep
-from repro.protocols import QBCProtocol
-from repro.protocols.base import registry
 from repro.workload import TraceCache, WorkloadConfig, generate_trace
 
 N_EVENTS = 50_000
@@ -87,9 +95,10 @@ def test_trace_generation_throughput(benchmark):
 def test_replay_throughput(benchmark):
     cfg = WorkloadConfig(t_switch=500.0, p_switch=0.8, sim_time=4000.0, seed=0)
     trace = generate_trace(cfg)
+    spec = RunSpec(protocols=("QBC",), trace=trace, engine="reference")
 
     def run():
-        return replay(trace, QBCProtocol(cfg.n_hosts, cfg.n_mss)).n_total
+        return execute(spec).outcomes[0].n_total
 
     total = benchmark.pedantic(run, rounds=5, iterations=1)
     benchmark.extra_info["trace_events"] = len(trace)
@@ -99,30 +108,26 @@ def test_replay_throughput(benchmark):
 def test_fused_replay_speedup(benchmark):
     """The sweep engine's core claim: one fused counters-only pass over
     TP+BCS+QBC beats three sequential reference replays by >= 2x, with
-    identical N_tot / n_basic / n_forced."""
+    identical N_tot / n_basic / n_forced -- both paths through the
+    engine layer."""
     cfg = WorkloadConfig(sim_time=4000.0, seed=0)
     trace = generate_trace(cfg)
     trace.compiled()  # the sweep compiles once per trace; warm it here
 
-    def sequential():
-        return [
-            replay(trace, registry[name](cfg.n_hosts, cfg.n_mss))
-            for name in PAPER_PROTOCOLS
-        ]
-
-    def fused():
-        instances = []
-        for name in PAPER_PROTOCOLS:
-            protocol = registry[name](cfg.n_hosts, cfg.n_mss)
-            protocol.log_checkpoints = False
-            instances.append(protocol)
-        return replay_fused(trace, instances)
-
-    seq_time, seq_results = _best(sequential, rounds=7)
-    fused_time, fused_results = benchmark.pedantic(
-        lambda: _best(fused, rounds=7), rounds=1, iterations=1
+    ref_spec = RunSpec(
+        protocols=PAPER_PROTOCOLS, trace=trace, engine="reference"
     )
-    for ref, fus in zip(seq_results, fused_results):
+    fused_spec = RunSpec(
+        protocols=PAPER_PROTOCOLS, trace=trace, engine="fused",
+        counters_only=True,
+    )
+
+    seq_time, seq_result = _best(lambda: execute(ref_spec), rounds=7)
+    fused_time, fused_result = benchmark.pedantic(
+        lambda: _best(lambda: execute(fused_spec), rounds=7),
+        rounds=1, iterations=1,
+    )
+    for ref, fus in zip(seq_result.outcomes, fused_result.outcomes):
         assert ref.metrics.stats.n_total == fus.metrics.stats.n_total
         assert ref.metrics.stats.n_basic == fus.metrics.stats.n_basic
         assert ref.metrics.stats.n_forced == fus.metrics.stats.n_forced
@@ -143,6 +148,67 @@ def test_fused_replay_speedup(benchmark):
     assert speedup >= 2.0, (
         f"fused replay only {speedup:.2f}x faster than three sequential "
         f"replays ({seq_time*1e3:.1f}ms vs {fused_time*1e3:.1f}ms)"
+    )
+
+
+def test_engine_overhead(benchmark):
+    """The engine layer is dispatch + bookkeeping only: a fused run
+    through :func:`repro.engine.execute` must stay within a few percent
+    of the raw :func:`~repro.core.replay.replay_fused` call it wraps.
+    The two paths are timed interleaved (raw, engine, raw, engine, ...)
+    so load drift on the host hits both equally; the 10% gate is far
+    above plan-resolution cost but far below any real regression (an
+    accidental trace recompile or per-event observer work would be
+    2x+, not 1.1x)."""
+    cfg = WorkloadConfig(sim_time=4000.0, seed=0)
+    trace = generate_trace(cfg)
+    trace.compiled()
+    entries = resolve_protocols(PAPER_PROTOCOLS)
+
+    def raw():
+        instances = []
+        for entry in entries:
+            protocol = entry.make(cfg.n_hosts, cfg.n_mss)
+            protocol.log_checkpoints = False
+            instances.append(protocol)
+        return replay_fused(trace, instances)
+
+    spec = RunSpec(
+        protocols=PAPER_PROTOCOLS, trace=trace, engine="fused",
+        counters_only=True,
+    )
+
+    def engined():
+        return execute(spec)
+
+    def interleaved(rounds=11):
+        raw_best = engine_best = float("inf")
+        raw_results = engine_result = None
+        for _ in range(rounds):
+            t0 = time.perf_counter()
+            raw_results = raw()
+            raw_best = min(raw_best, time.perf_counter() - t0)
+            t0 = time.perf_counter()
+            engine_result = engined()
+            engine_best = min(engine_best, time.perf_counter() - t0)
+        return raw_best, raw_results, engine_best, engine_result
+
+    raw_time, raw_results, engine_time, engine_result = benchmark.pedantic(
+        interleaved, rounds=1, iterations=1
+    )
+    for rr, outcome in zip(raw_results, engine_result.outcomes):
+        assert rr.metrics.stats.n_total == outcome.metrics.stats.n_total
+    overhead = engine_time / raw_time - 1.0
+    payload = {
+        "raw_fused_ms": round(raw_time * 1e3, 2),
+        "engine_fused_ms": round(engine_time * 1e3, 2),
+        "overhead_pct": round(100 * overhead, 2),
+    }
+    benchmark.extra_info.update(payload)
+    _record("engine_overhead", payload)
+    assert engine_time <= raw_time * 1.10, (
+        f"engine adds {100*overhead:.1f}% over raw replay_fused "
+        f"({engine_time*1e3:.2f}ms vs {raw_time*1e3:.2f}ms)"
     )
 
 

@@ -10,16 +10,10 @@ updates) that replaced forced checkpoints.
 
 import os
 
-from repro.core.replay import replay
-from repro.protocols import (
-    BCSProtocol,
-    NoSendBCSProtocol,
-    NoSendQBCProtocol,
-    QBCProtocol,
-)
-from repro.workload import WorkloadConfig, generate_trace
+from repro.engine import RunSpec, execute
+from repro.workload import WorkloadConfig
 
-PROTOCOLS = (BCSProtocol, QBCProtocol, NoSendBCSProtocol, NoSendQBCProtocol)
+PROTOCOLS = ("BCS", "QBC", "BCS-NS", "QBC-NS")
 
 
 def _sim_time() -> float:
@@ -40,12 +34,13 @@ def _run():
             cfg = WorkloadConfig(
                 p_send=0.4, sim_time=_sim_time(), seed=seed, **params
             )
-            trace = generate_trace(cfg)
-            for cls in PROTOCOLS:
-                res = replay(trace, cls(cfg.n_hosts, cfg.n_mss))
-                entry = rows.setdefault(cls.name, {"n_total": 0, "renamed": 0})
-                entry["n_total"] += res.n_total
-                entry["renamed"] += res.protocol.n_renamed
+            result = execute(
+                RunSpec(protocols=PROTOCOLS, workload=cfg, engine="fused")
+            )
+            for o in result.outcomes:
+                entry = rows.setdefault(o.name, {"n_total": 0, "renamed": 0})
+                entry["n_total"] += o.n_total
+                entry["renamed"] += o.protocol.n_renamed
         out[regime] = rows
     return out
 

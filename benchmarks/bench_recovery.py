@@ -89,22 +89,26 @@ def test_recovery_cost_per_protocol(benchmark):
 
 
 def _run_latency():
-    from repro.core.online import run_online
     from repro.core.recovery_online import plan_recovery
+    from repro.engine import RunSpec, execute
 
     cfg = WorkloadConfig(
         p_send=0.4, p_switch=0.8, t_switch=500.0, sim_time=_sim_time(), seed=1
     )
+    result = execute(
+        RunSpec(protocols=("BCS", "QBC"), workload=cfg, engine="online")
+    )
     rows = {}
-    for name, factory in (("BCS", BCSProtocol), ("QBC", QBCProtocol)):
-        result = run_online(cfg, factory(cfg.n_hosts, cfg.n_mss))
+    for outcome in result.outcomes:
         times, ctrl, fetches = [], 0, 0
         for failed in range(cfg.n_hosts):
-            plan = plan_recovery(result.system, result.protocol, failed)
+            plan = plan_recovery(
+                outcome.online.system, outcome.protocol, failed
+            )
             times.append(plan.recovery_time)
             ctrl += plan.control_messages + plan.line_computation_messages
             fetches += plan.checkpoint_fetches
-        rows[name] = dict(
+        rows[outcome.name] = dict(
             worst_recovery_time=max(times),
             control_messages=ctrl / cfg.n_hosts,
             fetches=fetches / cfg.n_hosts,

@@ -10,7 +10,9 @@ The point of the example:
 
 1. subclassing :class:`repro.protocols.base.CheckpointingProtocol`
    (five hooks, ``take()`` to record checkpoints),
-2. evaluating the new protocol on the same traces as the built-ins,
+2. evaluating the new protocol on the same traces as the built-ins
+   through :mod:`repro.engine` (a factory override -- no registration
+   needed),
 3. letting ``repro.core.consistency`` judge the design -- lazy-BCS
    produces recovery lines with orphan messages, so its "savings" are
    bogus.  Protocol design needs the checker, not just the counter.
@@ -18,9 +20,9 @@ The point of the example:
 Run:  python examples/custom_protocol.py
 """
 
-from repro import WorkloadConfig, generate_trace, replay
+from repro import WorkloadConfig, generate_trace
 from repro.core.consistency import annotate_replay, find_orphans
-from repro.protocols import BCSProtocol, QBCProtocol
+from repro.engine import RunSpec, execute
 from repro.protocols.base import CheckpointingProtocol
 
 
@@ -80,9 +82,17 @@ def main() -> None:
     trace = generate_trace(config)
 
     print("checkpoint counts on a shared trace:")
-    for cls in (BCSProtocol, QBCProtocol, LazyBCSProtocol):
-        result = replay(trace, cls(config.n_hosts, config.n_mss))
-        print(f"  {result.metrics.protocol:>8}: N_tot={result.n_total}")
+    # An unregistered protocol plugs into the engine as a factory
+    # override; it rides the same fused pass as the built-ins.
+    run = execute(
+        RunSpec(
+            protocols=("BCS", "QBC", "LazyBCS"),
+            trace=trace,
+            factories={"LazyBCS": LazyBCSProtocol},
+        )
+    )
+    for outcome in run.outcomes:
+        print(f"  {outcome.name:>8}: N_tot={outcome.n_total}")
 
     # Now let the consistency checker judge the lazy variant.
     lazy = LazyBCSProtocol(config.n_hosts, config.n_mss)

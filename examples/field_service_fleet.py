@@ -22,8 +22,7 @@ Run:  python examples/field_service_fleet.py
 
 from repro import WorkloadConfig, gain_percent
 from repro.analysis.overhead import CostModel, estimate_overhead
-from repro.core.online import run_online
-from repro.protocols import BCSProtocol, QBCProtocol, TwoPhaseProtocol
+from repro.engine import RunSpec, execute
 
 
 def main() -> None:
@@ -39,22 +38,25 @@ def main() -> None:
     )
 
     print("field-service fleet: 3 couriers (fast), 7 technicians (slow)\n")
-    outcomes = {}
-    for cls in (TwoPhaseProtocol, BCSProtocol, QBCProtocol):
-        # online mode: the protocol runs inside the simulation, its
-        # checkpoints land in MSS stable storage, with a non-negligible
-        # 0.05 time-unit checkpoint latency.
-        result = run_online(
-            config, cls(config.n_hosts, config.n_mss), ckpt_latency=0.05
+    # online mode: each protocol runs inside its own simulation, its
+    # checkpoints land in MSS stable storage, with a non-negligible
+    # 0.05 time-unit checkpoint latency.
+    result = execute(
+        RunSpec(
+            protocols=("TP", "BCS", "QBC"),
+            workload=config,
+            engine="online",
+            ckpt_latency=0.05,
         )
-        outcomes[result.protocol.name] = result
-        stats = result.metrics.stats
-        stored = sum(len(s.storage) for s in result.system.stations)
-        stored_bytes = sum(
-            s.storage.bytes_written for s in result.system.stations
-        )
+    )
+    outcomes = {o.name: o for o in result.outcomes}
+    for outcome in result.outcomes:
+        stats = outcome.metrics.stats
+        stations = outcome.online.system.stations
+        stored = sum(len(s.storage) for s in stations)
+        stored_bytes = sum(s.storage.bytes_written for s in stations)
         print(
-            f"{result.protocol.name:>4}: N_tot={stats.n_total:>5} "
+            f"{outcome.name:>4}: N_tot={stats.n_total:>5} "
             f"(forced={stats.n_forced:>5}) | stored records={stored:>5} "
             f"({stored_bytes / 1024:.0f} KiB at the MSSs)"
         )
@@ -68,7 +70,7 @@ def main() -> None:
     )
 
     # per-host wireless activity (battery proxy) under QBC
-    system = outcomes["QBC"].system
+    system = outcomes["QBC"].online.system
     print("\nwireless transmissions per handheld (QBC):")
     for host in system.hosts:
         kind = "courier" if host.host_id < 3 else "technician"

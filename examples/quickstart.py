@@ -8,13 +8,14 @@ prints checkpoint counts, gains and each protocol's recovery line.
 Run:  python examples/quickstart.py
 """
 
-from repro import WorkloadConfig, gain_percent, generate_trace, replay
+from repro import WorkloadConfig, gain_percent
 from repro.core.consistency import (
     annotate_replay,
     build_recovery_line,
     is_consistent,
 )
-from repro.protocols import BCSProtocol, QBCProtocol, TwoPhaseProtocol
+from repro.engine import RunSpec, execute
+from repro.protocols import QBCProtocol
 
 
 def main() -> None:
@@ -26,27 +27,29 @@ def main() -> None:
     )
     print(f"simulating {config.sim_time:g} time units "
           f"({config.n_hosts} mobile hosts, {config.n_mss} cells)...")
-    trace = generate_trace(config)
+    # One engine call: generate the trace and drive all three protocols
+    # over the identical schedule in a single fused pass.
+    run = execute(
+        RunSpec(protocols=("TP", "BCS", "QBC"), workload=config)
+    )
+    trace = run.trace
     print(
         f"trace: {len(trace)} events -- {trace.n_sends} sends, "
         f"{trace.n_receives} receives, {trace.n_basic_triggers} "
         "cell switches/disconnections\n"
     )
 
-    results = {}
-    for cls in (TwoPhaseProtocol, BCSProtocol, QBCProtocol):
-        result = replay(trace, cls(config.n_hosts, config.n_mss))
-        results[result.metrics.protocol] = result
-        s = result.metrics.stats
+    for outcome in run.outcomes:
+        s = outcome.metrics.stats
         print(
-            f"{result.metrics.protocol:>4}: N_tot={s.n_total:>6} "
+            f"{outcome.name:>4}: N_tot={s.n_total:>6} "
             f"(basic={s.n_basic}, forced={s.n_forced}) "
-            f"piggyback={result.protocol.piggyback_ints} ints/msg"
+            f"piggyback={outcome.protocol.piggyback_ints} ints/msg"
         )
 
-    tp = results["TP"].n_total
-    bcs = results["BCS"].n_total
-    qbc = results["QBC"].n_total
+    tp = run.outcome("TP").n_total
+    bcs = run.outcome("BCS").n_total
+    qbc = run.outcome("QBC").n_total
     print(
         f"\nindex-based gain over TP: {gain_percent(tp, bcs):.1f}% (BCS), "
         f"{gain_percent(tp, qbc):.1f}% (QBC)"

@@ -10,13 +10,18 @@ figure of the paper's evaluation.
 
 Quickstart
 ----------
->>> from repro import WorkloadConfig, generate_trace, replay
->>> from repro.protocols import BCSProtocol, QBCProtocol, TwoPhaseProtocol
+>>> from repro import RunSpec, WorkloadConfig, execute
 >>> cfg = WorkloadConfig(t_switch=1000.0, p_switch=0.8, sim_time=5000.0, seed=1)
->>> trace = generate_trace(cfg)
->>> for cls in (TwoPhaseProtocol, BCSProtocol, QBCProtocol):
-...     result = replay(trace, cls(cfg.n_hosts, cfg.n_mss))
-...     print(result.metrics.protocol, result.n_total)  # doctest: +SKIP
+>>> run = execute(RunSpec(protocols=("TP", "BCS", "QBC"), workload=cfg))
+>>> for outcome in run.outcomes:
+...     print(outcome.name, outcome.n_total)  # doctest: +SKIP
+
+:func:`repro.engine.execute` is the unified entry point: it resolves
+protocol names against the capability-aware registry, picks the right
+engine (fused replay here; online DES for coordinated baselines) and
+drives every protocol over the identical schedule.  The raw
+:func:`replay` / :func:`run_online` drivers stay exported for direct
+low-level use.
 
 See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-vs-measured record.
@@ -25,6 +30,7 @@ paper-vs-measured record.
 from repro.core.metrics import CheckpointStats, ProtocolRunMetrics, gain_percent
 from repro.core.replay import ReplayResult, replay, replay_fused, replay_many
 from repro.core.trace import EventType, Trace, TraceEvent
+from repro.engine import ExecutionPlan, RunResult, RunSpec, execute, plan
 from repro.experiments.figures import run_figure
 from repro.workload.cache import TraceCache, config_key, shared_cache
 from repro.workload.config import WorkloadConfig
@@ -35,17 +41,22 @@ __version__ = "1.0.0"
 __all__ = [
     "CheckpointStats",
     "EventType",
+    "ExecutionPlan",
     "OnlineResult",
     "ProtocolRunMetrics",
     "ReplayResult",
+    "RunResult",
+    "RunSpec",
     "Trace",
     "TraceCache",
     "TraceEvent",
     "WorkloadConfig",
     "__version__",
     "config_key",
+    "execute",
     "gain_percent",
     "generate_trace",
+    "plan",
     "replay",
     "replay_fused",
     "replay_many",

@@ -158,26 +158,23 @@ def _cmd_audit(args) -> int:
 
 
 def _cmd_compare(args) -> int:
-    from repro.core.replay import replay
-    from repro.protocols.base import registry
-    from repro.workload.driver import generate_trace
+    from repro.engine import RunSpec, execute
 
     cfg = _workload_from(args)
-    trace = generate_trace(cfg)
-    names = args.protocols or sorted(registry)
+    # Pinned to the fused replay engine: compare is the paper's
+    # common-schedule comparison, so a coordinated baseline (or any
+    # unknown name) is a plan-time EngineError that main() turns into
+    # exit code 2.
+    result = execute(RunSpec(protocols=args.protocols, workload=cfg, engine="fused"))
     print(
         f"{'protocol':>9} {'N_tot':>8} {'basic':>7} {'forced':>7} "
         f"{'pg ints/msg':>12}"
     )
-    for name in names:
-        if name not in registry:
-            print(f"unknown protocol {name!r}; known: {sorted(registry)}")
-            return EXIT_USAGE
-        result = replay(trace, registry[name](cfg.n_hosts, cfg.n_mss))
-        s = result.metrics.stats
+    for outcome in result.outcomes:
+        s = outcome.metrics.stats
         print(
-            f"{name:>9} {s.n_total:>8} {s.n_basic:>7} {s.n_forced:>7} "
-            f"{result.protocol.piggyback_ints:>12}"
+            f"{outcome.name:>9} {s.n_total:>8} {s.n_basic:>7} {s.n_forced:>7} "
+            f"{outcome.protocol.piggyback_ints:>12}"
         )
     return 0
 
@@ -197,30 +194,30 @@ def _cmd_trace(args) -> int:
 
 
 def _cmd_replay(args) -> int:
-    from repro.core.replay import replay
     from repro.core.trace_io import load_trace
-    from repro.protocols.base import registry
+    from repro.engine import RunSpec, execute
 
     trace = load_trace(args.trace)
-    for name in args.protocols:
-        if name not in registry:
-            print(f"unknown protocol {name!r}; known: {sorted(registry)}")
-            return EXIT_USAGE
-        result = replay(trace, registry[name](trace.n_hosts, trace.n_mss))
-        s = result.metrics.stats
-        print(f"{name:>9}: N_tot={s.n_total} basic={s.n_basic} forced={s.n_forced}")
+    result = execute(RunSpec(protocols=args.protocols, trace=trace))
+    for outcome in result.outcomes:
+        s = outcome.metrics.stats
+        print(
+            f"{outcome.name:>9}: N_tot={s.n_total} "
+            f"basic={s.n_basic} forced={s.n_forced}"
+        )
     return 0
 
 
 def _cmd_recovery(args) -> int:
     from repro.core.consistency import annotate_replay
     from repro.core.recovery import minimal_rollback, protocol_line_rollback
-    from repro.protocols.base import registry
+    from repro.engine import resolve_protocols
     from repro.workload.driver import generate_trace
 
     cfg = _workload_from(args)
     trace = generate_trace(cfg)
-    protocol = registry[args.protocol](cfg.n_hosts, cfg.n_mss)
+    (entry,) = resolve_protocols([args.protocol], require="replayable")
+    protocol = entry.make(cfg.n_hosts, cfg.n_mss)
     run = annotate_replay(trace, protocol)
     failed = args.failed_host
     try:
@@ -239,10 +236,11 @@ def _cmd_recovery(args) -> int:
 
 def _cmd_failures(args) -> int:
     from repro.core.failures import run_with_failures
-    from repro.protocols.base import registry
+    from repro.engine import resolve_protocols
 
     cfg = _workload_from(args)
-    protocol = registry[args.protocol](cfg.n_hosts, cfg.n_mss)
+    (entry,) = resolve_protocols([args.protocol], require="replayable")
+    protocol = entry.make(cfg.n_hosts, cfg.n_mss)
     result = run_with_failures(
         cfg, protocol, failure_mean_interval=args.mean_interval
     )
@@ -388,9 +386,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     Codes: 0 = ok, 1 = violations/failed validation/grid holes, 2 =
     usage error (argparse convention), 130 = interrupted.
     """
+    from repro.engine import EngineError
+
     args = build_parser().parse_args(argv)
     try:
         return args.fn(args)
+    except EngineError as exc:
+        # Unknown protocols and capability mismatches are usage errors,
+        # reported uniformly regardless of which subcommand hit them.
+        print(exc, file=sys.stderr)
+        return EXIT_USAGE
     except KeyboardInterrupt:
         # A force-quit (second SIGINT) or an interrupt outside the
         # supervised sweep loop: report the shell convention.

@@ -1,0 +1,85 @@
+"""Unified execution engine: one pipeline for every way a protocol runs.
+
+The entry point consumers use::
+
+    from repro.engine import RunSpec, execute
+
+    result = execute(RunSpec(protocols=["TP", "BCS"], workload=cfg))
+
+A :class:`~repro.engine.spec.RunSpec` is resolved against the
+capability-aware registry (:mod:`repro.engine.registry`) into an
+:class:`~repro.engine.spec.ExecutionPlan`, then run on one of three
+engines (:mod:`repro.engine.engines`) with a uniform observer stack
+(:mod:`repro.engine.observers`) and typed failure modes
+(:mod:`repro.engine.errors`).
+
+This package is the *only* sanctioned call site of the low-level run
+primitives (``replay`` / ``replay_fused`` / ``run_online`` /
+``run_coordinated``) outside their home modules and direct unit tests
+-- enforced by ``tests/test_import_contracts.py``.  Conversely,
+``repro.protocols`` never imports this package: protocols declare
+capabilities, engines interpret them.
+"""
+
+from repro.engine.engines import (
+    ENGINES,
+    Engine,
+    FusedReplayEngine,
+    OnlineEngine,
+    ProtocolOutcome,
+    ReferenceReplayEngine,
+    RunResult,
+    engine_for,
+    execute,
+)
+from repro.engine.errors import (
+    CapabilityError,
+    EngineError,
+    PlanError,
+    UnknownProtocolError,
+)
+from repro.engine.observers import (
+    AuditObserver,
+    MetricsObserver,
+    RunObserver,
+    TelemetryObserver,
+)
+from repro.engine.registry import (
+    Capabilities,
+    ResolvedProtocol,
+    known_names,
+    known_protocols,
+    register_coordinated,
+    resolve_protocols,
+)
+from repro.engine.spec import ENGINE_KINDS, ExecutionPlan, RunSpec, plan
+
+__all__ = [
+    "ENGINES",
+    "ENGINE_KINDS",
+    "AuditObserver",
+    "Capabilities",
+    "CapabilityError",
+    "Engine",
+    "EngineError",
+    "ExecutionPlan",
+    "FusedReplayEngine",
+    "MetricsObserver",
+    "OnlineEngine",
+    "PlanError",
+    "ProtocolOutcome",
+    "ReferenceReplayEngine",
+    "ResolvedProtocol",
+    "RunObserver",
+    "RunResult",
+    "RunSpec",
+    "TelemetryObserver",
+    "UnknownProtocolError",
+    "engine_for",
+    "execute",
+    "known_names",
+    "known_protocols",
+    "plan",
+    "register_coordinated",
+    "resolve_protocols",
+]

@@ -1,0 +1,326 @@
+"""The three execution engines behind one interface.
+
+Every way this repository evaluates a protocol -- reference replay,
+fused single-pass replay, online discrete-event simulation (CIC
+protocols in the loop *and* the coordinated baselines) -- is an
+:class:`Engine` driving a validated
+:class:`~repro.engine.spec.ExecutionPlan`:
+
+* :class:`ReferenceReplayEngine` -- one pass of
+  :func:`repro.core.replay.replay` per protocol; the semantic
+  baseline the fused engine is audited against.
+* :class:`FusedReplayEngine` -- all instances in one compiled-trace
+  pass via :func:`repro.core.replay.replay_fused`; the production
+  engine of sweeps and figures.
+* :class:`OnlineEngine` -- :func:`repro.workload.driver.run_online`
+  for replayable protocols that need checkpoint latency / GC
+  modelling, :func:`repro.core.online.run_coordinated` for the
+  coordinated baselines.
+
+:meth:`Engine.run` is a template: observers are notified uniformly
+(run start, trace known, each outcome, run end), trace acquisition is
+shared (pre-built trace, content-addressed cache with tier detection,
+or fresh generation), and the result shape
+(:class:`RunResult` of :class:`ProtocolOutcome`) is identical across
+engines.  :func:`execute` is the one-call entry point: spec in,
+result out.
+
+The hot loops stay in :mod:`repro.core.replay` untouched; this layer
+adds dispatch and bookkeeping only, so fused throughput through the
+engine matches the raw call (benchmarked in
+``benchmarks/bench_engine.py``).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from repro.core.online import CoordinatedResult, run_coordinated
+from repro.core.replay import replay, replay_fused
+from repro.engine.errors import PlanError
+from repro.engine.spec import ExecutionPlan, RunSpec, plan as _plan
+from repro.workload import driver as _driver
+from repro.workload.cache import shared_cache
+
+
+@dataclass(slots=True)
+class ProtocolOutcome:
+    """One protocol's result within a run."""
+
+    name: str
+    #: The driven instance; None for coordinated baselines (the online
+    #: DES wraps its own bookkeeper around the scheme).
+    protocol: Optional[object]
+    #: Replay-style run metrics; None for coordinated baselines.
+    metrics: Optional[object]
+    #: The full online result (trace, system, GC counters) when this
+    #: protocol ran embedded in the simulation.
+    online: Optional[object] = None
+    #: The coordinated-baseline result when this entry is one.
+    coordinated: Optional[CoordinatedResult] = None
+
+    @property
+    def n_total(self) -> int:
+        """The run's N_tot regardless of how the protocol was driven."""
+        if self.metrics is not None:
+            return self.metrics.n_total
+        if self.coordinated is not None:
+            return self.coordinated.n_total
+        raise ValueError(f"outcome of {self.name!r} carries no counts")
+
+
+@dataclass(slots=True)
+class RunResult:
+    """The uniform outcome every engine produces."""
+
+    engine_kind: str
+    outcomes: list[ProtocolOutcome]
+    #: The run's schedule.  Replay engines: the replayed trace.  Online
+    #: engine: the trace emitted by the (first) online run; None when
+    #: only coordinated baselines ran.
+    trace: Optional[object] = None
+    #: Where the trace came from: a cache tier ("memory"/"disk"/
+    #: "generated"), "uncached", "provided", or "online".
+    trace_source: str = "provided"
+    seed: Optional[int] = None
+    wall_time_s: float = 0.0
+    #: Audit violations collected by attached AuditObservers.
+    violations: list = field(default_factory=list)
+
+    def outcome(self, name: str) -> ProtocolOutcome:
+        """The outcome of protocol *name* (raises KeyError if absent)."""
+        for o in self.outcomes:
+            if o.name == name:
+                return o
+        raise KeyError(name)
+
+    @property
+    def metrics(self) -> dict[str, object]:
+        """name -> ProtocolRunMetrics for every replayed/online entry."""
+        return {
+            o.name: o.metrics for o in self.outcomes if o.metrics is not None
+        }
+
+
+def _resolve_seed(spec: RunSpec) -> Optional[int]:
+    """The seed stamped into metrics/telemetry, by precedence."""
+    if spec.seed is not None:
+        return spec.seed
+    if spec.workload is not None:
+        return spec.workload.seed
+    if spec.trace is not None:
+        return spec.trace.meta.get("seed")
+    return None
+
+
+def _acquire_trace(spec: RunSpec):
+    """(trace, source tier) for a replay run -- pre-built, cached, or
+    freshly generated."""
+    if spec.trace is not None:
+        return spec.trace, "provided"
+    if spec.use_cache:
+        cache = shared_cache(spec.cache_dir)
+        before = (cache.hits, cache.disk_hits)
+        trace = cache.get_or_generate(spec.workload)
+        if cache.hits > before[0]:
+            return trace, "memory"
+        if cache.disk_hits > before[1]:
+            return trace, "disk"
+        return trace, "generated"
+    # Through the module so monkeypatched generators are observed.
+    return _driver.generate_trace(spec.workload), "uncached"
+
+
+class Engine:
+    """Common interface: a validated plan in, a :class:`RunResult` out.
+
+    ``run`` is a template method -- timing, observer fan-out and result
+    assembly live here; subclasses implement ``_execute`` and call
+    ``_notify_trace`` / ``_notify_outcome`` as the run unfolds.
+    """
+
+    #: The :attr:`ExecutionPlan.engine_kind` this engine accepts.
+    kind: str = "abstract"
+
+    def run(self, target: Union[ExecutionPlan, RunSpec]) -> RunResult:
+        """Execute *target* (a plan, or a spec planned on the spot)."""
+        p = _plan(target) if isinstance(target, RunSpec) else target
+        if p.engine_kind != self.kind:
+            raise PlanError(
+                f"plan selected the {p.engine_kind!r} engine; "
+                f"this is the {self.kind!r} engine"
+            )
+        self._plan = p
+        started = time.perf_counter()
+        for obs in p.observers:
+            obs.on_run_start(p)
+        result = self._execute(p)
+        result.wall_time_s = time.perf_counter() - started
+        for obs in p.observers:
+            obs.on_run_end(p, result)
+        return result
+
+    # -- subclass protocol -------------------------------------------------
+    def _execute(self, p: ExecutionPlan) -> RunResult:
+        raise NotImplementedError
+
+    def _notify_trace(self, trace, source: str) -> None:
+        for obs in self._plan.observers:
+            obs.on_trace(self._plan, trace, source)
+
+    def _notify_outcome(self, outcome: ProtocolOutcome) -> None:
+        for obs in self._plan.observers:
+            obs.on_outcome(self._plan, outcome)
+
+    # -- shared helpers ----------------------------------------------------
+    def _instances(self, p: ExecutionPlan, n_hosts: int, n_mss: int):
+        """Fresh, spec-configured instances for every plan entry."""
+        instances = []
+        for entry in p.entries:
+            instance = entry.make(n_hosts, n_mss)
+            if p.spec.counters_only:
+                instance.log_checkpoints = False
+            instances.append(instance)
+        return instances
+
+
+class ReferenceReplayEngine(Engine):
+    """One reference :func:`~repro.core.replay.replay` per protocol."""
+
+    kind = "reference"
+
+    def _execute(self, p: ExecutionPlan) -> RunResult:
+        spec = p.spec
+        trace, source = _acquire_trace(spec)
+        self._notify_trace(trace, source)
+        seed = _resolve_seed(spec)
+        outcomes = []
+        for entry, instance in zip(
+            p.entries, self._instances(p, trace.n_hosts, trace.n_mss)
+        ):
+            rr = replay(trace, instance, seed=seed)
+            outcome = ProtocolOutcome(
+                name=entry.name, protocol=instance, metrics=rr.metrics
+            )
+            self._notify_outcome(outcome)
+            outcomes.append(outcome)
+        return RunResult(
+            engine_kind=self.kind,
+            outcomes=outcomes,
+            trace=trace,
+            trace_source=source,
+            seed=seed,
+        )
+
+
+class FusedReplayEngine(Engine):
+    """All instances over one compiled trace in a single pass."""
+
+    kind = "fused"
+
+    def _execute(self, p: ExecutionPlan) -> RunResult:
+        spec = p.spec
+        trace, source = _acquire_trace(spec)
+        self._notify_trace(trace, source)
+        seed = _resolve_seed(spec)
+        instances = self._instances(p, trace.n_hosts, trace.n_mss)
+        results = replay_fused(trace, instances, seed=seed)
+        outcomes = []
+        for entry, rr in zip(p.entries, results):
+            outcome = ProtocolOutcome(
+                name=entry.name, protocol=rr.protocol, metrics=rr.metrics
+            )
+            self._notify_outcome(outcome)
+            outcomes.append(outcome)
+        return RunResult(
+            engine_kind=self.kind,
+            outcomes=outcomes,
+            trace=trace,
+            trace_source=source,
+            seed=seed,
+        )
+
+
+class OnlineEngine(Engine):
+    """Protocol-in-the-loop simulation, one run per entry.
+
+    Replayable entries go through
+    :func:`~repro.workload.driver.run_online` (honouring
+    ``ckpt_latency`` / ``gc_interval``); coordinated entries through
+    :func:`~repro.core.online.run_coordinated` with the spec's
+    ``snapshot_interval``.  Each entry simulates its own run -- unlike
+    replay there is no shared schedule once checkpoint latency or
+    control messages perturb timing.
+    """
+
+    kind = "online"
+
+    def _execute(self, p: ExecutionPlan) -> RunResult:
+        spec = p.spec
+        cfg = spec.workload
+        seed = _resolve_seed(spec)
+        outcomes = []
+        first_trace = None
+        for entry in p.entries:
+            if entry.capabilities.coordinated:
+                res = run_coordinated(
+                    cfg, entry.scheme, spec.snapshot_interval
+                )
+                outcome = ProtocolOutcome(
+                    name=entry.name,
+                    protocol=None,
+                    metrics=None,
+                    coordinated=res,
+                )
+            else:
+                instance = entry.make(cfg.n_hosts, cfg.n_mss)
+                res = _driver.run_online(
+                    cfg,
+                    instance,
+                    ckpt_latency=spec.ckpt_latency,
+                    gc_interval=spec.gc_interval,
+                )
+                if first_trace is None:
+                    first_trace = res.trace
+                    self._notify_trace(res.trace, "online")
+                outcome = ProtocolOutcome(
+                    name=entry.name,
+                    protocol=instance,
+                    metrics=res.metrics,
+                    online=res,
+                )
+            self._notify_outcome(outcome)
+            outcomes.append(outcome)
+        return RunResult(
+            engine_kind=self.kind,
+            outcomes=outcomes,
+            trace=first_trace,
+            trace_source="online",
+            seed=seed,
+        )
+
+
+#: kind -> engine class, the dispatch table of :func:`engine_for`.
+ENGINES = {
+    ReferenceReplayEngine.kind: ReferenceReplayEngine,
+    FusedReplayEngine.kind: FusedReplayEngine,
+    OnlineEngine.kind: OnlineEngine,
+}
+
+
+def engine_for(kind: str) -> Engine:
+    """A fresh engine instance for a concrete *kind*."""
+    try:
+        return ENGINES[kind]()
+    except KeyError:
+        raise PlanError(
+            f"no engine of kind {kind!r}; known: {sorted(ENGINES)}"
+        ) from None
+
+
+def execute(spec: Union[RunSpec, ExecutionPlan]) -> RunResult:
+    """Plan (if needed) and run *spec* on the engine it selects."""
+    p = _plan(spec) if isinstance(spec, RunSpec) else spec
+    return engine_for(p.engine_kind).run(p)

@@ -1,0 +1,70 @@
+"""Typed errors of the execution-engine layer.
+
+Every consumer-facing failure mode of :mod:`repro.engine` raises one of
+these, so the CLI, the sweep config and library callers can react to
+the *kind* of problem instead of parsing message strings:
+
+* :class:`UnknownProtocolError` -- a requested protocol name is not in
+  the registry (the message lists every known name).
+* :class:`CapabilityError` -- the protocol exists but cannot run the
+  requested way (a coordinated baseline on a replay engine, a
+  counters-only run of a protocol that keeps no counters contract, a
+  non-fusable protocol on the fused engine).
+* :class:`PlanError` -- the :class:`~repro.engine.spec.RunSpec` itself
+  is incoherent (no protocols, trace and workload both missing, an
+  online run from a pre-built trace, ...).
+
+All three subclass :class:`ValueError` so pre-engine callers that
+caught ``ValueError`` from the old hand-rolled validation keep working
+unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+
+class EngineError(ValueError):
+    """Base class of every engine-layer resolution/planning error."""
+
+
+class UnknownProtocolError(EngineError):
+    """A requested protocol name is not registered.
+
+    The standard error text -- shared by the CLI and
+    :meth:`repro.experiments.config.SweepConfig.validate` -- always
+    lists the offending names and every known name so the fix is
+    obvious from the message alone.
+    """
+
+    def __init__(self, unknown: Sequence[str], known: Sequence[str]):
+        self.unknown = tuple(unknown)
+        self.known = tuple(known)
+        super().__init__(
+            f"unknown protocols {list(self.unknown)}; "
+            f"known: {sorted(self.known)}"
+        )
+
+
+class CapabilityError(EngineError):
+    """A protocol lacks a capability the requested execution needs."""
+
+    def __init__(
+        self,
+        protocol: str,
+        capability: str,
+        detail: str,
+        engine: Optional[str] = None,
+    ):
+        self.protocol = protocol
+        self.capability = capability
+        self.engine = engine
+        where = f" on the {engine!r} engine" if engine else ""
+        super().__init__(
+            f"protocol {protocol!r} does not support "
+            f"{capability!r}{where}: {detail}"
+        )
+
+
+class PlanError(EngineError):
+    """The run specification itself is incoherent."""

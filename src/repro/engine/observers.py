@@ -1,0 +1,168 @@
+"""Uniform run observers: telemetry, audit and metrics as attachments.
+
+Before the engine layer existed, per-run telemetry and the invariant
+audit were wired by hand at each call site (the sweep task body built
+its own :class:`~repro.obs.telemetry.TaskTelemetry`, the audit grid
+re-plumbed :func:`~repro.obs.audit.audit_trace`).  Observers make both
+a property of *any* engine run instead: attach them to a
+:class:`~repro.engine.spec.RunSpec` and every engine honours them
+through the same four callbacks.
+
+Lifecycle (driven by :meth:`repro.engine.engines.Engine.run`):
+
+1. :meth:`RunObserver.on_run_start` -- the plan is final, nothing ran.
+2. :meth:`RunObserver.on_trace` -- the run's trace is known (replay
+   engines: fetched/generated before the pass; online engines: the
+   emitted trace, after the simulation).
+3. :meth:`RunObserver.on_outcome` -- once per protocol, in spec order.
+4. :meth:`RunObserver.on_run_end` -- the assembled
+   :class:`~repro.engine.engines.RunResult`; observers may append
+   violations or stamp derived records here.
+
+Observers must not mutate protocol instances or the trace; they are
+read-only taps.  All built-ins tolerate any engine kind.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import TYPE_CHECKING, Any, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.trace import Trace
+    from repro.engine.engines import ProtocolOutcome, RunResult
+    from repro.engine.spec import ExecutionPlan
+
+
+class RunObserver:
+    """Base observer: all callbacks default to no-ops."""
+
+    def on_run_start(self, plan: "ExecutionPlan") -> None:
+        """The plan was validated; execution is about to begin."""
+
+    def on_trace(self, plan: "ExecutionPlan", trace: "Trace", source: str) -> None:
+        """The run's trace is known (*source* is a
+        :data:`repro.obs.telemetry.TRACE_SOURCES` tier, ``"provided"``
+        for pre-built traces, or ``"online"`` for emitted ones)."""
+
+    def on_outcome(self, plan: "ExecutionPlan", outcome: "ProtocolOutcome") -> None:
+        """One protocol finished (called in spec order)."""
+
+    def on_run_end(self, plan: "ExecutionPlan", result: "RunResult") -> None:
+        """The whole run finished; *result* is fully assembled."""
+
+
+class MetricsObserver(RunObserver):
+    """Collects every protocol's run metrics as one name-keyed dict.
+
+    The per-protocol counter dicts match the shape the sweep's
+    telemetry records carry (``n_total`` / ``n_basic`` / ``n_forced`` /
+    ``n_replaced``), so consumers can diff them across runs directly.
+    """
+
+    def __init__(self) -> None:
+        self.metrics: dict[str, Any] = {}
+        self.counters: dict[str, dict[str, int]] = {}
+
+    def on_outcome(self, plan, outcome) -> None:
+        if outcome.metrics is not None:
+            self.metrics[outcome.name] = outcome.metrics
+            s = outcome.metrics.stats
+            self.counters[outcome.name] = {
+                "n_total": s.n_total,
+                "n_basic": s.n_basic,
+                "n_forced": s.n_forced,
+                "n_replaced": s.n_replaced,
+            }
+
+
+class TelemetryObserver(MetricsObserver):
+    """Builds the task's :class:`~repro.obs.telemetry.TaskTelemetry`.
+
+    The sweep runner attaches one per (point, seed) task; ``record`` is
+    available after the run.  ``t_switch``/``seed`` label the record's
+    grid cell (engine runs outside a sweep may leave them at their
+    defaults).
+    """
+
+    def __init__(self, t_switch: float = 0.0, seed: Optional[int] = None):
+        super().__init__()
+        self.t_switch = t_switch
+        self.seed = seed
+        self.record = None
+        self._started: Optional[float] = None
+        self._trace = None
+        self._trace_source = "provided"
+
+    def on_run_start(self, plan) -> None:
+        self._started = time.perf_counter()
+        if self.seed is None:
+            self.seed = plan.spec.seed
+
+    def on_trace(self, plan, trace, source) -> None:
+        self._trace = trace
+        self._trace_source = source
+
+    def on_run_end(self, plan, result) -> None:
+        from repro.obs.telemetry import TaskTelemetry
+
+        wall = time.perf_counter() - (self._started or time.perf_counter())
+        trace = self._trace
+        self.record = TaskTelemetry(
+            t_switch=self.t_switch,
+            seed=self.seed if self.seed is not None else -1,
+            wall_time_s=wall,
+            trace_source=self._trace_source,
+            cache_hit=self._trace_source in ("memory", "disk"),
+            n_events=len(trace) if trace is not None else 0,
+            n_sends=trace.compiled().n_sends if trace is not None else 0,
+            pid=os.getpid(),
+            counters=dict(self.counters),
+            n_violations=len(result.violations),
+        )
+
+
+class AuditObserver(RunObserver):
+    """Arms the invariant audit of :mod:`repro.obs.audit` on the run.
+
+    After a replay-engine run, the run's trace is re-driven through the
+    full audit battery (reference/fused counter equivalence, counter vs
+    log consistency, index monotonicity, the recovery-line orphan
+    oracle); every breach lands on ``violations`` *and* on the
+    :class:`~repro.engine.engines.RunResult`.  ``t_switch`` stamps the
+    grid coordinate into each violation for sweep reports.
+
+    Online runs only get the post-run structural checks of their
+    protocol instances (the replay oracle needs a replayable schedule).
+    """
+
+    def __init__(self, t_switch: Optional[float] = None):
+        self.t_switch = t_switch
+        self.violations: list = []
+
+    def on_run_end(self, plan, result) -> None:
+        from repro.obs.audit import audit_trace, check_protocol_invariants
+
+        spec = plan.spec
+        if plan.engine_kind in ("reference", "fused") and result.trace is not None:
+            self.violations.extend(
+                audit_trace(
+                    result.trace,
+                    [e.name for e in plan.entries],
+                    factories=spec.factories,
+                    seed=result.seed,
+                    t_switch=self.t_switch,
+                )
+            )
+        else:
+            for outcome in result.outcomes:
+                if outcome.protocol is not None:
+                    self.violations.extend(
+                        check_protocol_invariants(
+                            outcome.protocol,
+                            seed=result.seed,
+                            t_switch=self.t_switch,
+                        )
+                    )
+        result.violations.extend(self.violations)

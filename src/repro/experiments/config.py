@@ -24,7 +24,9 @@ class SweepConfig:
     t_switch_values:
         The x-axis (paper: log-spaced 100..10000).
     protocols:
-        Names from :data:`repro.protocols.base.registry`.
+        Names resolved through the engine registry
+        (:func:`repro.engine.resolve_protocols`); sweeps run on the
+        fused replay engine, so every name must be fusable.
     seeds:
         One run per seed per point; results are averaged and the
         within-4% agreement is checked.
@@ -100,19 +102,25 @@ class SweepConfig:
     resume_from: Optional[str] = None
 
     def validate(self) -> "SweepConfig":
-        """Check the sweep parameters; returns self (chainable)."""
-        from repro.protocols.base import registry
+        """Check the sweep parameters; returns self (chainable).
+
+        Protocol names resolve through the engine registry
+        (:func:`repro.engine.resolve_protocols`), so an unknown name
+        raises the same :class:`~repro.engine.errors.UnknownProtocolError`
+        (and a coordinated baseline the same
+        :class:`~repro.engine.errors.CapabilityError`) as the CLI and
+        the plan layer -- all are ``ValueError`` subclasses, so older
+        callers keep working.
+        """
+        from repro.engine import resolve_protocols
 
         self.base.validate()
         if not self.t_switch_values:
             raise ValueError("need at least one t_switch value")
         if any(t <= 0 for t in self.t_switch_values):
             raise ValueError("t_switch values must be positive")
-        unknown = [p for p in self.protocols if p not in registry]
-        if unknown:
-            raise ValueError(
-                f"unknown protocols {unknown}; known: {sorted(registry)}"
-            )
+        # Sweeps run on the fused replay engine; require that up front.
+        resolve_protocols(self.protocols, require="fusable")
         if not self.seeds:
             raise ValueError("need at least one seed")
         if self.workers < 0:

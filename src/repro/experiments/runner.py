@@ -1,11 +1,13 @@
 """Sweep execution.
 
-One *task* = one ``(t_switch, seed)`` pair: fetch that pair's trace
-(from the content-addressed cache, else generate it), then drive every
-protocol over it in a single fused replay pass (the paper's
-common-random-numbers comparison -- all protocols see identical
-schedules).  A *point* aggregates the tasks of one ``t_switch`` value;
-a *sweep* runs all points of a figure.
+One *task* = one ``(t_switch, seed)`` pair, executed through the
+unified engine layer (:mod:`repro.engine`): a counters-only
+:class:`~repro.engine.spec.RunSpec` on the fused replay engine, which
+fetches that pair's trace (from the content-addressed cache, else
+generates it) and drives every protocol over it in a single pass (the
+paper's common-random-numbers comparison -- all protocols see
+identical schedules).  A *point* aggregates the tasks of one
+``t_switch`` value; a *sweep* runs all points of a figure.
 
 Parallelism is (point, seed)-granular: a figure with 7 points and 3
 seeds exposes 21 independent tasks, so the pool scales past the number
@@ -39,7 +41,6 @@ from __future__ import annotations
 
 import atexit
 import csv
-import os
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
@@ -47,14 +48,11 @@ from multiprocessing import get_context
 from typing import Optional, Sequence
 
 from repro.analysis.stats import SampleSummary, summarize
-from repro.core.replay import replay_fused
+from repro.engine import AuditObserver, RunSpec, TelemetryObserver, execute
 from repro.experiments.config import SweepConfig
 from repro.obs.telemetry import TaskTelemetry, TelemetrySummary
 from repro.obs.telemetry import summarize as summarize_telemetry
-from repro.protocols.base import registry
-from repro.workload.cache import shared_cache
 from repro.workload.config import WorkloadConfig
-from repro.workload import driver as _driver
 
 
 @dataclass(slots=True)
@@ -198,71 +196,43 @@ def _evaluate_task(
     audit: bool = False,
 ) -> tuple[float, int, list[RunOutcome], TaskTelemetry, list]:
     """Worker body: one (point, seed) pair, all protocols, one fused
-    replay pass over one trace.  Also produces the task's telemetry
-    record and -- in audit mode -- its invariant violations."""
-    started = time.perf_counter()
+    replay pass over one trace -- routed through the execution engine
+    (:mod:`repro.engine`) with the task's telemetry and -- in audit
+    mode -- the invariant audit attached as observers."""
     cfg = base.with_(t_switch=t_switch, seed=seed)
-    if use_cache:
-        cache = shared_cache(cache_dir)
-        before = (cache.hits, cache.disk_hits)
-        trace = cache.get_or_generate(cfg)
-        if cache.hits > before[0]:
-            trace_source = "memory"
-        elif cache.disk_hits > before[1]:
-            trace_source = "disk"
-        else:
-            trace_source = "generated"
-    else:
-        # Through the module so monkeypatched generators are observed.
-        trace = _driver.generate_trace(cfg)
-        trace_source = "uncached"
-    instances = []
-    for name in protocols:
-        protocol = registry[name](cfg.n_hosts, cfg.n_mss)
-        protocol.log_checkpoints = False  # counters are all a sweep needs
-        instances.append(protocol)
-    runs = []
-    counters: dict[str, dict[str, int]] = {}
-    for name, result in zip(protocols, replay_fused(trace, instances, seed=seed)):
-        stats = result.metrics.stats
-        runs.append(
-            RunOutcome(
-                seed=seed,
-                protocol=name,
-                n_total=stats.n_total,
-                n_basic=stats.n_basic,
-                n_forced=stats.n_forced,
-                n_replaced=stats.n_replaced,
-                n_sends=result.metrics.n_sends,
-                piggyback_ints=result.metrics.piggyback_ints_total,
-            )
-        )
-        counters[name] = {
-            "n_total": stats.n_total,
-            "n_basic": stats.n_basic,
-            "n_forced": stats.n_forced,
-            "n_replaced": stats.n_replaced,
-        }
-    violations: list = []
+    telemetry_obs = TelemetryObserver(t_switch=t_switch, seed=seed)
+    # The audit observer goes first so the telemetry record sees the
+    # final violation count on run end.
+    observers = (telemetry_obs,)
     if audit:
-        from repro.obs.audit import audit_trace
-
-        violations = audit_trace(
-            trace, protocols, seed=seed, t_switch=t_switch
+        observers = (AuditObserver(t_switch=t_switch),) + observers
+    result = execute(
+        RunSpec(
+            protocols=tuple(protocols),
+            workload=cfg,
+            engine="fused",
+            counters_only=True,  # counters are all a sweep needs
+            audit=audit,
+            seed=seed,
+            use_cache=use_cache,
+            cache_dir=cache_dir,
+            observers=observers,
         )
-    telemetry = TaskTelemetry(
-        t_switch=t_switch,
-        seed=seed,
-        wall_time_s=time.perf_counter() - started,
-        trace_source=trace_source,
-        cache_hit=trace_source in ("memory", "disk"),
-        n_events=len(trace),
-        n_sends=trace.compiled().n_sends,
-        pid=os.getpid(),
-        counters=counters,
-        n_violations=len(violations),
     )
-    return t_switch, seed, runs, telemetry, violations
+    runs = [
+        RunOutcome(
+            seed=seed,
+            protocol=o.name,
+            n_total=o.metrics.stats.n_total,
+            n_basic=o.metrics.stats.n_basic,
+            n_forced=o.metrics.stats.n_forced,
+            n_replaced=o.metrics.stats.n_replaced,
+            n_sends=o.metrics.n_sends,
+            piggyback_ints=o.metrics.piggyback_ints_total,
+        )
+        for o in result.outcomes
+    ]
+    return t_switch, seed, runs, telemetry_obs.record, list(result.violations)
 
 
 #: Persistent worker pool, reused across sweeps in this process.

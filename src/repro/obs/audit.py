@@ -249,35 +249,47 @@ def audit_trace(
 ) -> list[AuditViolation]:
     """Run every audit check over one trace; returns all violations.
 
-    For each protocol name: a reference :func:`~repro.core.replay.replay`
-    on a fresh logging instance (whose counters, log and invariants are
-    checked), one shared :func:`~repro.core.replay.replay_fused` pass
-    over fresh instances (whose counters must match the reference
-    bit-for-bit), and the recovery-line orphan oracle on an annotated
-    re-run.  *factories* overrides the protocol registry -- tests use it
-    to inject deliberately broken stubs.
+    For each protocol name: a reference-engine run on a fresh logging
+    instance (whose counters, log and invariants are checked), one
+    fused-engine pass over fresh instances (whose counters must match
+    the reference bit-for-bit), and the recovery-line orphan oracle on
+    an annotated re-run.  Both runs go through the unified engine layer
+    (:mod:`repro.engine`) -- with auditing *off*, since this function
+    is what an armed audit executes.  *factories* overrides the
+    protocol registry -- tests use it to inject deliberately broken
+    stubs.
 
     The (seed, t_switch) coordinates are stamped into every violation so
     grid reports stay actionable.
     """
-    from repro.core.replay import replay, replay_fused
+    from repro.engine import RunSpec, execute
 
     violations: list[AuditViolation] = []
 
-    references: dict[str, CheckpointingProtocol] = {}
-    for name in protocols:
-        protocol = _make(name, trace, factories)
-        replay(trace, protocol, seed=seed)
-        references[name] = protocol
-        violations.extend(
-            check_protocol_invariants(protocol, seed=seed, t_switch=t_switch)
+    def engine_run(kind: str):
+        return execute(
+            RunSpec(
+                protocols=tuple(protocols),
+                trace=trace,
+                engine=kind,
+                seed=seed,
+                factories=factories,
+            )
         )
 
-    fused_instances = [_make(name, trace, factories) for name in protocols]
-    replay_fused(trace, fused_instances, seed=seed)
-    for name, fused in zip(protocols, fused_instances):
-        ref_sig = references[name].counter_signature()
-        fused_sig = fused.counter_signature()
+    reference = engine_run("reference")
+    for outcome in reference.outcomes:
+        violations.extend(
+            check_protocol_invariants(
+                outcome.protocol, seed=seed, t_switch=t_switch
+            )
+        )
+
+    fused = engine_run("fused")
+    for ref_out, fused_out in zip(reference.outcomes, fused.outcomes):
+        name = ref_out.name
+        ref_sig = ref_out.protocol.counter_signature()
+        fused_sig = fused_out.protocol.counter_signature()
         if ref_sig != fused_sig:
             diff = {
                 key: (ref_sig[key], fused_sig[key])

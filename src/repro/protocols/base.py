@@ -57,7 +57,14 @@ StorageHook = Callable[[int, int, str, dict[str, Any]], None]
 
 
 class CheckpointingProtocol:
-    """Common machinery: checkpoint log, counters, storage forwarding."""
+    """Common machinery: checkpoint log, counters, storage forwarding.
+
+    Execution capabilities are *declared on the class* (and validated
+    at registration time by :func:`register`): the engine layer
+    (:mod:`repro.engine`) reads them to decide which engines may drive
+    a protocol and rejects incompatible requests with typed errors
+    instead of failing mid-run.
+    """
 
     #: Short name used in reports ("TP", "BCS", "QBC", ...).
     name: str = "base"
@@ -65,6 +72,19 @@ class CheckpointingProtocol:
     #: (communication-induced ones can; coordinated ones need online
     #: mode because their control messages perturb the schedule).
     replayable: bool = True
+    #: Whether fresh instances may ride the fused single-pass engine
+    #: (:func:`repro.core.replay.replay_fused`).  Requires
+    #: ``replayable``; a protocol whose hooks share hidden global state
+    #: across instances would clear this flag.
+    fusable: bool = True
+    #: True for coordinated baselines (Chandy-Lamport, Koo-Toueg,
+    #: Prakash-Singhal): they inject control messages into the
+    #: schedule, so they can only run embedded in the online DES.
+    coordinated: bool = False
+    #: Whether the protocol tolerates counters-only mode
+    #: (``log_checkpoints = False``): its decisions must not depend on
+    #: reading back its own checkpoint log.
+    supports_counters_only: bool = True
     #: When False, :meth:`take` maintains the counters only -- no
     #: :class:`TakenCheckpoint` records, no storage forwarding.  The
     #: sweep engine flips this off because figure curves need nothing
@@ -328,11 +348,47 @@ class CheckpointingProtocol:
 registry: dict[str, Callable[..., CheckpointingProtocol]] = {}
 
 
+def validate_capabilities(cls) -> None:
+    """Check that *cls*'s declared capabilities are coherent.
+
+    Raises ``ValueError`` on an impossible combination; called at
+    registration time so a mis-declared protocol fails at import, not
+    mid-sweep.  The rules:
+
+    * ``coordinated`` excludes ``replayable``/``fusable`` (control
+      messages perturb the schedule, so no trace replay is faithful);
+    * ``fusable`` requires ``replayable`` (the fused engine *is* a
+      replay engine).
+    """
+    coordinated = bool(getattr(cls, "coordinated", False))
+    replayable = bool(getattr(cls, "replayable", True))
+    fusable = bool(getattr(cls, "fusable", True))
+    label = getattr(cls, "__name__", repr(cls))
+    if coordinated and (replayable or fusable):
+        raise ValueError(
+            f"{label}: coordinated protocols cannot be replayable/fusable "
+            "(their control messages perturb the schedule)"
+        )
+    if fusable and not replayable:
+        raise ValueError(
+            f"{label}: fusable requires replayable (the fused engine "
+            "replays a trace)"
+        )
+
+
 def register(name: str):
-    """Class decorator adding a protocol to :data:`registry`."""
+    """Class decorator adding a protocol to :data:`registry`.
+
+    Validates the class's declared capabilities
+    (:func:`validate_capabilities`) so an incoherent declaration fails
+    at import time.
+    """
+    if not name or not isinstance(name, str):
+        raise ValueError(f"protocol registry name must be a non-empty string, got {name!r}")
 
     def deco(cls):
         """Register *cls* under the decorator's name."""
+        validate_capabilities(cls)
         registry[name] = cls
         cls.name = name
         return cls

@@ -1,0 +1,90 @@
+"""Satellite: capability violations raise the SAME typed error everywhere.
+
+The engine layer, the CLI and the sweep config all resolve protocol
+names through :func:`repro.engine.resolve_protocols`, so a coordinated
+baseline requested from a replay path must produce one
+:class:`~repro.engine.errors.CapabilityError` with one message -- not
+three divergent strings.
+"""
+
+import pytest
+
+from repro.cli import main
+from repro.engine import RunSpec, plan, resolve_protocols
+from repro.engine.errors import (
+    CapabilityError,
+    EngineError,
+    UnknownProtocolError,
+)
+from repro.experiments.config import SweepConfig
+from repro.workload import WorkloadConfig
+
+
+def _capability_message(name: str) -> str:
+    with pytest.raises(CapabilityError) as exc:
+        resolve_protocols([name], require="replayable")
+    return str(exc.value)
+
+
+def test_engine_layer_and_plan_agree_on_coordinated_error():
+    registry_msg = _capability_message("CL")
+    with pytest.raises(CapabilityError) as exc:
+        plan(
+            RunSpec(
+                protocols=("CL",),
+                workload=WorkloadConfig(sim_time=200.0),
+                engine="reference",
+            )
+        )
+    # same error type, same protocol/capability; the plan variant only
+    # appends the engine name
+    assert exc.value.protocol == "CL"
+    assert exc.value.capability == "replayable"
+    assert registry_msg.split(":")[-1] in str(exc.value)
+
+
+def test_cli_emits_the_registry_error_text(capsys):
+    registry_msg = _capability_message("CL")
+    rc = main(["compare", "--sim-time", "200", "--protocols", "CL"])
+    assert rc == 2
+    err = capsys.readouterr().err
+    assert "does not support 'replayable'" in err
+    assert "online engine" in err  # the actionable detail survives
+    assert registry_msg.split(": ", 1)[1] in err
+
+
+def test_sweep_config_emits_the_registry_error_text():
+    cfg = SweepConfig(protocols=("BCS", "KT"))
+    with pytest.raises(CapabilityError) as exc:
+        cfg.validate()
+    assert exc.value.protocol == "KT"
+    assert "does not support 'replayable'" in str(exc.value)
+
+
+def test_unknown_name_is_one_error_text_everywhere(capsys):
+    with pytest.raises(UnknownProtocolError) as engine_exc:
+        resolve_protocols(["NOPE"])
+    engine_msg = str(engine_exc.value)
+
+    rc = main(["compare", "--sim-time", "200", "--protocols", "NOPE"])
+    assert rc == 2
+    assert engine_msg in capsys.readouterr().err
+
+    with pytest.raises(UnknownProtocolError) as cfg_exc:
+        SweepConfig(protocols=("NOPE",)).validate()
+    assert str(cfg_exc.value) == engine_msg
+
+
+def test_all_engine_errors_are_value_errors():
+    # pre-engine callers caught ValueError; the typed hierarchy must
+    # keep that contract
+    assert issubclass(EngineError, ValueError)
+    with pytest.raises(ValueError):
+        resolve_protocols(["NOPE"])
+    with pytest.raises(ValueError):
+        SweepConfig(protocols=("CL",)).validate()
+
+
+def test_sweep_config_accepts_the_fusable_set():
+    cfg = SweepConfig(protocols=("TP", "BCS", "QBC"))
+    assert cfg.validate() is cfg

@@ -1,0 +1,180 @@
+"""Observer lifecycle and built-in observer behaviour."""
+
+from repro.engine import (
+    AuditObserver,
+    MetricsObserver,
+    RunObserver,
+    RunSpec,
+    TelemetryObserver,
+    execute,
+)
+from repro.workload import WorkloadConfig, generate_trace
+
+
+def cfg(**kw):
+    defaults = dict(sim_time=500.0, p_switch=0.8, seed=0)
+    defaults.update(kw)
+    return WorkloadConfig(**defaults)
+
+
+class Recorder(RunObserver):
+    def __init__(self):
+        self.calls = []
+
+    def on_run_start(self, plan):
+        self.calls.append(("start", plan.engine_kind))
+
+    def on_trace(self, plan, trace, source):
+        self.calls.append(("trace", source))
+
+    def on_outcome(self, plan, outcome):
+        self.calls.append(("outcome", outcome.name))
+
+    def on_run_end(self, plan, result):
+        self.calls.append(("end", result.engine_kind))
+
+
+def test_lifecycle_order_replay_engines():
+    rec = Recorder()
+    execute(
+        RunSpec(protocols=("TP", "BCS"), workload=cfg(), observers=(rec,))
+    )
+    assert rec.calls == [
+        ("start", "fused"),
+        ("trace", "uncached"),
+        ("outcome", "TP"),
+        ("outcome", "BCS"),
+        ("end", "fused"),
+    ]
+
+
+def test_lifecycle_online_engine_emits_trace_once():
+    rec = Recorder()
+    execute(
+        RunSpec(
+            protocols=("BCS", "QBC", "CL"),
+            workload=cfg(),
+            engine="online",
+            snapshot_interval=100.0,
+            observers=(rec,),
+        )
+    )
+    assert rec.calls[0] == ("start", "online")
+    assert rec.calls.count(("trace", "online")) == 1
+    assert [c for c in rec.calls if c[0] == "outcome"] == [
+        ("outcome", "BCS"),
+        ("outcome", "QBC"),
+        ("outcome", "CL"),
+    ]
+    assert rec.calls[-1] == ("end", "online")
+
+
+def test_metrics_observer_collects_counters():
+    obs = MetricsObserver()
+    result = execute(
+        RunSpec(protocols=("TP", "BCS"), workload=cfg(), observers=(obs,))
+    )
+    assert set(obs.metrics) == {"TP", "BCS"}
+    for name in ("TP", "BCS"):
+        c = obs.counters[name]
+        assert set(c) == {"n_total", "n_basic", "n_forced", "n_replaced"}
+        assert c["n_total"] == result.outcome(name).n_total
+
+
+def test_metrics_observer_skips_coordinated_outcomes():
+    obs = MetricsObserver()
+    execute(
+        RunSpec(
+            protocols=("CL",),
+            workload=cfg(),
+            engine="online",
+            snapshot_interval=100.0,
+            observers=(obs,),
+        )
+    )
+    assert obs.metrics == {} and obs.counters == {}
+
+
+def test_telemetry_observer_builds_task_record(tmp_path):
+    obs = TelemetryObserver(t_switch=321.0, seed=5)
+    execute(
+        RunSpec(
+            protocols=("BCS",),
+            workload=cfg(seed=5),
+            counters_only=True,
+            observers=(obs,),
+            use_cache=True,
+            cache_dir=str(tmp_path),
+        )
+    )
+    rec = obs.record
+    assert rec is not None
+    assert rec.t_switch == 321.0 and rec.seed == 5
+    assert rec.trace_source == "generated" and rec.cache_hit is False
+    assert rec.n_events > 0 and rec.n_sends > 0
+    assert rec.wall_time_s > 0.0
+    assert rec.counters["BCS"]["n_total"] > 0
+    assert rec.n_violations == 0
+
+    from repro.workload import cache as cache_mod
+    from pathlib import Path
+
+    cache_mod._shared.pop(str(Path(str(tmp_path)).resolve()), None)
+
+
+def test_telemetry_observer_on_provided_trace():
+    trace = generate_trace(cfg())
+    obs = TelemetryObserver()
+    execute(RunSpec(protocols=("BCS",), trace=trace, observers=(obs,)))
+    assert obs.record.trace_source == "provided"
+    assert obs.record.n_events == len(trace)
+
+
+def test_audit_observer_lands_violations_on_result():
+    from repro.protocols import BCSProtocol
+
+    class LyingBCS(BCSProtocol):
+        """Counters diverge from the checkpoint log -> audit must fire."""
+
+        name = "LyingBCS"
+
+        def take(self, host, index, reason, now):
+            super().take(host, index, reason, now)
+            self.n_forced += 1  # double-count
+
+    audit = AuditObserver(t_switch=42.0)
+    result = execute(
+        RunSpec(
+            protocols=("Lying",),
+            workload=cfg(),
+            factories={"Lying": LyingBCS},
+            observers=(audit,),
+        )
+    )
+    assert audit.violations
+    assert result.violations == audit.violations
+    assert all(v.t_switch == 42.0 for v in audit.violations)
+
+
+def test_audit_before_telemetry_counts_violations():
+    """The sweep convention: AuditObserver first, so the telemetry
+    record sees the final violation tally."""
+    from repro.protocols import BCSProtocol
+
+    class LyingBCS(BCSProtocol):
+        name = "LyingBCS"
+
+        def take(self, host, index, reason, now):
+            super().take(host, index, reason, now)
+            self.n_forced += 1
+
+    telemetry = TelemetryObserver()
+    execute(
+        RunSpec(
+            protocols=("Lying",),
+            workload=cfg(),
+            factories={"Lying": LyingBCS},
+            observers=(AuditObserver(), telemetry),
+        )
+    )
+    assert telemetry.record.n_violations > 0

@@ -26,7 +26,7 @@ def test_compare_runs(capsys):
 def test_compare_unknown_protocol(capsys):
     rc = main(["compare", "--sim-time", "200", "--protocols", "NOPE"])
     assert rc == 2
-    assert "unknown protocol" in capsys.readouterr().out
+    assert "unknown protocol" in capsys.readouterr().err
 
 
 def test_trace_and_replay_roundtrip(tmp_path, capsys):
@@ -44,6 +44,34 @@ def test_replay_unknown_protocol(tmp_path, capsys):
     main(["trace", "--sim-time", "200", "--out", path])
     rc = main(["replay", "--trace", path, "--protocols", "XX"])
     assert rc == 2
+    assert "unknown protocol" in capsys.readouterr().err
+
+
+def test_recovery_unknown_protocol_exits_2(capsys):
+    rc = main(["recovery", "--sim-time", "200", "--protocol", "NOPE"])
+    assert rc == 2
+    assert "unknown protocol" in capsys.readouterr().err
+
+
+def test_failures_unknown_protocol_exits_2(capsys):
+    rc = main(["failures", "--sim-time", "200", "--protocol", "NOPE"])
+    assert rc == 2
+    assert "unknown protocol" in capsys.readouterr().err
+
+
+def test_coordinated_protocol_on_replay_subcommands_exits_2(capsys):
+    # The coordinated baselines resolve (they are registered) but lack
+    # the replayable capability; every replay-backed subcommand reports
+    # the same typed CapabilityError as a usage error.
+    for argv in (
+        ["compare", "--sim-time", "200", "--protocols", "CL"],
+        ["recovery", "--sim-time", "200", "--protocol", "KT"],
+        ["failures", "--sim-time", "200", "--protocol", "PS"],
+    ):
+        rc = main(argv)
+        assert rc == 2, argv
+        err = capsys.readouterr().err
+        assert "does not support 'replayable'" in err, argv
 
 
 def test_recovery_protocol_line(capsys):
