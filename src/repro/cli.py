@@ -17,6 +17,10 @@ Subcommands
     Sweep a config grid with the invariant audit armed (orphan-freedom
     of recovery lines, fused-vs-reference equivalence, counter/log
     consistency) and print the violation/telemetry report.
+``tail``
+    Follow a telemetry / outcome / heartbeat JSONL stream (written by
+    ``figure --telemetry/--stream/--heartbeat``) and print a live
+    summary.
 
 Exit codes are standardized across subcommands: 0 = success, 1 =
 violations / failed validation / grid holes, 2 = usage error, 130 =
@@ -85,7 +89,15 @@ def _cmd_figure(args) -> int:
         max_task_retries=args.retries,
         journal_path=journal,
         resume_from=resume,
+        progress=args.progress,
+        heartbeat_path=args.heartbeat,
+        trace_path=args.trace,
+        stream_path=args.stream,
     )
+    if args.metrics:
+        from repro.obs.metrics import registry
+
+        registry().dump(args.metrics)
     if result.interrupted:
         done = sum(len(p.telemetry) for p in result.points)
         total = len(result.config.t_switch_values) * len(result.config.seeds)
@@ -114,9 +126,63 @@ def _cmd_figure(args) -> int:
         for violation in result.violations:
             print(f"  {violation}")
         ok = ok and audit_report.ok
-    if args.telemetry:
-        print(f"\ntelemetry written to {args.telemetry}")
+    for label, path in (
+        ("telemetry", args.telemetry),
+        ("trace-event JSON", args.trace),
+        ("metrics", args.metrics),
+        ("outcome stream", args.stream),
+        ("heartbeats", args.heartbeat),
+    ):
+        if path:
+            print(f"\n{label} written to {path}", end="")
+    if any((args.telemetry, args.trace, args.metrics, args.stream,
+            args.heartbeat)):
+        print()
     return EXIT_OK if ok else EXIT_FAILURE
+
+
+def _cmd_tail(args) -> int:
+    import json
+    import time as _time
+
+    from repro.obs.telemetry import tail_summary
+
+    def _read(path) -> list[dict]:
+        records = []
+        try:
+            with open(path) as fh:
+                for line in fh:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        records.append(json.loads(line))
+                    except ValueError:
+                        continue  # torn trailing line mid-append
+        except FileNotFoundError:
+            return []
+        return records
+
+    import os
+
+    if args.once:
+        if not os.path.exists(args.path):
+            print(f"{args.path}: no such file", file=sys.stderr)
+            return EXIT_USAGE
+        print(tail_summary(_read(args.path)))
+        return EXIT_OK
+    # Follow mode: wait for the file, then re-summarize as it grows
+    # (KeyboardInterrupt -> 130 via main()).
+    last_count = -1
+    while True:
+        records = _read(args.path)
+        if len(records) != last_count:
+            if last_count >= 0:
+                print("---")
+            print(tail_summary(records) if records else
+                  f"(waiting for {args.path})")
+            last_count = len(records)
+        _time.sleep(args.interval)
 
 
 def _cmd_audit(args) -> int:
@@ -315,6 +381,35 @@ def build_parser() -> argparse.ArgumentParser:
         help="re-dispatches per failed task before quarantine "
         "(default 2)",
     )
+    p.add_argument(
+        "--progress", dest="progress", action="store_true", default=None,
+        help="live status line (done/total, rate, ETA) on stderr "
+        "(default: REPRO_PROGRESS env, else TTY detection)",
+    )
+    p.add_argument(
+        "--no-progress", dest="progress", action="store_false",
+        help="suppress the live status line",
+    )
+    p.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="record engine phase spans on every task and write the "
+        "merged Chrome trace-event JSON (Perfetto-loadable) to PATH",
+    )
+    p.add_argument(
+        "--metrics", default=None, metavar="PATH",
+        help="dump the process metrics registry after the sweep: JSON "
+        "when PATH ends in .json, Prometheus text exposition otherwise",
+    )
+    p.add_argument(
+        "--stream", default=None, metavar="PATH",
+        help="append one JSONL line per protocol outcome to PATH as "
+        "tasks complete (live result feed; see 'repro tail')",
+    )
+    p.add_argument(
+        "--heartbeat", default=None, metavar="PATH",
+        help="append periodic {\"kind\": \"heartbeat\"} JSONL progress "
+        "records to PATH (machine-readable twin of --progress)",
+    )
     p.set_defaults(fn=_cmd_figure)
 
     p = sub.add_parser(
@@ -376,6 +471,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--protocol", default="QBC")
     p.add_argument("--mean-interval", type=float, default=1500.0)
     p.set_defaults(fn=_cmd_failures)
+
+    p = sub.add_parser(
+        "tail",
+        help="follow a telemetry/outcome/heartbeat JSONL stream",
+    )
+    p.add_argument(
+        "path",
+        help="JSONL file written by figure --telemetry, --stream or "
+        "--heartbeat (mixed record kinds are fine)",
+    )
+    p.add_argument(
+        "--once", action="store_true",
+        help="print one summary and exit instead of following",
+    )
+    p.add_argument(
+        "--interval", type=float, default=2.0, metavar="SECONDS",
+        help="poll interval while following (default 2s)",
+    )
+    p.set_defaults(fn=_cmd_tail)
 
     return parser
 

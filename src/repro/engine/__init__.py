@@ -41,8 +41,12 @@ from repro.engine.errors import (
 from repro.engine.observers import (
     AuditObserver,
     MetricsObserver,
+    ObserverError,
+    ObserverReuseError,
     RunObserver,
+    StreamObserver,
     TelemetryObserver,
+    TimingObserver,
 )
 from repro.engine.registry import (
     Capabilities,
@@ -65,6 +69,8 @@ __all__ = [
     "ExecutionPlan",
     "FusedReplayEngine",
     "MetricsObserver",
+    "ObserverError",
+    "ObserverReuseError",
     "OnlineEngine",
     "PlanError",
     "ProtocolOutcome",
@@ -73,7 +79,9 @@ __all__ = [
     "RunObserver",
     "RunResult",
     "RunSpec",
+    "StreamObserver",
     "TelemetryObserver",
+    "TimingObserver",
     "UnknownProtocolError",
     "engine_for",
     "execute",

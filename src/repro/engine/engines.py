@@ -40,7 +40,11 @@ from typing import Optional, Union
 from repro.core.online import CoordinatedResult, run_coordinated
 from repro.core.replay import replay, replay_fused
 from repro.engine.errors import PlanError
+from repro.engine.observers import ObserverError
 from repro.engine.spec import ExecutionPlan, RunSpec, plan as _plan
+# repro.obs.metrics is a dependency-free leaf (the repro.obs package
+# resolves lazily), so this import cannot cycle back into the engine.
+from repro.obs.metrics import registry as _metrics_registry
 from repro.workload import driver as _driver
 from repro.workload.cache import shared_cache
 
@@ -88,6 +92,10 @@ class RunResult:
     wall_time_s: float = 0.0
     #: Audit violations collected by attached AuditObservers.
     violations: list = field(default_factory=list)
+    #: Observer callbacks that raised mid-run and were absorbed
+    #: (:class:`~repro.engine.observers.ObserverError`); the run's
+    #: outcomes are complete and correct regardless.
+    observer_errors: list = field(default_factory=list)
 
     def outcome(self, name: str) -> ProtocolOutcome:
         """The outcome of protocol *name* (raises KeyError if absent)."""
@@ -133,12 +141,47 @@ def _acquire_trace(spec: RunSpec):
     return _driver.generate_trace(spec.workload), "uncached"
 
 
+class _NullSpan:
+    """Context-manager stand-in when no tracer is attached: accepts
+    tag writes, times nothing, costs one allocation."""
+
+    __slots__ = ("tags",)
+
+    def __init__(self):
+        self.tags: dict = {}
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+
+def _find_tracer(observers):
+    """The first observer-carried tracer (duck-typed: any observer
+    exposing a ``tracer`` with a ``span`` context manager -- see
+    :class:`~repro.engine.observers.TimingObserver`)."""
+    for obs in observers:
+        tracer = getattr(obs, "tracer", None)
+        if tracer is not None and callable(getattr(tracer, "span", None)):
+            return tracer
+    return None
+
+
 class Engine:
     """Common interface: a validated plan in, a :class:`RunResult` out.
 
-    ``run`` is a template method -- timing, observer fan-out and result
-    assembly live here; subclasses implement ``_execute`` and call
-    ``_notify_trace`` / ``_notify_outcome`` as the run unfolds.
+    ``run`` is a template method -- timing, span tracing, observer
+    fan-out and result assembly live here; subclasses implement
+    ``_execute`` and call ``_notify_trace`` / ``_notify_outcome`` as
+    the run unfolds.
+
+    Observer failure isolation: ``on_run_start`` exceptions propagate
+    (nothing ran yet; the single-run reuse guards depend on failing
+    fast), but mid-run callbacks (``on_trace`` / ``on_outcome``) and
+    ``on_run_end`` are absorbed into
+    :attr:`RunResult.observer_errors` -- a broken dashboard tap must
+    not cost a finished run its result.
     """
 
     #: The :attr:`ExecutionPlan.engine_kind` this engine accepts.
@@ -153,26 +196,66 @@ class Engine:
                 f"this is the {self.kind!r} engine"
             )
         self._plan = p
+        self._tracer = _find_tracer(p.observers)
+        self._observer_errors: list[ObserverError] = []
         started = time.perf_counter()
-        for obs in p.observers:
-            obs.on_run_start(p)
-        result = self._execute(p)
-        result.wall_time_s = time.perf_counter() - started
-        for obs in p.observers:
-            obs.on_run_end(p, result)
+        with self._span("run", engine=self.kind):
+            for obs in p.observers:
+                obs.on_run_start(p)
+            result = self._execute(p)
+            result.wall_time_s = time.perf_counter() - started
+            result.observer_errors.extend(self._observer_errors)
+            for obs in p.observers:
+                with self._span(f"observer:{type(obs).__name__}"):
+                    try:
+                        obs.on_run_end(p, result)
+                    except Exception as exc:
+                        result.observer_errors.append(
+                            ObserverError(
+                                type(obs).__name__, "on_run_end", repr(exc)
+                            )
+                        )
+        reg = _metrics_registry()
+        reg.counter("repro_engine_runs_total", kind=self.kind).inc()
+        reg.histogram("repro_engine_run_seconds", kind=self.kind).observe(
+            result.wall_time_s
+        )
+        reg.counter("repro_engine_outcomes_total", kind=self.kind).inc(
+            len(result.outcomes)
+        )
+        if result.observer_errors:
+            reg.counter("repro_observer_errors_total").inc(
+                len(result.observer_errors)
+            )
         return result
 
     # -- subclass protocol -------------------------------------------------
     def _execute(self, p: ExecutionPlan) -> RunResult:
         raise NotImplementedError
 
+    def _span(self, name: str, **tags):
+        """A tracing span when the run carries a tracer, else a no-op."""
+        if self._tracer is None:
+            return _NullSpan()
+        return self._tracer.span(name, **tags)
+
     def _notify_trace(self, trace, source: str) -> None:
         for obs in self._plan.observers:
-            obs.on_trace(self._plan, trace, source)
+            try:
+                obs.on_trace(self._plan, trace, source)
+            except Exception as exc:
+                self._observer_errors.append(
+                    ObserverError(type(obs).__name__, "on_trace", repr(exc))
+                )
 
     def _notify_outcome(self, outcome: ProtocolOutcome) -> None:
         for obs in self._plan.observers:
-            obs.on_outcome(self._plan, outcome)
+            try:
+                obs.on_outcome(self._plan, outcome)
+            except Exception as exc:
+                self._observer_errors.append(
+                    ObserverError(type(obs).__name__, "on_outcome", repr(exc))
+                )
 
     # -- shared helpers ----------------------------------------------------
     def _instances(self, p: ExecutionPlan, n_hosts: int, n_mss: int):
@@ -193,14 +276,17 @@ class ReferenceReplayEngine(Engine):
 
     def _execute(self, p: ExecutionPlan) -> RunResult:
         spec = p.spec
-        trace, source = _acquire_trace(spec)
+        with self._span("trace-acquire") as sp:
+            trace, source = _acquire_trace(spec)
+            sp.tags["source"] = source
         self._notify_trace(trace, source)
         seed = _resolve_seed(spec)
         outcomes = []
         for entry, instance in zip(
             p.entries, self._instances(p, trace.n_hosts, trace.n_mss)
         ):
-            rr = replay(trace, instance, seed=seed)
+            with self._span("replay", protocol=entry.name):
+                rr = replay(trace, instance, seed=seed)
             outcome = ProtocolOutcome(
                 name=entry.name, protocol=instance, metrics=rr.metrics
             )
@@ -222,11 +308,14 @@ class FusedReplayEngine(Engine):
 
     def _execute(self, p: ExecutionPlan) -> RunResult:
         spec = p.spec
-        trace, source = _acquire_trace(spec)
+        with self._span("trace-acquire") as sp:
+            trace, source = _acquire_trace(spec)
+            sp.tags["source"] = source
         self._notify_trace(trace, source)
         seed = _resolve_seed(spec)
         instances = self._instances(p, trace.n_hosts, trace.n_mss)
-        results = replay_fused(trace, instances, seed=seed)
+        with self._span("fused-pass", protocols=len(instances)):
+            results = replay_fused(trace, instances, seed=seed)
         outcomes = []
         for entry, rr in zip(p.entries, results):
             outcome = ProtocolOutcome(
@@ -265,9 +354,10 @@ class OnlineEngine(Engine):
         first_trace = None
         for entry in p.entries:
             if entry.capabilities.coordinated:
-                res = run_coordinated(
-                    cfg, entry.scheme, spec.snapshot_interval
-                )
+                with self._span("coordinated-run", protocol=entry.name):
+                    res = run_coordinated(
+                        cfg, entry.scheme, spec.snapshot_interval
+                    )
                 outcome = ProtocolOutcome(
                     name=entry.name,
                     protocol=None,
@@ -276,12 +366,13 @@ class OnlineEngine(Engine):
                 )
             else:
                 instance = entry.make(cfg.n_hosts, cfg.n_mss)
-                res = _driver.run_online(
-                    cfg,
-                    instance,
-                    ckpt_latency=spec.ckpt_latency,
-                    gc_interval=spec.gc_interval,
-                )
+                with self._span("online-run", protocol=entry.name):
+                    res = _driver.run_online(
+                        cfg,
+                        instance,
+                        ckpt_latency=spec.ckpt_latency,
+                        gc_interval=spec.gc_interval,
+                    )
                 if first_trace is None:
                     first_trace = res.trace
                     self._notify_trace(res.trace, "online")

@@ -83,6 +83,30 @@ class SweepConfig:
         sweep; completed cells found there (verified against this
         config's hash) are loaded instead of re-executed, so only
         missing tasks run.  Usually the same path as ``journal_path``.
+    progress:
+        Live status line (done/total, rate, ETA, cache hits, retries)
+        on stderr while the sweep runs.  ``None`` (default) defers to
+        the ``REPRO_PROGRESS`` environment variable, else to whether
+        stderr is a TTY; True/False force it.  Display-only: results
+        are identical either way.
+    heartbeat_path:
+        When set, the sweep appends one ``{"kind": "heartbeat", ...}``
+        JSONL record there every few seconds -- the machine-readable
+        twin of the progress line (consumed by ``repro tail``).
+    trace_spans:
+        Attach a :class:`~repro.engine.TimingObserver` to every task so
+        its engine phases (trace acquisition, fused pass, observers)
+        are recorded as spans riding the task's telemetry record.
+    trace_path:
+        When set, the spans of every task are merged and written there
+        as Chrome trace-event JSON (loadable in Perfetto /
+        ``chrome://tracing``) after the sweep.  Implies
+        ``trace_spans``.
+    stream_path:
+        When set, every task appends one JSONL line per protocol
+        outcome (plus one per run) there as it completes, via
+        :class:`~repro.engine.StreamObserver` -- a live feed of results
+        where telemetry/journal files land only at task completion.
     """
 
     base: WorkloadConfig = field(default_factory=WorkloadConfig)
@@ -100,6 +124,11 @@ class SweepConfig:
     retry_jitter: float = 0.1
     journal_path: Optional[str] = None
     resume_from: Optional[str] = None
+    progress: Optional[bool] = None
+    heartbeat_path: Optional[str] = None
+    trace_spans: bool = False
+    trace_path: Optional[str] = None
+    stream_path: Optional[str] = None
 
     def validate(self) -> "SweepConfig":
         """Check the sweep parameters; returns self (chainable).

@@ -51,6 +51,11 @@ def figure_sweep_config(
     max_task_retries: int = 2,
     journal_path: Optional[str] = None,
     resume_from: Optional[str] = None,
+    progress: Optional[bool] = None,
+    heartbeat_path: Optional[str] = None,
+    trace_spans: bool = False,
+    trace_path: Optional[str] = None,
+    stream_path: Optional[str] = None,
 ) -> SweepConfig:
     """Sweep configuration reproducing one paper figure.
 
@@ -81,6 +86,11 @@ def figure_sweep_config(
         max_task_retries=max_task_retries,
         journal_path=journal_path,
         resume_from=resume_from,
+        progress=progress,
+        heartbeat_path=heartbeat_path,
+        trace_spans=trace_spans,
+        trace_path=trace_path,
+        stream_path=stream_path,
     ).validate()
 
 
@@ -98,13 +108,21 @@ def run_figure(
     max_task_retries: int = 2,
     journal_path: Optional[str] = None,
     resume_from: Optional[str] = None,
+    progress: Optional[bool] = None,
+    heartbeat_path: Optional[str] = None,
+    trace_spans: bool = False,
+    trace_path: Optional[str] = None,
+    stream_path: Optional[str] = None,
 ) -> SweepResult:
     """Run one paper figure end to end and return the sweep result.
 
     ``audit=True`` arms the per-task invariant audit (violations land
     on the result); ``telemetry_path`` writes the run telemetry JSONL.
     ``journal_path`` / ``resume_from`` make the sweep crash-safe and
-    resumable (see docs/resilience.md).
+    resumable (see docs/resilience.md).  ``progress`` /
+    ``heartbeat_path`` / ``trace_spans`` / ``trace_path`` /
+    ``stream_path`` are the observability taps (see
+    docs/observability.md).
     """
     cfg = figure_sweep_config(
         figure,
@@ -120,5 +138,10 @@ def run_figure(
         max_task_retries=max_task_retries,
         journal_path=journal_path,
         resume_from=resume_from,
+        progress=progress,
+        heartbeat_path=heartbeat_path,
+        trace_spans=trace_spans,
+        trace_path=trace_path,
+        stream_path=stream_path,
     )
     return run_sweep(cfg)

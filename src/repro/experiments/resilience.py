@@ -490,9 +490,16 @@ def execute(config, tasks: Sequence[tuple]) -> ExecutionReport:
     tuples (``tasks[i][1]`` / ``tasks[i][2]`` are the task's t_switch
     and seed).
     """
+    from repro.experiments.progress import ProgressReporter
+
     specs = [_TaskSpec(i, t[1], t[2], tuple(t)) for i, t in enumerate(tasks)]
     report = ExecutionReport(outcomes=[None] * len(specs))
     config_hash = sweep_config_hash(config)
+    reporter = ProgressReporter(
+        total=len(specs),
+        enabled=getattr(config, "progress", None),
+        heartbeat_path=getattr(config, "heartbeat_path", None),
+    )
 
     if config.resume_from and os.path.exists(config.resume_from):
         entries = SweepJournal.load(config.resume_from, config_hash)
@@ -501,6 +508,7 @@ def execute(config, tasks: Sequence[tuple]) -> ExecutionReport:
             if hit is not None:
                 report.outcomes[spec.index] = hit
                 report.resumed += 1
+                reporter.task_done(resumed=True)
 
     journal = None
     if config.journal_path:
@@ -513,17 +521,22 @@ def execute(config, tasks: Sequence[tuple]) -> ExecutionReport:
     try:
         with _SignalDrain() as drain:
             if config.workers > 1 and pending:
-                _run_pooled(config, pending, report, journal, drain, rng)
+                _run_pooled(
+                    config, pending, report, journal, drain, rng, reporter
+                )
             elif pending:
-                _run_serial(config, pending, report, journal, drain, rng)
+                _run_serial(
+                    config, pending, report, journal, drain, rng, reporter
+                )
             report.interrupted = drain.triggered
     finally:
+        reporter.close()
         if journal is not None:
             journal.close()
     return report
 
 
-def _complete(spec, outcome, attempts, report, journal) -> None:
+def _complete(spec, outcome, attempts, report, journal, reporter) -> None:
     t, seed, runs, telemetry, violations = outcome
     telemetry.attempts = attempts
     report.outcomes[spec.index] = outcome
@@ -531,9 +544,10 @@ def _complete(spec, outcome, attempts, report, journal) -> None:
         journal.record(
             t, seed, runs, telemetry, violations, attempts=attempts
         )
+    reporter.task_done(telemetry)
 
 
-def _run_serial(config, pending, report, journal, drain, rng) -> None:
+def _run_serial(config, pending, report, journal, drain, rng, reporter) -> None:
     from repro.experiments.runner import _evaluate_task
 
     for spec in pending:
@@ -545,7 +559,7 @@ def _run_serial(config, pending, report, journal, drain, rng) -> None:
             try:
                 with _deadline(config.task_timeout_s):
                     outcome = _evaluate_task(*spec.args)
-                _complete(spec, outcome, attempts, report, journal)
+                _complete(spec, outcome, attempts, report, journal, reporter)
                 break
             except KeyboardInterrupt:
                 raise
@@ -559,6 +573,7 @@ def _run_serial(config, pending, report, journal, drain, rng) -> None:
                 )
                 if attempts > config.max_task_retries:
                     report.errors.append(error)
+                    reporter.task_quarantined()
                     break
                 if drain.triggered:
                     # Draining with retries left: like the pooled path,
@@ -566,11 +581,13 @@ def _run_serial(config, pending, report, journal, drain, rng) -> None:
                     # re-execute, not a quarantined error.
                     break
                 report.retries += 1
+                reporter.task_retry()
                 time.sleep(_backoff(config, attempts, rng))
 
 
-def _run_pooled(config, pending, report, journal, drain, rng) -> None:
+def _run_pooled(config, pending, report, journal, drain, rng, reporter) -> None:
     from repro.experiments import runner as _runner
+    from repro.obs.metrics import registry as _metrics_registry
 
     queue = deque(pending)
     waiting: list[tuple[float, int, _TaskSpec]] = []  # (due, tie, spec)
@@ -596,10 +613,12 @@ def _run_pooled(config, pending, report, journal, drain, rng) -> None:
         error.attempts = attempts[spec.index]
         if attempts[spec.index] > config.max_task_retries:
             report.errors.append(error)  # quarantined: explicit hole
+            reporter.task_quarantined()
         elif drain.triggered:
             pass  # draining: leave the cell for a resumed run
         else:
             report.retries += 1
+            reporter.task_retry()
             due = time.monotonic() + _backoff(
                 config, attempts[spec.index], rng
             )
@@ -641,6 +660,9 @@ def _run_pooled(config, pending, report, journal, drain, rng) -> None:
                 attempts[spec.index] -= 1
                 queue.appendleft(spec)
                 pool = _runner._get_pool(config.workers)
+                _metrics_registry().counter(
+                    "repro_sweep_pool_rebuilds_total"
+                ).inc()
                 deadlines.clear()
                 continue
             inflight[future] = spec
@@ -693,7 +715,12 @@ def _run_pooled(config, pending, report, journal, drain, rng) -> None:
                     )
             if error is None:
                 _complete(
-                    spec, outcome, attempts[spec.index], report, journal
+                    spec,
+                    outcome,
+                    attempts[spec.index],
+                    report,
+                    journal,
+                    reporter,
                 )
             elif crashed and was_collateral and not drain.triggered:
                 # This future died only because the watchdog shot the
@@ -706,6 +733,9 @@ def _run_pooled(config, pending, report, journal, drain, rng) -> None:
         # -- heal -------------------------------------------------------
         if pool_broke or getattr(pool, "_broken", False):
             pool = _runner._get_pool(config.workers)
+            _metrics_registry().counter(
+                "repro_sweep_pool_rebuilds_total"
+            ).inc()
             # Every armed deadline belongs to a future of the dead
             # pool; drop them so a stale one can never trigger a kill
             # against the fresh pool's workers.
@@ -729,6 +759,9 @@ def _run_pooled(config, pending, report, journal, drain, rng) -> None:
                 for f in inflight:
                     if f not in hung_killed:
                         collateral.add(f)
+                _metrics_registry().counter(
+                    "repro_sweep_watchdog_kills_total"
+                ).inc(len(hung))
                 _kill_pool_workers(pool)
 
 

@@ -48,7 +48,14 @@ from multiprocessing import get_context
 from typing import Optional, Sequence
 
 from repro.analysis.stats import SampleSummary, summarize
-from repro.engine import AuditObserver, RunSpec, TelemetryObserver, execute
+from repro.engine import (
+    AuditObserver,
+    RunSpec,
+    StreamObserver,
+    TelemetryObserver,
+    TimingObserver,
+    execute,
+)
 from repro.experiments.config import SweepConfig
 from repro.obs.telemetry import TaskTelemetry, TelemetrySummary
 from repro.obs.telemetry import summarize as summarize_telemetry
@@ -194,11 +201,19 @@ def _evaluate_task(
     use_cache: bool,
     cache_dir: Optional[str],
     audit: bool = False,
+    trace_spans: bool = False,
+    stream_path: Optional[str] = None,
 ) -> tuple[float, int, list[RunOutcome], TaskTelemetry, list]:
     """Worker body: one (point, seed) pair, all protocols, one fused
     replay pass over one trace -- routed through the execution engine
     (:mod:`repro.engine`) with the task's telemetry and -- in audit
-    mode -- the invariant audit attached as observers."""
+    mode -- the invariant audit attached as observers.
+
+    ``trace_spans`` attaches a :class:`~repro.engine.TimingObserver`
+    and ships its phase spans home on the telemetry record;
+    ``stream_path`` appends one JSONL line per protocol outcome there
+    as the run progresses (append-mode, so parallel workers interleave
+    whole lines)."""
     cfg = base.with_(t_switch=t_switch, seed=seed)
     telemetry_obs = TelemetryObserver(t_switch=t_switch, seed=seed)
     # The audit observer goes first so the telemetry record sees the
@@ -206,19 +221,38 @@ def _evaluate_task(
     observers = (telemetry_obs,)
     if audit:
         observers = (AuditObserver(t_switch=t_switch),) + observers
-    result = execute(
-        RunSpec(
-            protocols=tuple(protocols),
-            workload=cfg,
-            engine="fused",
-            counters_only=True,  # counters are all a sweep needs
-            audit=audit,
-            seed=seed,
-            use_cache=use_cache,
-            cache_dir=cache_dir,
-            observers=observers,
+    timing = None
+    if trace_spans:
+        # First in the stack: the engine discovers the tracer before
+        # any phase opens, and other observers' on_run_end work is
+        # itself timed under observer:* spans.
+        timing = TimingObserver()
+        observers = (timing,) + observers
+    stream = None
+    if stream_path:
+        stream = StreamObserver(
+            stream_path, labels={"t_switch": t_switch, "seed": seed}
         )
-    )
+        observers = observers + (stream,)
+    try:
+        result = execute(
+            RunSpec(
+                protocols=tuple(protocols),
+                workload=cfg,
+                engine="fused",
+                counters_only=True,  # counters are all a sweep needs
+                audit=audit,
+                seed=seed,
+                use_cache=use_cache,
+                cache_dir=cache_dir,
+                observers=observers,
+            )
+        )
+    finally:
+        if stream is not None:
+            stream.close()
+    if timing is not None:
+        telemetry_obs.record.spans = timing.tracer.as_dicts()
     runs = [
         RunOutcome(
             seed=seed,
@@ -309,6 +343,8 @@ def _assemble(
 
 def _tasks(config: SweepConfig) -> list[tuple]:
     """The sweep's (point, seed) task grid, point-major."""
+    # A trace-file destination implies span recording.
+    trace_spans = bool(config.trace_spans or config.trace_path)
     return [
         (
             config.base,
@@ -318,6 +354,8 @@ def _tasks(config: SweepConfig) -> list[tuple]:
             config.use_cache,
             config.cache_dir,
             config.audit,
+            trace_spans,
+            config.stream_path,
         )
         for t in config.t_switch_values
         for seed in config.seeds
@@ -377,5 +415,14 @@ def run_sweep(config: SweepConfig) -> SweepResult:
             result.telemetry,
             config.telemetry_path,
             summary=result.telemetry_summary(),
+        )
+    if config.trace_path:
+        from repro.obs.tracing import write_chrome_trace
+
+        # Worker spans rode home on the telemetry records; merged they
+        # form the sweep's full timeline (pids keep workers apart).
+        write_chrome_trace(
+            config.trace_path,
+            [s for rec in result.telemetry for s in rec.spans],
         )
     return result

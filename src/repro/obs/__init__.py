@@ -1,4 +1,4 @@
-"""Observability: invariant auditing + structured run telemetry.
+"""Observability: auditing, telemetry, span tracing and metrics.
 
 * :mod:`repro.obs.audit` -- the consistency-oracle audit
   (:class:`AuditViolation`, :func:`audit_trace`,
@@ -6,44 +6,98 @@
   still produce paper-correct checkpoints.
 * :mod:`repro.obs.telemetry` -- per-(point, seed) run telemetry
   (:class:`TaskTelemetry`), JSONL emission and aggregation.
+* :mod:`repro.obs.tracing` -- nested span tracing of engine phases
+  (:class:`Tracer`, :class:`Span`), Chrome trace-event export and the
+  text phase table.
+* :mod:`repro.obs.metrics` -- process-local counters / gauges /
+  histograms (:class:`MetricsRegistry`), JSON and Prometheus dumps.
+
+This package resolves its re-exports lazily (PEP 562): the
+dependency-free leaves (:mod:`~repro.obs.tracing`,
+:mod:`~repro.obs.metrics`) stay importable from low layers (the trace
+cache, the engines) without dragging in :mod:`~repro.obs.audit`'s
+engine dependency -- importing ``repro.obs.metrics`` must never import
+``repro.engine``.
 """
 
-from repro.obs.audit import (
-    BROKEN_RECOVERY_LINE,
-    COUNTER_MISMATCH,
-    FUSED_DIVERGENCE,
-    INDEX_MONOTONICITY,
-    ORPHAN_MESSAGE,
-    AuditGridResult,
-    AuditViolation,
-    audit_trace,
-    check_protocol_invariants,
-    run_audit_grid,
-)
-from repro.obs.telemetry import (
-    TaskTelemetry,
-    TelemetrySummary,
-    read_jsonl,
-    summarize,
-    telemetry_table,
-    write_jsonl,
-)
+from typing import TYPE_CHECKING
 
-__all__ = [
-    "AuditGridResult",
-    "AuditViolation",
-    "BROKEN_RECOVERY_LINE",
-    "COUNTER_MISMATCH",
-    "FUSED_DIVERGENCE",
-    "INDEX_MONOTONICITY",
-    "ORPHAN_MESSAGE",
-    "TaskTelemetry",
-    "TelemetrySummary",
-    "audit_trace",
-    "check_protocol_invariants",
-    "read_jsonl",
-    "run_audit_grid",
-    "summarize",
-    "telemetry_table",
-    "write_jsonl",
-]
+#: attribute -> home submodule, resolved on first access.
+_EXPORTS = {
+    # audit
+    "AuditGridResult": "audit",
+    "AuditViolation": "audit",
+    "BROKEN_RECOVERY_LINE": "audit",
+    "COUNTER_MISMATCH": "audit",
+    "FUSED_DIVERGENCE": "audit",
+    "INDEX_MONOTONICITY": "audit",
+    "ORPHAN_MESSAGE": "audit",
+    "audit_trace": "audit",
+    "check_protocol_invariants": "audit",
+    "run_audit_grid": "audit",
+    # telemetry
+    "TaskTelemetry": "telemetry",
+    "TelemetrySummary": "telemetry",
+    "read_jsonl": "telemetry",
+    "summarize": "telemetry",
+    "tail_summary": "telemetry",
+    "telemetry_table": "telemetry",
+    "write_jsonl": "telemetry",
+    # tracing
+    "Span": "tracing",
+    "Tracer": "tracing",
+    "chrome_trace_events": "tracing",
+    "phase_table": "tracing",
+    "write_chrome_trace": "tracing",
+    # metrics
+    "MetricsRegistry": "metrics",
+    "registry": "metrics",
+}
+
+__all__ = sorted(_EXPORTS)
+
+if TYPE_CHECKING:  # pragma: no cover - static-analysis convenience
+    from repro.obs.audit import (  # noqa: F401
+        BROKEN_RECOVERY_LINE,
+        COUNTER_MISMATCH,
+        FUSED_DIVERGENCE,
+        INDEX_MONOTONICITY,
+        ORPHAN_MESSAGE,
+        AuditGridResult,
+        AuditViolation,
+        audit_trace,
+        check_protocol_invariants,
+        run_audit_grid,
+    )
+    from repro.obs.metrics import MetricsRegistry, registry  # noqa: F401
+    from repro.obs.telemetry import (  # noqa: F401
+        TaskTelemetry,
+        TelemetrySummary,
+        read_jsonl,
+        summarize,
+        tail_summary,
+        telemetry_table,
+        write_jsonl,
+    )
+    from repro.obs.tracing import (  # noqa: F401
+        Span,
+        Tracer,
+        chrome_trace_events,
+        phase_table,
+        write_chrome_trace,
+    )
+
+
+def __getattr__(name):
+    module = _EXPORTS.get(name)
+    if module is None:
+        raise AttributeError(f"module 'repro.obs' has no attribute {name!r}")
+    import importlib
+
+    value = getattr(importlib.import_module(f"repro.obs.{module}"), name)
+    globals()[name] = value  # cache: next access skips __getattr__
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(__all__))

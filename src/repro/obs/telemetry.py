@@ -58,6 +58,14 @@ class TaskTelemetry:
     #: Dispatch attempts the supervisor needed for this task (1 = first
     #: try succeeded; >1 means timeouts/crashes forced retries).
     attempts: int = 1
+    #: Cache health deltas this task observed: disk entries evicted as
+    #: corrupt / pre-digest entries upgraded in place while serving
+    #: this task's trace (0 when the cache is off or healthy).
+    cache_corrupt_evictions: int = 0
+    cache_legacy_upgrades: int = 0
+    #: Phase spans recorded by a :class:`~repro.obs.tracing.Tracer`
+    #: during this task (plain span dicts; empty unless tracing is on).
+    spans: list[dict[str, Any]] = field(default_factory=list)
 
     def as_json_dict(self) -> dict[str, Any]:
         """Plain-JSON form (one telemetry JSONL line)."""
@@ -88,6 +96,10 @@ class TelemetrySummary:
     n_quarantined: int = 0
     #: Tasks served from a resume journal instead of executed.
     n_resumed: int = 0
+    #: Cache health across the sweep's tasks (sums of the per-task
+    #: deltas): corrupt entries evicted, legacy entries upgraded.
+    cache_corrupt_evictions: int = 0
+    cache_legacy_upgrades: int = 0
 
     def __str__(self) -> str:
         src = " ".join(
@@ -102,6 +114,13 @@ class TelemetrySummary:
                 f"quarantined: {self.n_quarantined}, "
                 f"resumed: {self.n_resumed}"
             )
+        cache_health = ""
+        if self.cache_corrupt_evictions or self.cache_legacy_upgrades:
+            cache_health = (
+                f"; cache health: "
+                f"corrupt_evictions={self.cache_corrupt_evictions}, "
+                f"legacy_upgrades={self.cache_legacy_upgrades}"
+            )
         return (
             f"{self.n_tasks} tasks in {self.sweep_wall_s:.2f}s wall "
             f"({self.total_task_wall_s:.2f}s busy, {self.workers} worker(s), "
@@ -109,6 +128,7 @@ class TelemetrySummary:
             f"trace sources: {src or 'none'}; "
             f"violations: {self.n_violations}"
             f"{resilience}"
+            f"{cache_health}"
         )
 
 
@@ -148,6 +168,10 @@ def summarize(
         n_retries=sum(max(0, r.attempts - 1) for r in records),
         n_quarantined=n_quarantined,
         n_resumed=n_resumed,
+        cache_corrupt_evictions=sum(
+            r.cache_corrupt_evictions for r in records
+        ),
+        cache_legacy_upgrades=sum(r.cache_legacy_upgrades for r in records),
     )
 
 
@@ -201,9 +225,89 @@ def telemetry_table(records: Sequence[TaskTelemetry]) -> str:
         counters = " ".join(
             f"{name}={c.get('n_total', 0)}" for name, c in r.counters.items()
         )
+        if r.cache_corrupt_evictions or r.cache_legacy_upgrades:
+            # Cache-health incidents are rare; flag them in-row so an
+            # operator reading the table sees them without jq.
+            counters += (
+                f"  [cache: corrupt_evictions={r.cache_corrupt_evictions}"
+                f" legacy_upgrades={r.cache_legacy_upgrades}]"
+            )
         lines.append(
             f"{r.t_switch:>9g} {r.seed:>5} {r.wall_time_s:>8.3f} "
             f"{r.trace_source:>9} {r.n_events:>8} {r.n_sends:>7} "
             f"{r.n_violations:>5}  {counters}"
+        )
+    return "\n".join(lines)
+
+
+def tail_summary(records: Sequence[dict]) -> str:
+    """Live summary of a telemetry / outcome / heartbeat JSONL stream.
+
+    Backs ``repro tail``: *records* are parsed JSONL dicts of any mix
+    the observability layer emits -- task telemetry lines (no ``kind``
+    key), :class:`~repro.engine.observers.StreamObserver` ``outcome``
+    lines, sweep ``heartbeat`` records and the trailing ``summary``
+    line -- and the result is a short multi-line status report.
+    """
+    tasks = [r for r in records if "kind" not in r and "wall_time_s" in r]
+    outcomes = [r for r in records if r.get("kind") == "outcome"]
+    heartbeats = [r for r in records if r.get("kind") == "heartbeat"]
+    summaries = [r for r in records if r.get("kind") == "summary"]
+
+    lines = [
+        f"{len(records)} records: {len(tasks)} task(s), "
+        f"{len(outcomes)} outcome(s), {len(heartbeats)} heartbeat(s)"
+    ]
+    if tasks:
+        wall = [float(r.get("wall_time_s", 0.0)) for r in tasks]
+        hits = sum(1 for r in tasks if r.get("cache_hit"))
+        retries = sum(max(0, int(r.get("attempts", 1)) - 1) for r in tasks)
+        lines.append(
+            f"tasks: mean wall {sum(wall) / len(wall):.3f}s, "
+            f"cache hits {hits}/{len(tasks)}, retries {retries}, "
+            f"violations {sum(int(r.get('n_violations', 0)) for r in tasks)}"
+        )
+        totals: dict[str, list[int]] = {}
+        for r in tasks:
+            for name, c in (r.get("counters") or {}).items():
+                totals.setdefault(name, []).append(int(c.get("n_total", 0)))
+        if totals:
+            lines.append(
+                "N_tot means: "
+                + " ".join(
+                    f"{name}={sum(v) / len(v):.1f}"
+                    for name, v in sorted(totals.items())
+                )
+            )
+    if outcomes:
+        totals = {}
+        for r in outcomes:
+            if r.get("protocol") is not None and "n_total" in r:
+                totals.setdefault(str(r["protocol"]), []).append(
+                    int(r["n_total"])
+                )
+        if totals:
+            lines.append(
+                "outcomes N_tot means: "
+                + " ".join(
+                    f"{name}={sum(v) / len(v):.1f}"
+                    for name, v in sorted(totals.items())
+                )
+            )
+    if heartbeats:
+        hb = heartbeats[-1]
+        eta = hb.get("eta_s")
+        lines.append(
+            f"last heartbeat: {hb.get('done', '?')}/{hb.get('total', '?')} "
+            f"tasks, rate {hb.get('rate_per_s', 0.0):.2f}/s"
+            + (f", eta {eta:.0f}s" if isinstance(eta, (int, float)) else "")
+        )
+    if summaries:
+        s = summaries[-1]
+        lines.append(
+            f"summary: {s.get('n_tasks', '?')} tasks in "
+            f"{s.get('sweep_wall_s', 0.0):.2f}s wall, "
+            f"{s.get('n_retries', 0)} retries, "
+            f"{s.get('n_quarantined', 0)} quarantined"
         )
     return "\n".join(lines)

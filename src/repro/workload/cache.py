@@ -67,6 +67,17 @@ def _canonical(value):
     return value
 
 
+def _metric_event(event: str) -> None:
+    """Count a cache event in the process-local metrics registry.
+
+    Imported lazily so the cache stays importable before
+    :mod:`repro.obs.metrics` (and never pulls it in at module import,
+    keeping this layer cycle-free)."""
+    from repro.obs.metrics import registry
+
+    registry().counter("repro_trace_cache_events_total", event=event).inc()
+
+
 def config_key(config: WorkloadConfig) -> str:
     """Content address of the trace *config* generates.
 
@@ -188,6 +199,7 @@ class TraceCache:
         except (trace_io.TraceIntegrityError, ValueError):
             return self._evict_corrupt(path)
         self.legacy_upgrades += 1
+        _metric_event("legacy_upgrade")
         try:
             self._write_atomic(key, path, trace)
         except OSError:
@@ -198,6 +210,7 @@ class TraceCache:
         # A corrupt entry is a miss: evict it so the regenerated
         # trace can take its slot, never poison the sweep.
         self.corrupt_evictions += 1
+        _metric_event("corrupt_eviction")
         try:
             path.unlink()
         except OSError:
@@ -217,13 +230,16 @@ class TraceCache:
         if trace is not None:
             self._memory.move_to_end(key)
             self.hits += 1
+            _metric_event("hit")
             return trace
         trace = self._load_disk(key)
         if trace is not None:
             self.disk_hits += 1
+            _metric_event("disk_hit")
             self._remember(key, trace)
             return trace
         self.misses += 1
+        _metric_event("miss")
         # Resolved through the module so tests monkeypatching
         # repro.workload.driver.generate_trace observe cache misses.
         trace = _driver.generate_trace(config)

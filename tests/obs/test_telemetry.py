@@ -10,6 +10,7 @@ from repro.obs.telemetry import (
     TaskTelemetry,
     read_jsonl,
     summarize,
+    tail_summary,
     telemetry_table,
     write_jsonl,
 )
@@ -173,6 +174,116 @@ def test_telemetry_table_lists_every_task():
     assert len(rows) == 3  # header + 2 tasks
     assert "t_switch" in rows[0]
     assert "BCS=3" in rows[1]
+
+
+# ---------------------------------------------------------------------------
+# cache health in telemetry
+# ---------------------------------------------------------------------------
+
+
+def test_corrupt_cache_entry_surfaces_in_telemetry(tmp_path, monkeypatch):
+    from repro.workload import cache as cache_mod
+
+    cfg = sweep_config(
+        t_switch_values=(100.0,), seeds=(0,),
+        use_cache=True, cache_dir=str(tmp_path),
+    )
+    run_sweep(cfg)  # warm: writes the disk entry
+    (entry,) = tmp_path.glob("*.npz")
+    data = entry.read_bytes()
+    entry.write_bytes(data[: len(data) // 2])  # torn write
+
+    monkeypatch.setattr(cache_mod, "_shared", {})  # force a disk read
+    result = run_sweep(cfg)
+    (record,) = result.telemetry
+    assert record.cache_corrupt_evictions == 1
+    assert record.cache_legacy_upgrades == 0
+    assert record.trace_source == "generated"  # evicted, then regenerated
+    table = telemetry_table(result.telemetry)
+    assert "[cache: corrupt_evictions=1 legacy_upgrades=0]" in table
+
+
+def test_legacy_cache_entry_surfaces_in_telemetry(tmp_path, monkeypatch):
+    import numpy as np
+
+    from repro.workload import cache as cache_mod
+
+    cfg = sweep_config(
+        t_switch_values=(100.0,), seeds=(0,),
+        use_cache=True, cache_dir=str(tmp_path),
+    )
+    run_sweep(cfg)
+    (entry,) = tmp_path.glob("*.npz")
+    with np.load(entry) as data:
+        arrays = {k: data[k] for k in data.files if k != "digest"}
+    np.savez_compressed(entry, **arrays)  # pre-checksum legacy file
+
+    monkeypatch.setattr(cache_mod, "_shared", {})
+    result = run_sweep(cfg)
+    (record,) = result.telemetry
+    assert record.cache_legacy_upgrades == 1
+    assert record.cache_corrupt_evictions == 0
+    assert record.cache_hit  # the legacy entry was still usable
+    summary = summarize(result.telemetry, sweep_wall_s=1.0, workers=1)
+    assert summary.cache_legacy_upgrades == 1
+    assert "cache health: corrupt_evictions=0, legacy_upgrades=1" in str(
+        summary
+    )
+
+
+def test_summary_hides_cache_health_when_clean():
+    summary = summarize([fake_record()], sweep_wall_s=1.0, workers=1)
+    assert summary.cache_corrupt_evictions == 0
+    assert summary.cache_legacy_upgrades == 0
+    assert "cache health" not in str(summary)
+
+
+def test_telemetry_table_flags_cache_health_per_row():
+    clean = fake_record()
+    dirty = fake_record(seed=1, cache_corrupt_evictions=2,
+                        cache_legacy_upgrades=1)
+    rows = telemetry_table([clean, dirty]).splitlines()
+    assert "[cache:" not in rows[1]
+    assert "[cache: corrupt_evictions=2 legacy_upgrades=1]" in rows[2]
+
+
+# ---------------------------------------------------------------------------
+# tail_summary (backs `repro tail`)
+# ---------------------------------------------------------------------------
+
+
+def test_tail_summary_classifies_mixed_streams():
+    records = [
+        fake_record().as_json_dict(),
+        fake_record(seed=1, cache_hit=True,
+                    trace_source="memory").as_json_dict(),
+        {"kind": "outcome", "protocol": "BCS", "n_total": 4,
+         "t_switch": 100.0, "seed": 0},
+        {"kind": "outcome", "protocol": "BCS", "n_total": 6,
+         "t_switch": 100.0, "seed": 1},
+        {"kind": "heartbeat", "done": 2, "total": 4,
+         "rate_per_s": 0.5, "eta_s": 4.0},
+        {"kind": "summary", "n_tasks": 2, "sweep_wall_s": 3.5,
+         "n_retries": 1, "n_quarantined": 0},
+    ]
+    text = tail_summary(records)
+    assert "6 records: 2 task(s), 2 outcome(s), 1 heartbeat(s)" in text
+    assert "cache hits 1/2" in text
+    assert "N_tot means: BCS=3.0" in text
+    assert "outcomes N_tot means: BCS=5.0" in text
+    assert "last heartbeat: 2/4 tasks, rate 0.50/s, eta 4s" in text
+    assert "summary: 2 tasks in 3.50s wall, 1 retries, 0 quarantined" in text
+
+
+def test_tail_summary_handles_empty_and_partial_streams():
+    assert "0 records" in tail_summary([])
+    # A heartbeat-only stream (e.g. tailing mid-sweep before any task
+    # telemetry lands) must not trip on missing task fields.
+    text = tail_summary([{"kind": "heartbeat", "done": 1, "total": 8,
+                          "rate_per_s": 1.25, "eta_s": None}])
+    assert text.splitlines()[-1] == (
+        "last heartbeat: 1/8 tasks, rate 1.25/s"  # no eta suffix
+    )
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,143 @@
+"""Span tracer, Chrome trace-event export and the phase table."""
+
+import json
+import os
+import threading
+
+from repro.obs.tracing import (
+    Span,
+    Tracer,
+    chrome_trace_events,
+    phase_table,
+    write_chrome_trace,
+)
+
+
+def test_spans_nest_with_paths_and_depth():
+    tracer = Tracer()
+    with tracer.span("run"):
+        with tracer.span("trace-acquire"):
+            pass
+        with tracer.span("fused-pass"):
+            pass
+    paths = [sp.path for sp in tracer.spans]
+    # Children close before their parent, so the parent is recorded last.
+    assert paths == ["run/trace-acquire", "run/fused-pass", "run"]
+    assert [sp.depth for sp in tracer.spans] == [1, 1, 0]
+    run = tracer.spans[-1]
+    assert run.duration_s >= sum(s.duration_s for s in tracer.spans[:2]) * 0.5
+    assert run.pid == os.getpid()
+
+
+def test_span_tags_can_be_stamped_mid_phase():
+    tracer = Tracer()
+    with tracer.span("trace-acquire", attempt=1) as sp:
+        sp.tags["source"] = "disk"
+    (span,) = tracer.spans
+    assert span.tags == {"attempt": 1, "source": "disk"}
+
+
+def test_failed_phase_still_records_its_span():
+    tracer = Tracer()
+    try:
+        with tracer.span("replay", protocol="BCS"):
+            raise RuntimeError("boom")
+    except RuntimeError:
+        pass
+    assert [sp.name for sp in tracer.spans] == ["replay"]
+
+
+def test_threads_keep_independent_nesting_stacks():
+    tracer = Tracer()
+    barrier = threading.Barrier(2)
+
+    def record(name):
+        with tracer.span(name):
+            barrier.wait()  # both spans open simultaneously
+
+    threads = [
+        threading.Thread(target=record, args=(n,)) for n in ("a", "b")
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    # Neither span adopted the other as a parent.
+    assert sorted(sp.path for sp in tracer.spans) == ["a", "b"]
+    assert all(sp.depth == 0 for sp in tracer.spans)
+
+
+def test_as_dicts_round_trips_through_json():
+    tracer = Tracer()
+    with tracer.span("run", engine="fused"):
+        pass
+    dicts = json.loads(json.dumps(tracer.as_dicts()))
+    assert dicts[0]["name"] == "run"
+    assert dicts[0]["tags"] == {"engine": "fused"}
+    # The exporters accept plain dicts (spans cross process boundaries
+    # as dicts inside telemetry records).
+    assert chrome_trace_events(dicts)[0]["name"] == "run"
+    assert "run" in phase_table(dicts)
+
+
+def test_chrome_trace_events_use_microseconds():
+    span = Span(
+        name="replay",
+        path="run/replay",
+        start_s=2.0,
+        duration_s=0.25,
+        pid=123,
+        tid=7,
+        depth=1,
+        tags={"protocol": "TP"},
+    )
+    (event,) = chrome_trace_events([span])
+    assert event["ph"] == "X"
+    assert event["ts"] == 2_000_000.0
+    assert event["dur"] == 250_000.0
+    assert event["pid"] == 123 and event["tid"] == 7
+    assert event["args"] == {"protocol": "TP"}
+
+
+def test_write_chrome_trace_is_perfetto_loadable_shape(tmp_path):
+    tracer = Tracer()
+    with tracer.span("run"):
+        with tracer.span("trace-acquire"):
+            pass
+    path = tmp_path / "trace.json"
+    write_chrome_trace(path, tracer.spans)
+    payload = json.loads(path.read_text())
+    assert set(payload) == {"traceEvents", "displayTimeUnit"}
+    assert payload["displayTimeUnit"] == "ms"
+    names = {e["name"] for e in payload["traceEvents"]}
+    assert names == {"run", "trace-acquire"}
+
+
+def test_phase_table_aggregates_and_orders_depth_first():
+    tracer = Tracer()
+    for _ in range(3):
+        with tracer.span("run"):
+            with tracer.span("replay"):
+                pass
+    table = phase_table(tracer.spans)
+    lines = table.splitlines()
+    assert lines[0].split() == ["phase", "calls", "total_ms", "self_ms", "%"]
+    # Parent row precedes its indented child; both ran 3 times.
+    run_row = next(l for l in lines if l.startswith("run"))
+    replay_row = next(l for l in lines if l.strip().startswith("replay"))
+    assert lines.index(run_row) < lines.index(replay_row)
+    assert run_row.split()[1] == "3" and replay_row.split()[1] == "3"
+    assert replay_row.startswith("  ")  # depth-indented
+
+
+def test_phase_table_empty():
+    assert phase_table([]) == "(no spans recorded)"
+
+
+def test_tracer_clear_and_len():
+    tracer = Tracer()
+    with tracer.span("x"):
+        pass
+    assert len(tracer) == 1
+    tracer.clear()
+    assert len(tracer) == 0

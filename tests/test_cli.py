@@ -242,3 +242,63 @@ def test_audit_unknown_protocol_exits_2(capsys):
     rc = main(["audit", "--protocols", "NOPE", "--sim-time", "200"])
     assert rc == 2
     assert "unknown protocols" in capsys.readouterr().err
+
+
+def test_figure_observability_artifacts(tmp_path, capsys):
+    trace = tmp_path / "trace.json"
+    metrics = tmp_path / "metrics.prom"
+    stream = tmp_path / "stream.jsonl"
+    heartbeat = tmp_path / "hb.jsonl"
+    rc = main([
+        "figure", "1", "--sim-time", "300", "--seeds", "0",
+        "--sweep", "100", "800", "--no-cache", "--progress",
+        "--trace", str(trace), "--metrics", str(metrics),
+        "--stream", str(stream), "--heartbeat", str(heartbeat),
+    ])
+    captured = capsys.readouterr()
+    assert rc == 0
+    assert "tasks/s" in captured.err  # live progress line on stderr
+    for label, path in (
+        ("trace-event JSON", trace), ("metrics", metrics),
+        ("outcome stream", stream), ("heartbeats", heartbeat),
+    ):
+        assert f"{label} written to {path}" in captured.out
+        assert path.exists()
+    import json
+
+    payload = json.loads(trace.read_text())
+    assert payload["traceEvents"]  # Perfetto-loadable trace
+    assert "# TYPE repro_engine_runs_total counter" in metrics.read_text()
+    outcomes = [json.loads(l) for l in stream.read_text().splitlines()]
+    assert any(l.get("kind") == "outcome" for l in outcomes)
+
+
+def test_figure_no_progress_flag_silences_stderr(capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_PROGRESS", "1")
+    rc = main([
+        "figure", "1", "--sim-time", "300", "--seeds", "0",
+        "--sweep", "100", "800", "--no-cache", "--no-progress",
+    ])
+    assert rc == 0
+    assert "tasks/s" not in capsys.readouterr().err
+
+
+def test_tail_once_summarizes_stream(tmp_path, capsys):
+    path = tmp_path / "tel.jsonl"
+    path.write_text(
+        '{"kind": "heartbeat", "done": 1, "total": 2, '
+        '"rate_per_s": 0.5, "eta_s": 2.0}\n'
+        '{"kind": "outcome", "protocol": "TP", "n_total": 5}\n'
+        '{"torn line\n'
+    )
+    rc = main(["tail", str(path), "--once"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "1 outcome(s), 1 heartbeat(s)" in out
+    assert "last heartbeat: 1/2 tasks" in out
+
+
+def test_tail_once_missing_file_exits_2(tmp_path, capsys):
+    rc = main(["tail", str(tmp_path / "absent.jsonl"), "--once"])
+    assert rc == 2
+    assert "no such file" in capsys.readouterr().err
