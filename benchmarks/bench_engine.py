@@ -14,9 +14,11 @@ the one sanctioned raw call site outside the engine, allowlisted by
 ``tests/test_import_contracts.py``).
 
 Besides the pytest-benchmark timings, the headline engine numbers
-(fused-replay speedup, engine overhead, trace-cache speedup) are
-appended to ``BENCH_engine.json`` in the working directory so CI can
-archive the trend without parsing benchmark output.
+(fused-replay and vectorized-replay speedups, multi-seed batch
+speedup, engine overhead, trace-cache speedup) are appended to
+``BENCH_engine.json`` in the working directory so CI can archive the
+trend without parsing benchmark output -- and gate ``vectorized_ms``
+against regressions (see .github/workflows/ci.yml).
 """
 
 import json
@@ -106,10 +108,11 @@ def test_replay_throughput(benchmark):
 
 
 def test_fused_replay_speedup(benchmark):
-    """The sweep engine's core claim: one fused counters-only pass over
-    TP+BCS+QBC beats three sequential reference replays by >= 2x, with
-    identical N_tot / n_basic / n_forced -- both paths through the
-    engine layer."""
+    """The sweep engine's core claims: one fused counters-only pass
+    over TP+BCS+QBC beats three sequential reference replays by >= 2x,
+    and the vectorized batch kernels beat the fused pass by >= 10x on
+    a warm trace -- all with identical N_tot / n_basic / n_forced, all
+    paths through the engine layer."""
     cfg = WorkloadConfig(sim_time=4000.0, seed=0)
     trace = generate_trace(cfg)
     trace.compiled()  # the sweep compiles once per trace; warm it here
@@ -121,33 +124,97 @@ def test_fused_replay_speedup(benchmark):
         protocols=PAPER_PROTOCOLS, trace=trace, engine="fused",
         counters_only=True,
     )
+    vec_spec = RunSpec(
+        protocols=PAPER_PROTOCOLS, trace=trace, engine="vectorized",
+        counters_only=True,
+    )
+    execute(vec_spec)  # warm the per-trace vectorized lowering + closure
 
     seq_time, seq_result = _best(lambda: execute(ref_spec), rounds=7)
+    vec_time, vec_result = _best(lambda: execute(vec_spec), rounds=7)
     fused_time, fused_result = benchmark.pedantic(
         lambda: _best(lambda: execute(fused_spec), rounds=7),
         rounds=1, iterations=1,
     )
-    for ref, fus in zip(seq_result.outcomes, fused_result.outcomes):
-        assert ref.metrics.stats.n_total == fus.metrics.stats.n_total
-        assert ref.metrics.stats.n_basic == fus.metrics.stats.n_basic
-        assert ref.metrics.stats.n_forced == fus.metrics.stats.n_forced
+    for ref, fus, vec in zip(
+        seq_result.outcomes, fused_result.outcomes, vec_result.outcomes
+    ):
+        for got in (fus, vec):
+            assert ref.metrics.stats.n_total == got.metrics.stats.n_total
+            assert ref.metrics.stats.n_basic == got.metrics.stats.n_basic
+            assert ref.metrics.stats.n_forced == got.metrics.stats.n_forced
     speedup = seq_time / fused_time
-    benchmark.extra_info["trace_events"] = len(trace)
-    benchmark.extra_info["sequential_ms"] = round(seq_time * 1e3, 2)
-    benchmark.extra_info["fused_ms"] = round(fused_time * 1e3, 2)
-    benchmark.extra_info["speedup"] = round(speedup, 2)
-    _record(
-        "fused_replay",
-        {
-            "trace_events": len(trace),
-            "sequential_ms": round(seq_time * 1e3, 2),
-            "fused_ms": round(fused_time * 1e3, 2),
-            "speedup": round(speedup, 2),
-        },
-    )
+    vec_speedup = fused_time / vec_time
+    payload = {
+        "trace_events": len(trace),
+        "sequential_ms": round(seq_time * 1e3, 2),
+        "fused_ms": round(fused_time * 1e3, 2),
+        "vectorized_ms": round(vec_time * 1e3, 3),
+        "speedup": round(speedup, 2),
+        "vectorized_speedup": round(vec_speedup, 2),
+    }
+    benchmark.extra_info.update(payload)
+    _record("fused_replay", payload)
     assert speedup >= 2.0, (
         f"fused replay only {speedup:.2f}x faster than three sequential "
         f"replays ({seq_time*1e3:.1f}ms vs {fused_time*1e3:.1f}ms)"
+    )
+    assert vec_speedup >= 10.0, (
+        f"vectorized replay only {vec_speedup:.2f}x faster than the fused "
+        f"pass ({vec_time*1e3:.2f}ms vs {fused_time*1e3:.2f}ms)"
+    )
+
+
+def test_vectorized_batch_speedup(benchmark):
+    """Batching N seeds into one row-block grid must beat N sequential
+    fused passes: the per-pass numpy overheads (lowering, closure,
+    kernel launches) amortize across the batch."""
+    from repro.engine import execute_batch
+
+    seeds = tuple(range(8))
+    configs = [WorkloadConfig(sim_time=4000.0, seed=s) for s in seeds]
+    traces = {s: generate_trace(c) for s, c in zip(seeds, configs)}
+    for trace in traces.values():
+        trace.compiled()
+
+    fused_specs = [
+        RunSpec(
+            protocols=PAPER_PROTOCOLS, trace=traces[s], engine="fused",
+            counters_only=True,
+        )
+        for s in seeds
+    ]
+    vec_specs = [
+        RunSpec(
+            protocols=PAPER_PROTOCOLS, trace=traces[s], engine="vectorized",
+            counters_only=True,
+        )
+        for s in seeds
+    ]
+
+    seq_time, seq_results = _best(
+        lambda: [execute(s) for s in fused_specs], rounds=3
+    )
+    batch_time, batch_results = benchmark.pedantic(
+        lambda: _best(lambda: execute_batch(vec_specs), rounds=3),
+        rounds=1, iterations=1,
+    )
+    for seq, bat in zip(seq_results, batch_results):
+        for ref, got in zip(seq.outcomes, bat.outcomes):
+            assert ref.metrics.stats.n_total == got.metrics.stats.n_total
+    speedup = seq_time / batch_time
+    payload = {
+        "n_seeds": len(seeds),
+        "sequential_fused_ms": round(seq_time * 1e3, 2),
+        "batch_ms": round(batch_time * 1e3, 2),
+        "batch_speedup": round(speedup, 2),
+    }
+    benchmark.extra_info.update(payload)
+    _record("vectorized_batch", payload)
+    assert speedup >= 1.1, (
+        f"batched vectorized replay only {speedup:.2f}x faster than "
+        f"{len(seeds)} sequential fused passes "
+        f"({batch_time*1e3:.1f}ms vs {seq_time*1e3:.1f}ms)"
     )
 
 

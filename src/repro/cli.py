@@ -80,6 +80,7 @@ def _cmd_figure(args) -> int:
         sim_time=args.sim_time,
         seeds=tuple(args.seeds),
         t_switch_values=tuple(args.sweep),
+        engine=args.engine,
         workers=args.workers,
         use_cache=not args.no_cache,
         cache_dir=args.cache_dir,
@@ -227,11 +228,12 @@ def _cmd_compare(args) -> int:
     from repro.engine import RunSpec, execute
 
     cfg = _workload_from(args)
-    # Pinned to the fused replay engine: compare is the paper's
-    # common-schedule comparison, so a coordinated baseline (or any
-    # unknown name) is a plan-time EngineError that main() turns into
-    # exit code 2.
-    result = execute(RunSpec(protocols=args.protocols, workload=cfg, engine="fused"))
+    # Replay engines only: compare is the paper's common-schedule
+    # comparison, so a coordinated baseline (or any unknown name) is a
+    # plan-time EngineError that main() turns into exit code 2.
+    result = execute(
+        RunSpec(protocols=args.protocols, workload=cfg, engine=args.engine)
+    )
     print(
         f"{'protocol':>9} {'N_tot':>8} {'basic':>7} {'forced':>7} "
         f"{'pg ints/msg':>12}"
@@ -264,7 +266,9 @@ def _cmd_replay(args) -> int:
     from repro.engine import RunSpec, execute
 
     trace = load_trace(args.trace)
-    result = execute(RunSpec(protocols=args.protocols, trace=trace))
+    result = execute(
+        RunSpec(protocols=args.protocols, trace=trace, engine=args.engine)
+    )
     for outcome in result.outcomes:
         s = outcome.metrics.stats
         print(
@@ -339,6 +343,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--sweep", type=float, nargs="+", default=[100.0, 1000.0, 10000.0]
     )
     p.add_argument("--spread-tolerance", type=float, default=0.5)
+    p.add_argument(
+        "--engine", choices=("auto", "fused", "vectorized"), default="fused",
+        help="replay strategy per (point, seed) task (bit-identical "
+        "results; 'vectorized' runs batch kernels, 'auto' picks it "
+        "when every protocol supports it)",
+    )
     p.add_argument(
         "--workers", type=int, default=0,
         help="process-pool width over (point, seed) tasks; 0 = serial",
@@ -446,6 +456,11 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("compare", help="all protocols on one workload")
     _add_workload_args(p)
     p.add_argument("--protocols", nargs="+", default=None)
+    p.add_argument(
+        "--engine", choices=("auto", "reference", "fused", "vectorized"),
+        default="fused",
+        help="replay engine (bit-identical results across all four)",
+    )
     p.set_defaults(fn=_cmd_compare)
 
     p = sub.add_parser("trace", help="generate and save a trace")
@@ -456,6 +471,11 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("replay", help="replay a saved trace")
     p.add_argument("--trace", required=True)
     p.add_argument("--protocols", nargs="+", default=["TP", "BCS", "QBC"])
+    p.add_argument(
+        "--engine", choices=("auto", "reference", "fused", "vectorized"),
+        default="auto",
+        help="replay engine (default: auto picks the fastest sound one)",
+    )
     p.set_defaults(fn=_cmd_replay)
 
     p = sub.add_parser("recovery", help="failure injection on a workload")

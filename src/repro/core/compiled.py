@@ -22,6 +22,7 @@ trace, and :meth:`Trace.compiled` caches it per trace instance.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.core.trace import EventType, Trace, TraceError
 
@@ -74,6 +75,85 @@ class CompiledTrace:
 
     def __len__(self) -> int:
         return self.n_events
+
+
+#: The one integer / one float dtype every numpy column uses.  Pinned
+#: explicitly (never numpy's platform default int, which is 32-bit on
+#: Windows) so vectorized kernel results and on-disk compiled columns
+#: are bit-identical across platforms.
+INT_DTYPE = "int64"
+FLOAT_DTYPE = "float64"
+
+
+@dataclass(slots=True, frozen=True)
+class ArrayColumns:
+    """Numpy view of the compiled columns, dtype-pinned.
+
+    The lowering the vectorized engine (:mod:`repro.core.vectorized`)
+    consumes: the :class:`CompiledTrace` event columns as ``int64`` /
+    ``float64`` numpy arrays (``argv`` has no array form -- batch
+    kernels never dispatch per event).  Built once per trace via
+    :func:`array_columns` and cached, or attached directly by the trace
+    loader when a stored trace already carries native array columns.
+    """
+
+    n_hosts: int
+    n_mss: int
+    sim_time: float
+    n_events: int
+    n_sends: int
+    n_receives: int
+    etype: "np.ndarray"  # noqa: F821 - numpy imported lazily
+    time: "np.ndarray"  # noqa: F821
+    host: "np.ndarray"  # noqa: F821
+    msg_id: "np.ndarray"  # noqa: F821
+    peer: "np.ndarray"  # noqa: F821
+    cell: "np.ndarray"  # noqa: F821
+    slot: "np.ndarray"  # noqa: F821
+
+    def __len__(self) -> int:
+        return self.n_events
+
+    @classmethod
+    def from_compiled(cls, ct: CompiledTrace) -> "ArrayColumns":
+        """Lower *ct*'s list columns into pinned-dtype numpy arrays."""
+        import numpy as np
+
+        return cls(
+            n_hosts=ct.n_hosts,
+            n_mss=ct.n_mss,
+            sim_time=ct.sim_time,
+            n_events=ct.n_events,
+            n_sends=ct.n_sends,
+            n_receives=ct.n_receives,
+            etype=np.asarray(ct.etype, dtype=INT_DTYPE),
+            time=np.asarray(ct.time, dtype=FLOAT_DTYPE),
+            host=np.asarray(ct.host, dtype=INT_DTYPE),
+            msg_id=np.asarray(ct.msg_id, dtype=INT_DTYPE),
+            peer=np.asarray(ct.peer, dtype=INT_DTYPE),
+            cell=np.asarray(ct.cell, dtype=INT_DTYPE),
+            slot=np.asarray(ct.slot, dtype=INT_DTYPE),
+        )
+
+
+def array_columns(trace: Trace) -> ArrayColumns:
+    """The pinned-dtype numpy columns of *trace*, cached per instance.
+
+    Served from ``trace._array_columns_cache`` when present -- either a
+    previous call here, or the v2 trace loader
+    (:mod:`repro.core.trace_io`), which stores the columns natively as
+    arrays so a disk cache hit feeds the vectorized engine without a
+    list round-trip.  Invalidation mirrors :meth:`Trace.compiled`:
+    keyed on the event count.
+    """
+    cached: Optional[tuple[int, ArrayColumns]] = getattr(
+        trace, "_array_columns_cache", None
+    )
+    if cached is not None and cached[0] == len(trace.events):
+        return cached[1]
+    arrays = ArrayColumns.from_compiled(trace.compiled())
+    trace._array_columns_cache = (len(trace.events), arrays)
+    return arrays
 
 
 def compile_trace(trace: Trace) -> CompiledTrace:

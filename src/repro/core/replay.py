@@ -250,6 +250,127 @@ def replay_fused(
     ]
 
 
+def replay_vectorized(
+    trace: Trace,
+    protocols: Sequence[CheckpointingProtocol],
+    seed: Optional[int] = None,
+    audit: bool = False,
+) -> list[ReplayResult]:
+    """Drive several fresh protocol instances over *trace* as batch
+    kernels -- the fused contract with no per-event dispatch at all.
+
+    Every protocol must declare ``vectorizable`` and ship a
+    ``vectorized_replay`` kernel (see :mod:`repro.core.vectorized`);
+    results are bit-identical to :func:`replay` / :func:`replay_fused`
+    -- counters, live state and (in logging mode) the checkpoint log --
+    which the equivalence suite asserts per protocol.
+
+    With ``audit=True`` every instance is deep-copied before the run
+    and re-executed on the reference engine afterwards, raising
+    :class:`~repro.obs.audit.AuditViolation` on any counter divergence
+    (the same tripwire as :func:`replay_fused`).
+    """
+    from repro.core.vectorized import VectorizationError
+
+    for protocol in protocols:
+        _check_replayable(trace, protocol)
+        if not (protocol.vectorizable and protocol.fusable):
+            raise VectorizationError(
+                f"protocol {protocol.name} has no vectorized kernel; "
+                "use replay_fused"
+            )
+    references: list[CheckpointingProtocol] = []
+    if audit:
+        import copy
+
+        references = [copy.deepcopy(p) for p in protocols]
+    from repro.core.vectorized import vectorized_trace
+
+    vt = vectorized_trace(trace)
+    for protocol in protocols:
+        type(protocol).vectorized_replay(vt, [protocol])
+
+    if audit:
+        from repro.obs.audit import FUSED_DIVERGENCE, AuditViolation
+
+        for p, ref in zip(protocols, references):
+            _audit_instance(p, seed)
+            replay(trace, ref, seed=seed)
+            p_sig, ref_sig = p.counter_signature(), ref.counter_signature()
+            if p_sig != ref_sig:
+                diff = {
+                    key: (ref_sig[key], p_sig[key])
+                    for key in ref_sig
+                    if ref_sig[key] != p_sig[key]
+                }
+                raise AuditViolation(
+                    FUSED_DIVERGENCE,
+                    p.name,
+                    f"vectorized vs reference counters differ: {diff}",
+                    seed=seed,
+                )
+
+    vt0 = vt.blocks[0]
+    return [
+        ReplayResult(
+            protocol=p,
+            metrics=_run_metrics(trace, p, vt0.n_sends, vt0.n_receives, seed),
+        )
+        for p in protocols
+    ]
+
+
+def replay_vectorized_batch(
+    traces: Sequence[Trace],
+    factories: Sequence[Callable[[], CheckpointingProtocol]],
+    seed: Optional[int] = None,
+) -> list[list[ReplayResult]]:
+    """Replay *several traces* through fresh instances of each protocol
+    in one row-block batch: all traces become blocks of a single
+    :class:`~repro.core.vectorized.VectorizedTrace` and every
+    protocol's kernel runs once over the whole grid.
+
+    Returns one result row per trace (each a list parallel to
+    *factories*), exactly as ``[replay_vectorized(t, ...) for t in
+    traces]`` would -- but with the per-pass numpy overheads amortized
+    across the batch.  Per-result seeds come from each trace's
+    ``meta["seed"]`` unless *seed* overrides them all.
+    """
+    from repro.core.vectorized import VectorizationError, VectorizedTrace
+
+    grid = [[factory() for _ in traces] for factory in factories]
+    for instances in grid:
+        for trace, protocol in zip(traces, instances):
+            _check_replayable(trace, protocol)
+            if not (protocol.vectorizable and protocol.fusable):
+                raise VectorizationError(
+                    f"protocol {protocol.name} has no vectorized kernel; "
+                    "use replay_fused"
+                )
+    vt = VectorizedTrace.from_traces(traces)
+    for instances in grid:
+        type(instances[0]).vectorized_replay(vt, instances)
+    results: list[list[ReplayResult]] = []
+    for b, trace in enumerate(traces):
+        block = vt.blocks[b]
+        results.append(
+            [
+                ReplayResult(
+                    protocol=instances[b],
+                    metrics=_run_metrics(
+                        trace,
+                        instances[b],
+                        block.n_sends,
+                        block.n_receives,
+                        seed,
+                    ),
+                )
+                for instances in grid
+            ]
+        )
+    return results
+
+
 def replay_many(
     trace: Trace,
     factories: Sequence[Callable[[], CheckpointingProtocol]],

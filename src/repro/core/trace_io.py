@@ -23,10 +23,15 @@ from typing import Union
 
 import numpy as np
 
+from repro.core.compiled import FLOAT_DTYPE, INT_DTYPE, ArrayColumns
 from repro.core.trace import EventType, Trace, TraceEvent
 
-#: Format version written into every file.
-FORMAT_VERSION = 1
+#: Format version written into every file.  v2 stores the *compiled*
+#: columns (pinned ``int64``/``float64`` dtypes, plus the dense message
+#: ``slot`` column and the send/receive counts in the header) so a load
+#: feeds the vectorized engine natively -- no list round-trip, no
+#: re-matching of sends to receives.  v1 files are still read.
+FORMAT_VERSION = 2
 
 
 class TraceIntegrityError(ValueError):
@@ -59,42 +64,47 @@ def _column_digest(header_json: str, columns) -> str:
 
 
 def save_trace(trace: Trace, path: Union[str, Path]) -> None:
-    """Write *trace* to ``path`` (npz; '.npz' appended if missing)."""
-    n = len(trace.events)
-    time = np.empty(n, dtype=np.float64)
-    etype = np.empty(n, dtype=np.int8)
-    host = np.empty(n, dtype=np.int32)
-    msg_id = np.empty(n, dtype=np.int64)
-    peer = np.empty(n, dtype=np.int32)
-    cell = np.empty(n, dtype=np.int32)
-    for i, ev in enumerate(trace.events):
-        time[i] = ev.time
-        etype[i] = int(ev.etype)
-        host[i] = ev.host
-        msg_id[i] = ev.msg_id
-        peer[i] = ev.peer
-        cell[i] = ev.cell
+    """Write *trace* to ``path`` (npz; '.npz' appended if missing).
+
+    Columns come from the compiled view -- one lowering shared with
+    replay (cached on the trace), dtypes pinned to ``int64`` /
+    ``float64`` so the stored bytes are platform-independent and the
+    digest is stable.
+    """
+    from repro.core.compiled import array_columns
+
+    cols = array_columns(trace)
     header = {
         "format_version": FORMAT_VERSION,
         "n_hosts": trace.n_hosts,
         "n_mss": trace.n_mss,
         "sim_time": trace.sim_time,
+        "n_sends": cols.n_sends,
+        "n_receives": cols.n_receives,
         "meta": trace.meta,
     }
     header_json = json.dumps(header)
-    digest = _column_digest(
-        header_json, (time, etype, host, msg_id, peer, cell)
+    columns = (
+        cols.time,
+        cols.etype,
+        cols.host,
+        cols.msg_id,
+        cols.peer,
+        cols.cell,
+        cols.slot,
     )
+    digest = _column_digest(header_json, columns)
     np.savez_compressed(
         str(path),
         header=np.frombuffer(header_json.encode("utf-8"), dtype=np.uint8),
         digest=np.frombuffer(digest.encode("ascii"), dtype=np.uint8),
-        time=time,
-        etype=etype,
-        host=host,
-        msg_id=msg_id,
-        peer=peer,
-        cell=cell,
+        time=cols.time,
+        etype=cols.etype,
+        host=cols.host,
+        msg_id=cols.msg_id,
+        peer=cols.peer,
+        cell=cols.cell,
+        slot=cols.slot,
     )
 
 
@@ -135,25 +145,29 @@ def load_trace(
     return trace.validate() if validate else trace
 
 
+#: Column names per format version (digest order).
+_V1_COLUMNS = ("time", "etype", "host", "msg_id", "peer", "cell")
+_V2_COLUMNS = ("time", "etype", "host", "msg_id", "peer", "cell", "slot")
+
+
 def _load_trace_inner(path: Path, verify: bool) -> Trace:
     with np.load(path) as data:
         header_json = bytes(data["header"]).decode("utf-8")
         header = json.loads(header_json)
-        if header.get("format_version") != FORMAT_VERSION:
+        version = header.get("format_version")
+        if version not in (1, FORMAT_VERSION):
             raise ValueError(
-                f"unsupported trace format version "
-                f"{header.get('format_version')!r} (expected {FORMAT_VERSION})"
+                f"unsupported trace format version {version!r} "
+                f"(expected 1..{FORMAT_VERSION})"
             )
+        names = _V2_COLUMNS if version >= 2 else _V1_COLUMNS
         if verify:
             if "digest" not in data.files:
                 raise TraceDigestMissing(
                     f"trace file {path} has no stored digest (written "
                     f"before checksums existed) and cannot be verified"
                 )
-            columns = tuple(
-                data[name]
-                for name in ("time", "etype", "host", "msg_id", "peer", "cell")
-            )
+            columns = tuple(data[name] for name in names)
             stored = bytes(data["digest"]).decode("ascii")
             computed = _column_digest(header_json, columns)
             if stored != computed:
@@ -179,10 +193,31 @@ def _load_trace_inner(path: Path, verify: bool) -> Trace:
                 data["cell"],
             )
         ]
-    return Trace(
-        n_hosts=int(header["n_hosts"]),
-        n_mss=int(header["n_mss"]),
-        events=events,
-        sim_time=float(header["sim_time"]),
-        meta=dict(header["meta"]),
-    )
+        trace = Trace(
+            n_hosts=int(header["n_hosts"]),
+            n_mss=int(header["n_mss"]),
+            events=events,
+            sim_time=float(header["sim_time"]),
+            meta=dict(header["meta"]),
+        )
+        if version >= 2:
+            # The stored columns *are* the compiled arrays: seed the
+            # per-trace cache so the vectorized engine starts from them
+            # without re-lowering (or re-matching sends to receives).
+            cols = ArrayColumns(
+                n_hosts=trace.n_hosts,
+                n_mss=trace.n_mss,
+                sim_time=trace.sim_time,
+                n_events=len(events),
+                n_sends=int(header["n_sends"]),
+                n_receives=int(header["n_receives"]),
+                etype=np.asarray(data["etype"], dtype=INT_DTYPE),
+                time=np.asarray(data["time"], dtype=FLOAT_DTYPE),
+                host=np.asarray(data["host"], dtype=INT_DTYPE),
+                msg_id=np.asarray(data["msg_id"], dtype=INT_DTYPE),
+                peer=np.asarray(data["peer"], dtype=INT_DTYPE),
+                cell=np.asarray(data["cell"], dtype=INT_DTYPE),
+                slot=np.asarray(data["slot"], dtype=INT_DTYPE),
+            )
+            trace._array_columns_cache = (len(events), cols)
+    return trace

@@ -29,8 +29,10 @@ from repro.engine.engines import (
     ProtocolOutcome,
     ReferenceReplayEngine,
     RunResult,
+    VectorizedFusedEngine,
     engine_for,
     execute,
+    execute_batch,
 )
 from repro.engine.errors import (
     CapabilityError,
@@ -83,8 +85,10 @@ __all__ = [
     "TelemetryObserver",
     "TimingObserver",
     "UnknownProtocolError",
+    "VectorizedFusedEngine",
     "engine_for",
     "execute",
+    "execute_batch",
     "known_names",
     "known_protocols",
     "plan",

@@ -10,8 +10,13 @@ protocols in the loop *and* the coordinated baselines) -- is an
   :func:`repro.core.replay.replay` per protocol; the semantic
   baseline the fused engine is audited against.
 * :class:`FusedReplayEngine` -- all instances in one compiled-trace
-  pass via :func:`repro.core.replay.replay_fused`; the production
-  engine of sweeps and figures.
+  pass via :func:`repro.core.replay.replay_fused`.
+* :class:`VectorizedFusedEngine` -- all instances as batch kernels
+  over array columns via :func:`repro.core.replay.replay_vectorized`;
+  the fastest replay path for protocols that declare
+  ``vectorizable``, bit-identical to the other two.
+  :func:`execute_batch` extends it across several specs at once (one
+  row-block grid, one kernel pass per protocol).
 * :class:`OnlineEngine` -- :func:`repro.workload.driver.run_online`
   for replayable protocols that need checkpoint latency / GC
   modelling, :func:`repro.core.online.run_coordinated` for the
@@ -38,7 +43,12 @@ from dataclasses import dataclass, field
 from typing import Optional, Union
 
 from repro.core.online import CoordinatedResult, run_coordinated
-from repro.core.replay import replay, replay_fused
+from repro.core.replay import (
+    replay,
+    replay_fused,
+    replay_vectorized,
+    replay_vectorized_batch,
+)
 from repro.engine.errors import PlanError
 from repro.engine.observers import ObserverError
 from repro.engine.spec import ExecutionPlan, RunSpec, plan as _plan
@@ -332,6 +342,45 @@ class FusedReplayEngine(Engine):
         )
 
 
+class VectorizedFusedEngine(Engine):
+    """All instances as batch kernels over the trace's array columns.
+
+    Same contract and result shape as :class:`FusedReplayEngine` --
+    the plan layer guarantees every entry declared ``vectorizable``
+    before this engine ever sees it -- but the replay happens in
+    :func:`~repro.core.replay.replay_vectorized`: no per-event
+    dispatch, just segmented scans and masks (see
+    :mod:`repro.core.vectorized`).
+    """
+
+    kind = "vectorized"
+
+    def _execute(self, p: ExecutionPlan) -> RunResult:
+        spec = p.spec
+        with self._span("trace-acquire") as sp:
+            trace, source = _acquire_trace(spec)
+            sp.tags["source"] = source
+        self._notify_trace(trace, source)
+        seed = _resolve_seed(spec)
+        instances = self._instances(p, trace.n_hosts, trace.n_mss)
+        with self._span("vectorized-pass", protocols=len(instances)):
+            results = replay_vectorized(trace, instances, seed=seed)
+        outcomes = []
+        for entry, rr in zip(p.entries, results):
+            outcome = ProtocolOutcome(
+                name=entry.name, protocol=rr.protocol, metrics=rr.metrics
+            )
+            self._notify_outcome(outcome)
+            outcomes.append(outcome)
+        return RunResult(
+            engine_kind=self.kind,
+            outcomes=outcomes,
+            trace=trace,
+            trace_source=source,
+            seed=seed,
+        )
+
+
 class OnlineEngine(Engine):
     """Protocol-in-the-loop simulation, one run per entry.
 
@@ -397,6 +446,7 @@ class OnlineEngine(Engine):
 ENGINES = {
     ReferenceReplayEngine.kind: ReferenceReplayEngine,
     FusedReplayEngine.kind: FusedReplayEngine,
+    VectorizedFusedEngine.kind: VectorizedFusedEngine,
     OnlineEngine.kind: OnlineEngine,
 }
 
@@ -415,3 +465,125 @@ def execute(spec: Union[RunSpec, ExecutionPlan]) -> RunResult:
     """Plan (if needed) and run *spec* on the engine it selects."""
     p = _plan(spec) if isinstance(spec, RunSpec) else spec
     return engine_for(p.engine_kind).run(p)
+
+
+def execute_batch(specs) -> list[RunResult]:
+    """Run several replay specs as one vectorized row-block batch.
+
+    Each spec is planned individually (trace acquisition included, so
+    the content-addressed cache keys each point as usual), then all
+    traces become blocks of a single
+    :class:`~repro.core.vectorized.VectorizedTrace` and every
+    protocol's kernel runs once over the whole grid via
+    :func:`~repro.core.replay.replay_vectorized_batch`.  Returns one
+    :class:`RunResult` per spec, shaped exactly as
+    ``[execute(s) for s in specs]`` would produce.
+
+    Every plan must land on the vectorized engine and the specs must
+    agree on protocols, host counts and counters mode -- the batch is
+    one grid, not a scheduler.  Observers are per-spec and notified as
+    in a single run.
+    """
+    plans = [_plan(s) if isinstance(s, RunSpec) else s for s in specs]
+    if not plans:
+        return []
+    for p in plans:
+        if p.engine_kind != "vectorized":
+            raise PlanError(
+                f"execute_batch drives the vectorized engine only; spec "
+                f"planned to {p.engine_kind!r}"
+            )
+    names = plans[0].protocol_names
+    for p in plans[1:]:
+        if p.protocol_names != names:
+            raise PlanError(
+                "execute_batch specs must agree on protocols: "
+                f"{names} vs {p.protocol_names}"
+            )
+        if p.spec.counters_only != plans[0].spec.counters_only:
+            raise PlanError(
+                "execute_batch specs must agree on counters_only"
+            )
+
+    started = time.perf_counter()
+    errors_per_plan: list[list[ObserverError]] = [[] for _ in plans]
+
+    def _absorb(k, obs, cb, exc):
+        errors_per_plan[k].append(
+            ObserverError(type(obs).__name__, cb, repr(exc))
+        )
+
+    for p in plans:
+        for obs in p.observers:
+            obs.on_run_start(p)
+
+    traces, sources = [], []
+    for k, p in enumerate(plans):
+        trace, source = _acquire_trace(p.spec)
+        traces.append(trace)
+        sources.append(source)
+        for obs in p.observers:
+            try:
+                obs.on_trace(p, trace, source)
+            except Exception as exc:
+                _absorb(k, obs, "on_trace", exc)
+    dims = {(t.n_hosts, t.n_mss) for t in traces}
+    if len(dims) != 1:
+        raise PlanError(
+            f"execute_batch traces must share (n_hosts, n_mss); got {sorted(dims)}"
+        )
+    (n_hosts, n_mss), = dims
+
+    counters_only = plans[0].spec.counters_only
+
+    def _factory(entry):
+        def make():
+            instance = entry.make(n_hosts, n_mss)
+            if counters_only:
+                instance.log_checkpoints = False
+            return instance
+
+        return make
+
+    grid = replay_vectorized_batch(
+        traces, [_factory(e) for e in plans[0].entries]
+    )
+
+    results = []
+    for k, (p, trace, source, row) in enumerate(
+        zip(plans, traces, sources, grid)
+    ):
+        outcomes = []
+        for entry, rr in zip(p.entries, row):
+            outcome = ProtocolOutcome(
+                name=entry.name, protocol=rr.protocol, metrics=rr.metrics
+            )
+            for obs in p.observers:
+                try:
+                    obs.on_outcome(p, outcome)
+                except Exception as exc:
+                    _absorb(k, obs, "on_outcome", exc)
+            outcomes.append(outcome)
+        result = RunResult(
+            engine_kind="vectorized",
+            outcomes=outcomes,
+            trace=trace,
+            trace_source=source,
+            seed=_resolve_seed(p.spec),
+            wall_time_s=time.perf_counter() - started,
+            observer_errors=errors_per_plan[k],
+        )
+        for obs in p.observers:
+            try:
+                obs.on_run_end(p, result)
+            except Exception as exc:
+                result.observer_errors.append(
+                    ObserverError(type(obs).__name__, "on_run_end", repr(exc))
+                )
+        results.append(result)
+    reg = _metrics_registry()
+    reg.counter("repro_engine_runs_total", kind="vectorized").inc(len(plans))
+    reg.counter("repro_engine_outcomes_total", kind="vectorized").inc(
+        sum(len(r.outcomes) for r in results)
+    )
+    return results

@@ -222,7 +222,10 @@ class AuditObserver(RunObserver):
         from repro.obs.audit import audit_trace, check_protocol_invariants
 
         spec = plan.spec
-        if plan.engine_kind in ("reference", "fused") and result.trace is not None:
+        if (
+            plan.engine_kind in ("reference", "fused", "vectorized")
+            and result.trace is not None
+        ):
             self.violations.extend(
                 audit_trace(
                     result.trace,

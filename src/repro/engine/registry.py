@@ -47,6 +47,10 @@ class Capabilities:
 
     replayable: bool = True
     fusable: bool = True
+    #: Ships batch kernels for the vectorized engine.  Effective only
+    #: together with ``fusable`` (the kernels honour the fused
+    #: contract), so :meth:`of` masks the declaration accordingly.
+    vectorizable: bool = False
     coordinated: bool = False
     counters_only: bool = True
 
@@ -55,9 +59,12 @@ class Capabilities:
         """Read the capability declaration off a protocol class (or
         factory), validating coherence."""
         validate_capabilities(protocol_cls)
+        fusable = bool(getattr(protocol_cls, "fusable", True))
         return cls(
             replayable=bool(getattr(protocol_cls, "replayable", True)),
-            fusable=bool(getattr(protocol_cls, "fusable", True)),
+            fusable=fusable,
+            vectorizable=fusable
+            and bool(getattr(protocol_cls, "vectorizable", False)),
             coordinated=bool(getattr(protocol_cls, "coordinated", False)),
             counters_only=bool(
                 getattr(protocol_cls, "supports_counters_only", True)
@@ -162,6 +169,14 @@ def _check_requirement(entry: ResolvedProtocol, require: str) -> None:
             "instances cannot share a fused single pass; use the "
             "reference replay engine",
         )
+    if require == "vectorizable" and not caps.vectorizable:
+        _check_requirement(entry, "fusable")  # sharper message first
+        raise CapabilityError(
+            entry.name,
+            "vectorizable",
+            "this protocol ships no batch kernels; use the fused "
+            "replay engine",
+        )
 
 
 def resolve_protocols(
@@ -180,8 +195,8 @@ def resolve_protocols(
         "compare everything" default.
     require:
         Optional capability gate applied to each resolved entry:
-        ``"replayable"`` or ``"fusable"``.  A protocol that exists but
-        lacks the capability raises
+        ``"replayable"``, ``"fusable"`` or ``"vectorizable"``.  A
+        protocol that exists but lacks the capability raises
         :class:`~repro.engine.errors.CapabilityError` (the same typed
         error the plan layer raises, so CLI / config / engine agree).
     factories:
@@ -197,7 +212,7 @@ def resolve_protocols(
     CapabilityError
         A resolved protocol fails the *require* gate.
     """
-    if require not in (None, "replayable", "fusable"):
+    if require not in (None, "replayable", "fusable", "vectorizable"):
         raise ValueError(f"unknown capability requirement {require!r}")
     known = known_protocols()
     if factories:

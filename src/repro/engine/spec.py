@@ -17,8 +17,10 @@ Engine selection
 
 * any coordinated protocol in the set -> the **online** DES (the only
   engine that can drive coordination rounds);
+* otherwise, if every protocol ships batch kernels -> the
+  **vectorized** replay (fused contract, no per-event dispatch);
 * otherwise, if every protocol is fusable -> the **fused** single-pass
-  replay (the production engine);
+  replay;
 * otherwise -> the **reference** per-protocol replay.
 
 Naming an engine explicitly instead turns the same conditions into
@@ -39,7 +41,7 @@ from repro.engine.registry import (
 )
 
 #: The engine kinds :func:`plan` can select.
-ENGINE_KINDS = ("auto", "reference", "fused", "online")
+ENGINE_KINDS = ("auto", "reference", "fused", "vectorized", "online")
 
 
 @dataclass(frozen=True)
@@ -103,7 +105,7 @@ class ExecutionPlan:
     """
 
     spec: RunSpec
-    #: "reference" | "fused" | "online" -- never "auto".
+    #: "reference" | "fused" | "vectorized" | "online" -- never "auto".
     engine_kind: str
     entries: Tuple[ResolvedProtocol, ...]
     observers: Tuple[RunObserver, ...] = field(default_factory=tuple)
@@ -122,6 +124,8 @@ def _select_engine(spec: RunSpec, entries) -> str:
         return "online"
     # A pre-built trace can only be replayed; a non-replayable entry
     # then fails the fit check with the standard CapabilityError.
+    if all(e.capabilities.vectorizable for e in entries):
+        return "vectorized"
     if all(e.capabilities.fusable for e in entries):
         return "fused"
     return "reference"
@@ -131,7 +135,7 @@ def _check_engine_fit(kind: str, entries) -> None:
     """Every entry must support the chosen engine kind."""
     for e in entries:
         caps = e.capabilities
-        if kind in ("reference", "fused") and not caps.replayable:
+        if kind in ("reference", "fused", "vectorized") and not caps.replayable:
             raise CapabilityError(
                 e.name,
                 "replayable",
@@ -142,12 +146,20 @@ def _check_engine_fit(kind: str, entries) -> None:
                 "simulation",
                 engine=kind,
             )
-        if kind == "fused" and not caps.fusable:
+        if kind in ("fused", "vectorized") and not caps.fusable:
             raise CapabilityError(
                 e.name,
                 "fusable",
                 "instances cannot share a fused single pass; use the "
                 "reference replay engine",
+                engine=kind,
+            )
+        if kind == "vectorized" and not caps.vectorizable:
+            raise CapabilityError(
+                e.name,
+                "vectorizable",
+                "this protocol ships no batch kernels; use the fused "
+                "replay engine",
                 engine=kind,
             )
 
@@ -182,6 +194,7 @@ def plan(spec: RunSpec) -> ExecutionPlan:
     default_gate = {
         "online": None,
         "fused": "fusable",
+        "vectorized": "vectorizable",
     }.get(spec.engine, "replayable")
     entries = resolve_protocols(
         spec.protocols,

@@ -25,8 +25,15 @@ class SweepConfig:
         The x-axis (paper: log-spaced 100..10000).
     protocols:
         Names resolved through the engine registry
-        (:func:`repro.engine.resolve_protocols`); sweeps run on the
-        fused replay engine, so every name must be fusable.
+        (:func:`repro.engine.resolve_protocols`); sweeps run on a
+        replay engine, so every name must satisfy the chosen
+        ``engine``'s capability gate.
+    engine:
+        Replay engine per (point, seed) task: ``"fused"`` (default),
+        ``"vectorized"`` (batch kernels; every protocol must declare
+        ``vectorizable``) or ``"auto"`` (vectorized when possible,
+        fused otherwise).  Results are bit-identical across the three;
+        this only trades execution strategy.
     seeds:
         One run per seed per point; results are averaged and the
         within-4% agreement is checked.
@@ -112,6 +119,7 @@ class SweepConfig:
     base: WorkloadConfig = field(default_factory=WorkloadConfig)
     t_switch_values: Sequence[float] = T_SWITCH_SWEEP
     protocols: Sequence[str] = DEFAULT_PROTOCOLS
+    engine: str = "fused"
     seeds: Sequence[int] = (0, 1, 2)
     workers: int = 0
     use_cache: bool = True
@@ -148,8 +156,17 @@ class SweepConfig:
             raise ValueError("need at least one t_switch value")
         if any(t <= 0 for t in self.t_switch_values):
             raise ValueError("t_switch values must be positive")
-        # Sweeps run on the fused replay engine; require that up front.
-        resolve_protocols(self.protocols, require="fusable")
+        # Sweeps run on a replay engine; require its gate up front so a
+        # bad protocol/engine pairing fails here, not mid-grid.
+        if self.engine not in ("auto", "fused", "vectorized"):
+            raise ValueError(
+                f"sweep engine must be 'auto', 'fused' or 'vectorized', "
+                f"got {self.engine!r}"
+            )
+        resolve_protocols(
+            self.protocols,
+            require="vectorizable" if self.engine == "vectorized" else "fusable",
+        )
         if not self.seeds:
             raise ValueError("need at least one seed")
         if self.workers < 0:

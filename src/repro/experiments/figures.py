@@ -42,6 +42,7 @@ def figure_sweep_config(
     seeds: Sequence[int] = (0, 1, 2),
     t_switch_values: Sequence[float] = T_SWITCH_SWEEP,
     protocols: Sequence[str] = DEFAULT_PROTOCOLS,
+    engine: str = "fused",
     workers: int = 0,
     use_cache: bool = True,
     cache_dir: Optional[str] = None,
@@ -76,6 +77,7 @@ def figure_sweep_config(
         base=base,
         t_switch_values=tuple(t_switch_values),
         protocols=tuple(protocols),
+        engine=engine,
         seeds=tuple(seeds),
         workers=workers,
         use_cache=use_cache,
@@ -99,6 +101,7 @@ def run_figure(
     sim_time: float = 20_000.0,
     seeds: Sequence[int] = (0, 1, 2),
     t_switch_values: Optional[Sequence[float]] = None,
+    engine: str = "fused",
     workers: int = 0,
     use_cache: bool = True,
     cache_dir: Optional[str] = None,
@@ -129,6 +132,7 @@ def run_figure(
         sim_time=sim_time,
         seeds=seeds,
         t_switch_values=tuple(t_switch_values or T_SWITCH_SWEEP),
+        engine=engine,
         workers=workers,
         use_cache=use_cache,
         cache_dir=cache_dir,

@@ -203,11 +203,14 @@ def _evaluate_task(
     audit: bool = False,
     trace_spans: bool = False,
     stream_path: Optional[str] = None,
+    engine: str = "fused",
 ) -> tuple[float, int, list[RunOutcome], TaskTelemetry, list]:
-    """Worker body: one (point, seed) pair, all protocols, one fused
-    replay pass over one trace -- routed through the execution engine
+    """Worker body: one (point, seed) pair, all protocols, one replay
+    pass over one trace -- routed through the execution engine
     (:mod:`repro.engine`) with the task's telemetry and -- in audit
-    mode -- the invariant audit attached as observers.
+    mode -- the invariant audit attached as observers.  ``engine``
+    picks the replay strategy (fused / vectorized / auto); results are
+    bit-identical either way.
 
     ``trace_spans`` attaches a :class:`~repro.engine.TimingObserver`
     and ships its phase spans home on the telemetry record;
@@ -239,7 +242,7 @@ def _evaluate_task(
             RunSpec(
                 protocols=tuple(protocols),
                 workload=cfg,
-                engine="fused",
+                engine=engine,
                 counters_only=True,  # counters are all a sweep needs
                 audit=audit,
                 seed=seed,
@@ -356,6 +359,7 @@ def _tasks(config: SweepConfig) -> list[tuple]:
             config.audit,
             trace_spans,
             config.stream_path,
+            config.engine,
         )
         for t in config.t_switch_values
         for seed in config.seeds
@@ -375,6 +379,7 @@ def run_point(config: SweepConfig, t_switch: float) -> PointResult:
             config.use_cache,
             config.cache_dir,
             config.audit,
+            engine=config.engine,
         )
         point.runs.extend(runs)
         point.telemetry.append(telemetry)

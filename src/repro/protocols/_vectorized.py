@@ -1,0 +1,481 @@
+"""Batch-kernel implementations behind ``vectorized_replay``.
+
+Each replayable protocol family gets one kernel here, built on the
+segmented primitives of :mod:`repro.core.vectorized`.  A kernel
+receives a :class:`~repro.core.vectorized.VectorizedTrace` (one or more
+trace blocks) plus one fresh protocol instance per block, and must
+leave every instance in *exactly* the state the reference per-event
+replay would: counters, per-host live variables and -- when
+``log_checkpoints`` is on -- the checkpoint log, record for record.
+
+The kernels therefore split cleanly in two:
+
+* **solve** -- numpy passes over the whole batch (segmented cummax,
+  boolean placement masks, the piggyback fixpoint where causality
+  demands it);
+* **materialize** -- walk the solved checkpoint placements (orders of
+  magnitude fewer than events) through the instance's own
+  :meth:`~repro.protocols.base.CheckpointingProtocol.take` /
+  ``rename_last``, which guarantees counter/log/storage semantics
+  can never drift from the base class.  In counters-only mode the
+  walk is skipped and the counters are assigned from per-segment
+  tallies directly.
+
+Protocols import this module, never the other way around; the engine
+layer reaches the kernels only through the ``vectorized_replay``
+classmethods.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+
+from repro.core.vectorized import (
+    VectorizedTrace,
+    gather,
+    index_trajectory,
+    nosend_classification,
+    seg_counts,
+    seg_cumsum,
+    seg_cummax,
+    seg_shift,
+)
+
+# Index-family flavors: (uses rn / QBC basic rule, uses no-send rule).
+_FLAVORS = {
+    "bcs": (False, False),
+    "qbc": (True, False),
+    "bcs_ns": (False, True),
+    "qbc_ns": (True, True),
+}
+
+
+# ---------------------------------------------------------------------------
+# BCS / QBC / BCS-NS / QBC-NS
+# ---------------------------------------------------------------------------
+
+def index_family_replay(vt: VectorizedTrace, instances, flavor: str) -> None:
+    """Replay one index-family protocol over every block of *vt*."""
+    import numpy as np
+
+    qbc, nosend = _FLAVORS[flavor]
+    traj = index_trajectory(vt, qbc)
+    basic = vt.basic
+    n_hosts = vt.n_hosts
+
+    if nosend:
+        jump_forced = nosend_classification(vt, traj)
+        n_forced_seg = np.bincount(
+            traj.jump_seg[jump_forced], minlength=vt.n_segments
+        )
+        n_renamed_seg = traj.n_jump_seg - n_forced_seg
+    else:
+        # Without the no-send rule every jump is a forced take.
+        jump_forced = None
+        n_forced_seg = traj.n_jump_seg
+        n_renamed_seg = None
+    n_basic_seg = np.diff(basic.starts)
+    if qbc:
+        n_replaced_seg = seg_counts(~traj.armed, basic.starts)
+    else:
+        n_replaced_seg = np.zeros(vt.n_segments, dtype=np.int64)
+
+    if nosend:
+        # Final sent-since-checkpoint flag: a send after the last
+        # flag-clearing event (basic trigger or forced jump).
+        sp_end = vt.seg_last(vt.send.idx, vt.send, -1)
+        reset_end = vt.seg_last(basic.idx, basic, -1)
+        fp_end = np.full(vt.n_segments, -1, dtype=np.int64)
+        if jump_forced.any():
+            np.maximum.at(
+                fp_end,
+                traj.jump_seg[jump_forced],
+                vt.recv.idx[traj.jump_row[jump_forced]],
+            )
+        sent_flag = sp_end > np.maximum(reset_end, fp_end)
+
+    for b, inst in enumerate(instances):
+        lo_s, hi_s = b * n_hosts, (b + 1) * n_hosts
+        sn_final = traj.sn_final[lo_s:hi_s]
+        inst.sn = sn_final.tolist()
+        if qbc:
+            inst.rn = traj.rn_final[lo_s:hi_s].tolist()
+        if nosend:
+            inst.sent_since_ckpt = sent_flag[lo_s:hi_s].tolist()
+        if inst.log_checkpoints:
+            _materialize_index_family(
+                vt, inst, traj, b, qbc, nosend, jump_forced
+            )
+        else:
+            inst.n_basic += int(n_basic_seg[lo_s:hi_s].sum())
+            inst.n_forced += int(n_forced_seg[lo_s:hi_s].sum())
+            if n_renamed_seg is not None:
+                inst.n_renamed += int(n_renamed_seg[lo_s:hi_s].sum())
+            inst.n_replaced += int(n_replaced_seg[lo_s:hi_s].sum())
+            per_host = (n_basic_seg + n_forced_seg)[lo_s:hi_s]
+            for h in range(n_hosts):
+                inst.per_host_total[h] += int(per_host[h])
+                inst.last_index[h] = int(sn_final[h])
+
+
+def _materialize_index_family(vt, inst, traj, block, qbc, nosend, jump_forced):
+    """Apply one block's solved checkpoints through take()/rename_last()
+    in original event order."""
+    import numpy as np
+
+    n_hosts = vt.n_hosts
+    ops = []  # (original position, kind, host, index, time, *extras)
+
+    lo, hi = vt.block_bounds(vt.basic, block)
+    sl = slice(lo, hi)
+    b_pos = vt.perm[vt.basic.idx[sl]].tolist()
+    b_host = (vt.seg_p[vt.basic.idx[sl]] % n_hosts).tolist()
+    b_time = vt.basic.time[sl].tolist()
+    b_index = traj.sn_after_basic[sl].tolist()
+    b_armed = traj.armed[sl].tolist()
+    b_rn = traj.rn_at_basic[sl].tolist()
+    for k in range(len(b_pos)):
+        if qbc:
+            md = {"rn": b_rn[k]}
+            replaced = not b_armed[k]
+        elif nosend:  # BCS-NS basics record the rn they ignored
+            md = {"rn": -1}
+            replaced = False
+        else:
+            md = None
+            replaced = False
+        ops.append(
+            (b_pos[k], "basic", b_host[k], b_index[k], b_time[k],
+             replaced, md)
+        )
+
+    # Jump arrays are segment-major, so one block is a contiguous span.
+    jlo = int(np.searchsorted(traj.jump_seg, block * n_hosts))
+    jhi = int(np.searchsorted(traj.jump_seg, (block + 1) * n_hosts))
+    rows = traj.jump_row[jlo:jhi]
+    j_pos = vt.perm[vt.recv.idx[rows]].tolist()
+    j_host = (traj.jump_seg[jlo:jhi] % n_hosts).tolist()
+    j_time = vt.recv.time[rows].tolist()
+    j_index = traj.jump_index[jlo:jhi].tolist()
+    j_forced = (
+        jump_forced[jlo:jhi].tolist() if nosend else [True] * len(j_pos)
+    )
+    for k in range(len(j_pos)):
+        if not j_forced[k]:
+            ops.append(
+                (j_pos[k], "rename", j_host[k], j_index[k], j_time[k],
+                 False, None)
+            )
+        else:
+            md = {"rn": j_index[k]} if (qbc or nosend) else None
+            ops.append(
+                (j_pos[k], "forced", j_host[k], j_index[k], j_time[k],
+                 False, md)
+            )
+
+    ops.sort(key=lambda op: op[0])
+    for _, kind, host, index, time, replaced, md in ops:
+        if kind == "rename":
+            inst.rename_last(host, index, time)
+        elif replaced or md is not None:
+            inst.take(host, index, kind, time, replaced=replaced, metadata=md)
+        else:
+            # Same call shape as the reference hooks so take() overrides
+            # with the plain four-argument signature keep working.
+            inst.take(host, index, kind, time)
+
+
+# ---------------------------------------------------------------------------
+# UNC (periodic independent checkpointing)
+# ---------------------------------------------------------------------------
+
+def unc_replay(vt: VectorizedTrace, instances) -> None:
+    """Replay the uncoordinated baseline over every block of *vt*.
+
+    No piggybacks, so no fixpoint: per host, the next checkpoint is
+    whichever comes first of the next basic trigger and the first
+    message event at least one period after the last checkpoint.  The
+    walk advances checkpoint-to-checkpoint (bisecting the message-time
+    list), so it is O(checkpoints log events), not O(events).
+    """
+    n_hosts = vt.n_hosts
+    basic, msg = vt.basic, vt.msg
+
+    for b, inst in enumerate(instances):
+        period = inst.period
+        logging = inst.log_checkpoints
+        ops = []
+        for h in range(n_hosts):
+            s = b * n_hosts + h
+            b_lo, b_hi = int(basic.starts[s]), int(basic.starts[s + 1])
+            m_lo, m_hi = int(msg.starts[s]), int(msg.starts[s + 1])
+            b_pos = basic.idx[b_lo:b_hi].tolist()
+            b_time = basic.time[b_lo:b_hi].tolist()
+            m_pos = msg.idx[m_lo:m_hi].tolist()
+            m_time = msg.time[m_lo:m_hi].tolist()
+            t_last = inst._last_ckpt_time[h]
+            count = inst.count[h]
+            taken = 0
+            ib, im = 0, 0
+            nb, nm = len(b_pos), len(m_time)
+            while True:
+                # First message event from im that the reference
+                # predicate (now - t_last >= period) accepts.  Bisect on
+                # t_last + period lands within rounding of the exact
+                # boundary; the predicate is monotone in the event time,
+                # so a local adjustment recovers bit-exactness.
+                k = bisect_left(m_time, t_last + period, im)
+                while k > im and m_time[k - 1] - t_last >= period:
+                    k -= 1
+                while k < nm and m_time[k] - t_last < period:
+                    k += 1
+                bpos = b_pos[ib] if ib < nb else None
+                mpos = m_pos[k] if k < nm else None
+                if bpos is None and mpos is None:
+                    break
+                if mpos is None or (bpos is not None and bpos < mpos):
+                    pos, now = bpos, b_time[ib]
+                    ib += 1
+                else:
+                    pos, now = mpos, m_time[k]
+                if logging:
+                    # Sort key is the *original* event position -- the
+                    # subsets hold permuted (segment-major) positions.
+                    ops.append((int(vt.perm[pos]), h, count, now))
+                count += 1
+                taken += 1
+                t_last = now
+                im = bisect_right(m_pos, pos)
+            inst.count[h] = count
+            inst._last_ckpt_time[h] = t_last
+            if not logging:
+                inst.n_basic += taken
+                inst.per_host_total[h] += taken
+                inst.last_index[h] = count - 1
+        if logging:
+            ops.sort(key=lambda op: op[0])
+            for _, host, index, now in ops:
+                inst.take(host, index, "basic", now)
+
+
+# ---------------------------------------------------------------------------
+# TP (two-phase)
+# ---------------------------------------------------------------------------
+
+def tp_replay(vt: VectorizedTrace, instances) -> None:
+    """Replay TP over every block of *vt*.
+
+    Placement is purely local (the phase flag), so it needs no
+    fixpoint: a receive is forced iff its host sent after its last
+    basic trigger and no earlier receive of the same send-group already
+    cleared the phase -- i.e. the receive is the *first* of its host
+    after that send.  Checkpoint indices are then a segmented cumsum
+    over the placed checkpoints.
+
+    Only logging mode touches the CKPT/LOC dependency vectors (exactly
+    like the reference implementation, whose counters-only path
+    maintains no vector state); there they are solved by the matrix
+    piggyback fixpoint and recorded per checkpoint through take().
+    """
+    import numpy as np
+
+    n_hosts = vt.n_hosts
+    recv, send, basic = vt.recv, vt.send, vt.basic
+
+    # -- placement ---------------------------------------------------------
+    sp_r = gather(send.idx, vt.last_send_at[recv.idx], -1)
+    bp_r = gather(basic.idx, vt.last_basic_at[recv.idx], -1)
+    prev_sp_r = seg_shift(sp_r, recv.starts, -2)  # -2: "no previous receive"
+    forced_mask = (sp_r > bp_r) & (sp_r != prev_sp_r)
+
+    n_forced_seg = seg_counts(forced_mask, recv.starts)
+    n_basic_seg = np.diff(basic.starts)
+    n_ckpt_seg = n_basic_seg + n_forced_seg
+
+    # Final live phase: a send after the last checkpoint event.  The
+    # last checkpoint per segment is the later of the last basic
+    # trigger and the last forced receive.
+    fidx = np.flatnonzero(forced_mask)
+    f_hi = np.searchsorted(fidx, recv.starts[1:])
+    f_lo = np.searchsorted(fidx, recv.starts[:-1])
+    last_forced = np.full(vt.n_segments, -1, dtype=np.int64)
+    has_forced = f_hi > f_lo
+    if fidx.size:
+        last_forced[has_forced] = recv.idx[fidx[f_hi[has_forced] - 1]]
+    reset_end = vt.seg_last(basic.idx, basic, -1)
+    cp_end = np.maximum(last_forced, reset_end)
+    sp_end = vt.seg_last(send.idx, send, -1)
+    phase_send = sp_end > cp_end
+
+    # Final cell: last cell-change value, else the instance's initial.
+    last_change_seg = vt.seg_last(
+        np.arange(vt.change.idx.shape[0], dtype=np.int64), vt.change, -1
+    )
+
+    logging = any(inst.log_checkpoints for inst in instances)
+    if logging:
+        # The per-event checkpoint index (a full-domain segmented
+        # cumsum) is only needed to number and materialize records.
+        is_ckpt = np.zeros(vt.n_events, dtype=np.int64)
+        is_ckpt[basic.idx] = 1
+        is_ckpt[recv.idx[forced_mask]] = 1
+        ckpt_cum = seg_cumsum(is_ckpt, vt.seg_starts)
+        vecs = _tp_vectors(vt, ckpt_cum, forced_mask)
+
+    for b, inst in enumerate(instances):
+        lo_s, hi_s = b * n_hosts, (b + 1) * n_hosts
+        seg_ids = range(lo_s, hi_s)
+        initial_cells = list(inst.cell)
+        final_cells = [
+            int(vt.change_cell[last_change_seg[s]])
+            if last_change_seg[s] >= 0
+            else initial_cells[s - lo_s]
+            for s in seg_ids
+        ]
+        inst.cell = final_cells
+        inst.phase = [int(phase_send[s]) for s in seg_ids]
+        inst.count = [int(n_ckpt_seg[s]) + 1 for s in seg_ids]
+        if inst.log_checkpoints:
+            _materialize_tp(vt, inst, b, vecs, initial_cells)
+        else:
+            inst.n_basic += int(n_basic_seg[lo_s:hi_s].sum())
+            inst.n_forced += int(n_forced_seg[lo_s:hi_s].sum())
+            for h in range(n_hosts):
+                inst.per_host_total[h] += int(n_ckpt_seg[lo_s + h])
+                inst.last_index[h] = int(n_ckpt_seg[lo_s + h])
+
+
+def _tp_vectors(vt, ckpt_cum, forced_mask):
+    """Solve TP's CKPT dependency-vector fixpoint over the whole batch.
+
+    The piggyback of send *s* by host *h* is a full n-vector: own entry
+    = h's checkpoint count at *s* (placement-determined, no fixpoint
+    needed), other entries = componentwise running max over the rows
+    received before *s*.  One (n_sends, n_hosts) matrix fixpoint.
+
+    Returns everything materialization needs: the converged inclusive /
+    exclusive merged-row views at receives.
+    """
+    import numpy as np
+
+    recv, send = vt.recv, vt.send
+    r_before_send = vt.last_recv_at[send.idx]
+    send_host = (vt.seg_p[send.idx] % vt.n_hosts).astype(np.int64)
+    own_at_send = ckpt_cum[send.idx]
+    state = {}
+
+    def step(pb):
+        rows = pb[recv.slot]
+        m_incl = seg_cummax(rows, recv.starts)
+        state["m_incl"] = m_incl
+        out = np.empty_like(pb)
+        out[send.slot] = gather(m_incl, r_before_send, -1)
+        out[send.slot, send_host] = own_at_send
+        return out
+
+    pb0 = np.full((vt.n_sends, vt.n_hosts), -1, dtype=np.int64)
+    if vt.n_sends:
+        pb0[send.slot, send_host] = own_at_send
+    from repro.core.vectorized import fixpoint
+
+    fixpoint(pb0, step, vt.n_events + 2, "tp-vectors")
+    m_incl = state.get("m_incl")
+    if m_incl is None:  # no receives anywhere: nothing ever merged
+        m_incl = np.full((0, vt.n_hosts), -1, dtype=np.int64)
+    return {
+        "m_incl": m_incl,
+        "m_excl": seg_shift(m_incl, recv.starts, -1),
+        "forced_mask": forced_mask,
+        "ckpt_cum": ckpt_cum,
+    }
+
+
+def _materialize_tp(vt, inst, block, vecs, initial_cells):
+    """Build one block's TP checkpoint records (with CKPT/LOC metadata)
+    and final live vectors, then apply them through take()."""
+    import numpy as np
+
+    n_hosts = vt.n_hosts
+    recv, basic = vt.recv, vt.basic
+    m_incl, m_excl = vecs["m_incl"], vecs["m_excl"]
+    forced_mask, ckpt_cum = vecs["forced_mask"], vecs["ckpt_cum"]
+    lo_s = block * n_hosts
+
+    # Checkpoint rows: basics (inclusive merge view -- all receives
+    # strictly precede the trigger) and forced receives (exclusive view
+    # -- TP checkpoints *before* merging the incoming vectors).
+    b_lo, b_hi = vt.block_bounds(basic, block)
+    b_ids = basic.idx[b_lo:b_hi]
+    b_rows = gather(m_incl, vt.last_recv_at[b_ids], -1)
+    r_lo, r_hi = vt.block_bounds(recv, block)
+    f_pick = np.flatnonzero(forced_mask[r_lo:r_hi]) + r_lo
+    f_ids = recv.idx[f_pick]
+    f_rows = m_excl[f_pick] if f_pick.size else np.full(
+        (0, n_hosts), -1, dtype=np.int64
+    )
+
+    ids = np.concatenate([b_ids, f_ids])
+    rows = np.concatenate([b_rows, f_rows])
+    reasons = ["basic"] * len(b_ids) + ["forced"] * len(f_ids)
+    hosts = (vt.seg_p[ids] % n_hosts).astype(np.int64)
+    indices = ckpt_cum[ids]
+    rows[np.arange(len(ids)), hosts] = indices  # own entry: the new index
+
+    # Per-host index -> cell-at-that-checkpoint table for LOC lookups.
+    cells_at = gather(
+        vt.change_cell, vt.last_change_at[ids],
+        np.int64(-2),  # placeholder: no change yet -> initial cell
+    )
+    init = np.asarray(initial_cells, dtype=np.int64)
+    cells_at = np.where(cells_at == -2, init[hosts], cells_at)
+    max_count = int(indices.max(initial=0)) + 1
+    cc = np.full((n_hosts, max_count), -1, dtype=np.int64)
+    cc[:, 0] = init
+    cc[hosts, indices] = cells_at
+    loc_rows = cc[
+        np.arange(n_hosts)[None, :], np.maximum(rows, 0)
+    ]
+    loc_rows[rows < 0] = -1
+
+    order = np.argsort(vt.perm[ids], kind="stable")
+    hosts_l = hosts[order].tolist()
+    idx_l = indices[order].tolist()
+    time_l = vt.time_p[ids][order].tolist()
+    rows_l = rows[order].tolist()
+    loc_l = loc_rows[order].tolist()
+    reasons_l = [reasons[k] for k in order.tolist()]
+    for k in range(len(hosts_l)):
+        inst.take(
+            hosts_l[k],
+            idx_l[k],
+            reasons_l[k],
+            time_l[k],
+            metadata={
+                "ckpt_vec": tuple(rows_l[k]),
+                "loc_vec": tuple(loc_l[k]),
+            },
+        )
+
+    # Final live dependency vectors: inclusive merge over everything
+    # received, own entry at the final index (cc covers every index a
+    # vector entry can reference, so LOC lookups stay in the table).
+    last_r = np.asarray(
+        [
+            int(recv.starts[s + 1]) - 1
+            if recv.starts[s + 1] > recv.starts[s]
+            else -1
+            for s in range(lo_s, lo_s + n_hosts)
+        ],
+        dtype=np.int64,
+    )
+    final_m = gather(m_incl, last_r, -1)
+    own_final = np.asarray(
+        [inst.count[h] - 1 for h in range(n_hosts)], dtype=np.int64
+    )
+    diag = np.arange(n_hosts)
+    final_m[diag, diag] = own_final
+    final_loc = cc[diag[None, :], np.maximum(final_m, 0)]
+    final_loc[final_m < 0] = -1
+    inst.ckpt_vec = [row.tolist() for row in final_m]
+    inst.loc_vec = [row.tolist() for row in final_loc]
+    inst._snapshot = [None] * n_hosts

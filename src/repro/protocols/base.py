@@ -77,6 +77,13 @@ class CheckpointingProtocol:
     #: ``replayable``; a protocol whose hooks share hidden global state
     #: across instances would clear this flag.
     fusable: bool = True
+    #: Whether the protocol ships a batch kernel (a
+    #: ``vectorized_replay`` classmethod) for the vectorized engine
+    #: (:mod:`repro.core.vectorized`).  Only honored together with
+    #: ``fusable`` -- the engine layer treats a subclass that clears
+    #: ``fusable`` as having lost any inherited kernel too, since the
+    #: vectorized engine is the fused engine in array form.
+    vectorizable: bool = False
     #: True for coordinated baselines (Chandy-Lamport, Koo-Toueg,
     #: Prakash-Singhal): they inject control messages into the
     #: schedule, so they can only run embedded in the online DES.

@@ -20,6 +20,17 @@ from repro.protocols.base import CheckpointingProtocol, register
 class BCSProtocol(CheckpointingProtocol):
     """Index-based communication-induced checkpointing."""
 
+    vectorizable = True
+
+    @classmethod
+    def vectorized_replay(cls, vt, instances) -> None:
+        """Batch kernel: the index-family trajectory with BCS's
+        unconditional basic increment (see
+        :mod:`repro.protocols._vectorized`)."""
+        from repro.protocols._vectorized import index_family_replay
+
+        index_family_replay(vt, instances, "bcs")
+
     def __init__(self, n_hosts: int, n_mss: int = 1):
         super().__init__(n_hosts, n_mss)
         #: sn_i per host; index of the host's latest checkpoint.

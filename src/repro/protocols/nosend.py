@@ -94,6 +94,16 @@ class _NoSendMixin(CheckpointingProtocol):
 class NoSendBCSProtocol(_NoSendMixin):
     """BCS plus the no-send skip rule on receives."""
 
+    vectorizable = True
+
+    @classmethod
+    def vectorized_replay(cls, vt, instances) -> None:
+        """Batch kernel: BCS dynamics plus the no-send forced/rename
+        split (see :mod:`repro.protocols._vectorized`)."""
+        from repro.protocols._vectorized import index_family_replay
+
+        index_family_replay(vt, instances, "bcs_ns")
+
     def on_receive(self, host: int, piggyback: int, src: int, now: float) -> None:
         self._receive_index(host, piggyback, now)
 
@@ -112,6 +122,16 @@ class NoSendBCSProtocol(_NoSendMixin):
 @register("QBC-NS")
 class NoSendQBCProtocol(_NoSendMixin):
     """QBC's basic-side replacement + the no-send receive-side skip."""
+
+    vectorizable = True
+
+    @classmethod
+    def vectorized_replay(cls, vt, instances) -> None:
+        """Batch kernel: QBC dynamics plus the no-send forced/rename
+        split (see :mod:`repro.protocols._vectorized`)."""
+        from repro.protocols._vectorized import index_family_replay
+
+        index_family_replay(vt, instances, "qbc_ns")
 
     def __init__(self, n_hosts: int, n_mss: int = 1):
         super().__init__(n_hosts, n_mss)

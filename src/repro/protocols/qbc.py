@@ -34,6 +34,17 @@ from repro.protocols.base import CheckpointingProtocol, register
 class QBCProtocol(CheckpointingProtocol):
     """Index-based protocol with checkpoint equivalence/replacement."""
 
+    vectorizable = True
+
+    @classmethod
+    def vectorized_replay(cls, vt, instances) -> None:
+        """Batch kernel: the index-family trajectory with QBC's armed
+        (``rn = sn``) basic rule (see
+        :mod:`repro.protocols._vectorized`)."""
+        from repro.protocols._vectorized import index_family_replay
+
+        index_family_replay(vt, instances, "qbc")
+
     def __init__(self, n_hosts: int, n_mss: int = 1):
         super().__init__(n_hosts, n_mss)
         self.sn = [0] * n_hosts

@@ -43,6 +43,17 @@ _SEND = 1
 class TwoPhaseProtocol(CheckpointingProtocol):
     """Two-phase (send/receive) communication-induced checkpointing."""
 
+    vectorizable = True
+
+    @classmethod
+    def vectorized_replay(cls, vt, instances) -> None:
+        """Batch kernel: local phase-flag placement plus the CKPT/LOC
+        matrix fixpoint in logging mode (see
+        :mod:`repro.protocols._vectorized`)."""
+        from repro.protocols._vectorized import tp_replay
+
+        tp_replay(vt, instances)
+
     def __init__(self, n_hosts: int, n_mss: int = 1, initial_cells=None):
         super().__init__(n_hosts, n_mss)
         self.phase = [_RECV] * n_hosts

@@ -22,6 +22,16 @@ from repro.protocols.base import CheckpointingProtocol, register
 class UncoordinatedProtocol(CheckpointingProtocol):
     """Periodic independent checkpoints; no forced checkpoints at all."""
 
+    vectorizable = True
+
+    @classmethod
+    def vectorized_replay(cls, vt, instances) -> None:
+        """Batch kernel: checkpoint-to-checkpoint walk over the period
+        boundaries (see :mod:`repro.protocols._vectorized`)."""
+        from repro.protocols._vectorized import unc_replay
+
+        unc_replay(vt, instances)
+
     def __init__(self, n_hosts: int, n_mss: int = 1, period: float = 100.0):
         if period <= 0:
             raise ValueError(f"period must be positive, got {period}")

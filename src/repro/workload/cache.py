@@ -125,8 +125,9 @@ class TraceCache:
         self.misses = 0
         #: Disk entries that failed checksum/decode and were evicted.
         self.corrupt_evictions = 0
-        #: Pre-digest disk entries accepted after a structural
-        #: validation and rewritten in place with a checksum.
+        #: Outdated-but-readable disk entries rewritten in place at the
+        #: current format: pre-digest files (after a structural
+        #: validation) and format-v1 files lacking native array columns.
         self.legacy_upgrades = 0
 
     # ------------------------------------------------------------------
@@ -180,11 +181,24 @@ class TraceCache:
             # The stored trace was validated at generation time; skip
             # the O(events) structural re-check but verify the column
             # checksum so a truncated/bit-flipped file cannot replay.
-            return trace_io.load_trace(path, validate=False, verify=True)
+            trace = trace_io.load_trace(path, validate=False, verify=True)
         except trace_io.TraceDigestMissing:
             return self._load_legacy(key, path)
         except trace_io.TraceIntegrityError:
             return self._evict_corrupt(path)
+        if getattr(trace, "_array_columns_cache", None) is None:
+            # A format-v1 entry: readable, but it holds no native array
+            # columns, so every hit would re-lower lists.  Rewrite it in
+            # place at the current format (same best-effort contract as
+            # the pre-digest upgrade) so later hits feed the vectorized
+            # engine directly.
+            self.legacy_upgrades += 1
+            _metric_event("legacy_upgrade")
+            try:
+                self._write_atomic(key, path, trace)
+            except OSError:
+                pass
+        return trace
 
     def _load_legacy(self, key: str, path: Path) -> Optional[Trace]:
         """A pre-digest cache entry: accept it after a structural

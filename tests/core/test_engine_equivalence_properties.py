@@ -11,18 +11,29 @@ the refactoring theorems the sweep engine rests on:
 * the fused engine is bit-identical to the reference engine: for every
   paper protocol, :func:`replay` and :func:`replay_fused` produce equal
   :meth:`counter_signature` dicts -- including in the counters-only
-  mode the sweep runner actually uses.
+  mode the sweep runner actually uses;
+* the vectorized engine closes the triangle: for every registered
+  protocol that ships batch kernels, reference, fused and vectorized
+  replay agree bit for bit on counters, checkpoint trails and recovery
+  lines.
 """
 
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.compiled import RECEIVE, SEND
-from repro.core.replay import replay, replay_fused
+from repro.core.replay import replay, replay_fused, replay_vectorized
 from repro.protocols.base import registry
 from repro.workload import WorkloadConfig, generate_trace
 
 PAPER_PROTOCOLS = ("TP", "BCS", "QBC")
+
+#: Every registered protocol the vectorized engine may drive.
+VECTORIZABLE = sorted(
+    name
+    for name, cls in registry.items()
+    if getattr(cls, "vectorizable", False) and cls.fusable
+)
 
 
 @st.composite
@@ -94,3 +105,79 @@ def test_fused_replay_counters_match_reference_bitwise(cfg):
     replay_fused(trace, instances)
     for name, protocol in zip(PAPER_PROTOCOLS, instances):
         assert protocol.counter_signature() == reference[name], name
+
+
+def _trail(protocol):
+    return [
+        (ck.host, ck.index, ck.reason, ck.time, ck.replaced, ck.metadata)
+        for ck in protocol.checkpoints
+    ]
+
+
+def _recovery_line(protocol):
+    try:
+        return protocol.recovery_line_indices()
+    except NotImplementedError:
+        return None
+
+
+@settings(max_examples=25, deadline=None)
+@given(cfg=workload_configs())
+def test_vectorized_replay_three_way_bit_identity(cfg):
+    """reference ≡ fused ≡ vectorized, for every protocol with kernels:
+    counters, full checkpoint trails (metadata included) and recovery
+    lines all match bit for bit."""
+    trace = generate_trace(cfg)
+    for name in VECTORIZABLE:
+        ref = replay(trace, registry[name](cfg.n_hosts, cfg.n_mss)).protocol
+
+        fused = registry[name](cfg.n_hosts, cfg.n_mss)
+        replay_fused(trace, [fused])
+
+        vec = registry[name](cfg.n_hosts, cfg.n_mss)
+        replay_vectorized(trace, [vec])
+
+        for other in (fused, vec):
+            assert other.counter_signature() == ref.counter_signature(), name
+            assert _trail(other) == _trail(ref), name
+            assert _recovery_line(other) == _recovery_line(ref), name
+
+
+#: The paper's figure corners: extreme cell-residence times crossed
+#: with both switch regimes and the heterogeneity extremes, at the
+#: figures' fixed P_s = 0.4.
+FIGURE_CORNERS = [
+    WorkloadConfig(
+        p_send=0.4,
+        t_switch=t_switch,
+        p_switch=p_switch,
+        heterogeneity=heterogeneity,
+        sim_time=400.0,
+        seed=7,
+    ).validate()
+    for t_switch in (100.0, 10_000.0)
+    for p_switch in (1.0, 0.8)
+    for heterogeneity in (0.0, 0.5)
+]
+
+
+def test_vectorized_counters_only_at_figure_corners():
+    """Counters-only mode -- the configuration the sweep runner uses --
+    agrees three ways at the parameter corners of the paper figures."""
+    for cfg in FIGURE_CORNERS:
+        trace = generate_trace(cfg)
+        for name in VECTORIZABLE:
+            ref = replay(
+                trace, registry[name](cfg.n_hosts, cfg.n_mss)
+            ).protocol.counter_signature()
+
+            fused = registry[name](cfg.n_hosts, cfg.n_mss)
+            fused.log_checkpoints = False
+            replay_fused(trace, [fused])
+
+            vec = registry[name](cfg.n_hosts, cfg.n_mss)
+            vec.log_checkpoints = False
+            replay_vectorized(trace, [vec])
+
+            assert fused.counter_signature() == ref, (name, cfg.t_switch)
+            assert vec.counter_signature() == ref, (name, cfg.t_switch)

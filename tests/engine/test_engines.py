@@ -22,7 +22,7 @@ def cfg(**kw):
 
 def test_execute_returns_uniform_result_shape():
     result = execute(RunSpec(protocols=("TP", "BCS"), workload=cfg()))
-    assert result.engine_kind == "fused"
+    assert result.engine_kind == "vectorized"
     assert [o.name for o in result.outcomes] == ["TP", "BCS"]
     assert result.trace is not None
     assert result.trace_source == "uncached"
@@ -154,7 +154,7 @@ def test_auto_execution_matches_pinned_engines():
     ref = execute(
         RunSpec(protocols=("TP", "QBC"), trace=trace, engine="reference")
     )
-    assert auto.engine_kind == "fused"
+    assert auto.engine_kind == "vectorized"
     assert ref.engine_kind == "reference"
     for name in ("TP", "QBC"):
         assert auto.outcome(name).n_total == ref.outcome(name).n_total

@@ -47,11 +47,11 @@ def test_lifecycle_order_replay_engines():
         RunSpec(protocols=("TP", "BCS"), workload=cfg(), observers=(rec,))
     )
     assert rec.calls == [
-        ("start", "fused"),
+        ("start", "vectorized"),
         ("trace", "uncached"),
         ("outcome", "TP"),
         ("outcome", "BCS"),
-        ("end", "fused"),
+        ("end", "vectorized"),
     ]
 
 
@@ -257,7 +257,12 @@ def test_metrics_observer_resets_per_run():
 def test_timing_observer_records_fused_phases():
     timing = TimingObserver()
     execute(
-        RunSpec(protocols=("TP", "BCS"), workload=cfg(), observers=(timing,))
+        RunSpec(
+            protocols=("TP", "BCS"),
+            workload=cfg(),
+            engine="fused",
+            observers=(timing,),
+        )
     )
     by_name = {}
     for sp in timing.spans:
@@ -331,7 +336,7 @@ def test_stream_observer_writes_outcome_and_run_lines(tmp_path):
     assert [l.get("protocol") for l in lines[:2]] == ["TP", "BCS"]
     assert all(l["t_switch"] == 500.0 for l in lines)  # labels merged
     assert all("ts" in l for l in lines)
-    assert lines[0]["n_total"] >= 0 and lines[0]["engine"] == "fused"
+    assert lines[0]["n_total"] >= 0 and lines[0]["engine"] == "vectorized"
     assert lines[-1]["n_outcomes"] == 2
     assert stream.lines_written == 3
 

@@ -18,10 +18,17 @@ def cfg(**kw):
 # -- engine selection ------------------------------------------------------
 
 
-def test_auto_prefers_fused_for_replayable_sets():
+def test_auto_prefers_vectorized_when_all_have_kernels():
     p = plan(RunSpec(protocols=("TP", "BCS", "QBC"), workload=cfg()))
-    assert p.engine_kind == "fused"
+    assert p.engine_kind == "vectorized"
     assert p.protocol_names == ("TP", "BCS", "QBC")
+
+
+def test_auto_falls_back_to_fused_without_kernels():
+    # BQF is fusable but ships no vectorized kernels, so its presence
+    # drops the whole set to the fused engine.
+    p = plan(RunSpec(protocols=("TP", "BCS", "BQF"), workload=cfg()))
+    assert p.engine_kind == "fused"
 
 
 def test_auto_routes_coordinated_to_online():

@@ -127,6 +127,7 @@ def test_engine_runs_populate_the_default_registry():
         RunSpec(
             protocols=("TP",),
             workload=WorkloadConfig(sim_time=200.0),
+            engine="fused",
             use_cache=False,
         )
     )

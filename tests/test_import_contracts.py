@@ -26,7 +26,15 @@ SRC = REPO / "src" / "repro"
 
 #: The raw driver entry points consumers must not call directly.
 RAW_DRIVERS = frozenset(
-    {"replay", "replay_fused", "replay_many", "run_online", "run_coordinated"}
+    {
+        "replay",
+        "replay_fused",
+        "replay_vectorized",
+        "replay_vectorized_batch",
+        "replay_many",
+        "run_online",
+        "run_coordinated",
+    }
 )
 
 #: Consumer surfaces bound by contract 2 (directories scanned
