@@ -1,0 +1,5 @@
+"""Example protocol plugin distribution (see README.md)."""
+
+from repro_plugin_example.protocol import StrideBCSProtocol
+
+__all__ = ["StrideBCSProtocol"]

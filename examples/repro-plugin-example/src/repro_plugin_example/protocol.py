@@ -1,0 +1,40 @@
+"""StrideBCS: a BCS variant distributed as a third-party plugin.
+
+Basic (mobility-mandated) checkpoints advance the sequence number by a
+stride of 2 instead of 1, spreading hosts' indices further apart so
+forced checkpoints land less often on hosts that just handed off.
+Forced checkpoints still jump exactly to the piggybacked index, so the
+BCS same-index theorem is untouched: ``sn_i`` always equals the index
+of host *i*'s latest checkpoint, and a message is always consumed at an
+index >= the sender's, which is what the equal-index recovery line
+rests on.  The inherited ``recovery_line_indices`` (min-``sn`` plus the
+first-checkpoint-after-a-jump rule) therefore stays sound, and the
+conformance kit's consistency-oracle battery proves it on every run.
+
+The point of this module is not the protocol -- it is the packaging:
+the single ``[project.entry-points."repro.protocols"]`` line in
+``pyproject.toml`` is all it takes for ``pip install`` of this
+distribution to make ``XBCS`` resolvable everywhere (CLI, sweeps,
+audit, conformance kit).
+"""
+
+from __future__ import annotations
+
+from repro.protocols.bcs import BCSProtocol
+
+
+class StrideBCSProtocol(BCSProtocol):
+    """BCS with stride-2 basic index advance."""
+
+    #: How far a basic checkpoint advances the sequence number.
+    stride = 2
+
+    # BCS ships batch kernels for its own basic rule; this subclass
+    # changes that rule, so it must opt out of the vectorized engine
+    # (the conformance kit's engine-equivalence battery would catch a
+    # plugin that forgets this).
+    vectorizable = False
+
+    def _basic(self, host: int, now: float) -> None:
+        self.sn[host] += self.stride
+        self.take(host, self.sn[host], "basic", now)

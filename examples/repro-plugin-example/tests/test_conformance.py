@@ -1,0 +1,10 @@
+"""The plugin's whole test suite: the conformance kit, one line.
+
+Requires the plugin to be installed (``pip install -e .``) so entry-
+point discovery finds it; the suite fails collection with an unknown-
+protocol error (and did-you-mean suggestions) otherwise.
+"""
+
+from repro.testing import conformance_suite
+
+TestXBCS = conformance_suite("XBCS")

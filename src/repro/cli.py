@@ -21,6 +21,9 @@ Subcommands
     Follow a telemetry / outcome / heartbeat JSONL stream (written by
     ``figure --telemetry/--stream/--heartbeat``) and print a live
     summary.
+``protocols``
+    List every registered protocol -- builtin and plugin-contributed --
+    with capabilities and origin, plus any plugin load errors.
 
 Exit codes are standardized across subcommands: 0 = success, 1 =
 violations / failed validation / grid holes, 2 = usage error, 130 =
@@ -327,6 +330,61 @@ def _cmd_failures(args) -> int:
     return EXIT_OK
 
 
+def _cmd_protocols(args) -> int:
+    from repro.engine import known_protocols, plugin_errors, protocol_origin
+
+    entries = known_protocols()
+    errors = plugin_errors()
+    rows = []
+    for name in sorted(entries):
+        caps = entries[name].capabilities
+        flags = [
+            label
+            for label, on in (
+                ("replayable", caps.replayable),
+                ("fusable", caps.fusable),
+                ("vectorizable", caps.vectorizable),
+                ("coordinated", caps.coordinated),
+                ("counters-only", caps.counters_only),
+            )
+            if on
+        ]
+        rows.append((name, str(protocol_origin(name)), flags))
+
+    if args.json:
+        import json
+
+        print(
+            json.dumps(
+                {
+                    "protocols": [
+                        {"name": name, "origin": origin, "capabilities": flags}
+                        for name, origin, flags in rows
+                    ],
+                    "plugin_errors": [str(e) for e in errors],
+                },
+                indent=2,
+            )
+        )
+    else:
+        name_w = max(len("protocol"), max(len(r[0]) for r in rows))
+        origin_w = max(len("origin"), max(len(r[1]) for r in rows))
+        print(
+            f"{'protocol':<{name_w}}  {'origin':<{origin_w}}  capabilities"
+        )
+        for name, origin, flags in rows:
+            print(
+                f"{name:<{name_w}}  {origin:<{origin_w}}  "
+                + (", ".join(flags) or "-")
+            )
+        print(f"\n{len(rows)} protocol(s) registered")
+        if errors:
+            print(f"{len(errors)} plugin(s) failed to load:", file=sys.stderr)
+            for error in errors:
+                print(f"  {error}", file=sys.stderr)
+    return EXIT_FAILURE if errors else EXIT_OK
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the argparse tree for ``python -m repro``."""
     parser = argparse.ArgumentParser(
@@ -491,6 +549,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--protocol", default="QBC")
     p.add_argument("--mean-interval", type=float, default=1500.0)
     p.set_defaults(fn=_cmd_failures)
+
+    p = sub.add_parser(
+        "protocols",
+        help="list registered protocols with capabilities and origin",
+    )
+    p.add_argument(
+        "--json", action="store_true",
+        help="machine-readable output (protocols + plugin errors)",
+    )
+    p.set_defaults(fn=_cmd_protocols)
 
     p = sub.add_parser(
         "tail",

@@ -16,6 +16,12 @@ Section 2 discusses and dismisses for mobile settings:
   sends until commit (reported as blocked time).
 * **Prakash-Singhal** [13]: non-blocking coordination over the
   *transitive* dependency set, 2 control messages per participant.
+* **Tuli-Kumar**: a min-process scheme for mobile environments from the
+  follow-up literature (PAPERS.md): like Koo-Toueg it coordinates only
+  the initiator's *direct* dependents, but non-blocking -- tentative
+  checkpoints are made permanent lazily, so participants keep sending.
+  Cost: request / reply, 2 control messages per participant, no
+  blocked time.
 
 These cannot be trace-replayed -- their control messages perturb the
 schedule -- so they run embedded in the simulation.  The implementations
@@ -44,10 +50,12 @@ __all__ = [
 
 
 class CoordinatedScheme(enum.Enum):
-    """The three coordinated baselines of the paper's Section 2."""
+    """The coordinated baselines: the paper's Section 2 trio plus the
+    Tuli-Kumar min-process scheme from the mobile follow-up work."""
     CHANDY_LAMPORT = "chandy-lamport"
     KOO_TOUEG = "koo-toueg"
     PRAKASH_SINGHAL = "prakash-singhal"
+    TULI_KUMAR = "tuli-kumar"
 
 
 class _CoordinatedBookkeeper(CheckpointingProtocol):
@@ -155,7 +163,10 @@ class _CoordinatedDriver(_Driver):
             for j, flag in enumerate(self._received_from[self.initiator])
             if flag
         }
-        if self.scheme is CoordinatedScheme.KOO_TOUEG:
+        if self.scheme in (
+            CoordinatedScheme.KOO_TOUEG,
+            CoordinatedScheme.TULI_KUMAR,
+        ):
             return sorted(direct & connected)
         # Prakash-Singhal: transitive closure of the dependency relation.
         closure = set(direct)
@@ -189,6 +200,7 @@ class _CoordinatedDriver(_Driver):
                 CoordinatedScheme.CHANDY_LAMPORT: 1,  # marker
                 CoordinatedScheme.KOO_TOUEG: 3,  # request, ack, commit
                 CoordinatedScheme.PRAKASH_SINGHAL: 2,  # request, reply
+                CoordinatedScheme.TULI_KUMAR: 2,  # request, reply
             }[self.scheme]
             for host in participants:
                 delay = self._delivery_delay(host)

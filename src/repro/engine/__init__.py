@@ -38,7 +38,17 @@ from repro.engine.errors import (
     CapabilityError,
     EngineError,
     PlanError,
+    PluginCollisionError,
+    PluginError,
+    PluginLoadError,
+    PluginProtocolError,
     UnknownProtocolError,
+)
+from repro.engine.plugins import (
+    ProtocolOrigin,
+    discover_plugins,
+    plugin_errors,
+    protocol_origin,
 )
 from repro.engine.observers import (
     AuditObserver,
@@ -75,6 +85,11 @@ __all__ = [
     "ObserverReuseError",
     "OnlineEngine",
     "PlanError",
+    "PluginCollisionError",
+    "PluginError",
+    "PluginLoadError",
+    "PluginProtocolError",
+    "ProtocolOrigin",
     "ProtocolOutcome",
     "ReferenceReplayEngine",
     "ResolvedProtocol",
@@ -86,12 +101,26 @@ __all__ = [
     "TimingObserver",
     "UnknownProtocolError",
     "VectorizedFusedEngine",
+    "discover_plugins",
     "engine_for",
     "execute",
     "execute_batch",
     "known_names",
     "known_protocols",
     "plan",
+    "plugin_errors",
+    "protocol_origin",
     "register_coordinated",
     "resolve_protocols",
 ]
+
+# Discover third-party protocol plugins as soon as the engine exists:
+# entry points of the "repro.protocols" group and drop-in modules in
+# the repro_protocols namespace package register themselves here, so
+# `import repro` already sees the full protocol universe.  A broken
+# plugin warns (and shows in `repro protocols`); it never breaks the
+# import.  Runs after every public name above is bound, so plugins may
+# import repro.engine freely.
+from repro.engine.plugins import ensure_discovered as _ensure_discovered
+
+_ensure_discovered()

@@ -1,0 +1,386 @@
+"""Protocol plugin discovery: third-party protocols join the registry.
+
+Two public growth mechanisms feed the capability-aware registry of
+:mod:`repro.engine.registry`, both discovered automatically when the
+engine is imported (and lazily on first name resolution):
+
+* **Entry points** -- a distribution declares protocols in the
+  ``repro.protocols`` entry-point group::
+
+      [project.entry-points."repro.protocols"]
+      XBCS = "my_pkg.protocols:StrideBCSProtocol"
+
+  An entry point may resolve to a
+  :class:`~repro.protocols.base.CheckpointingProtocol` subclass (it is
+  registered under the entry-point name), or to a module / zero-arg
+  callable whose import / call performs its own registrations through
+  the public :func:`repro.protocols.base.register` /
+  :func:`repro.engine.registry.register_coordinated` API (any number of
+  names).
+
+* **Namespace packages** -- any importable module inside the
+  ``repro_protocols`` namespace package is imported; its module body
+  registers protocols with the same decorators the in-tree protocols
+  use.  Dropping a single ``repro_protocols/mine.py`` on ``sys.path``
+  is enough -- no packaging required.
+
+Rules enforced here (all failures are typed
+:class:`~repro.engine.errors.PluginError` subclasses):
+
+* **coherence** -- whatever a plugin registers must be a protocol class
+  with a coherent capability declaration
+  (:func:`repro.protocols.base.validate_capabilities` runs on every
+  new name);
+* **no shadowing** -- a plugin may not re-bind an existing name, be it
+  builtin or from an earlier plugin
+  (:class:`~repro.engine.errors.PluginCollisionError`); first load
+  wins;
+* **atomicity** -- a plugin that fails mid-load leaves no partial
+  registrations behind (the registries are rolled back to their
+  pre-load snapshot).
+
+Discovery is *fault-isolated* by default: one broken plugin is
+recorded in :func:`plugin_errors` (and warned about) without taking
+down the interpreter or the other plugins.  ``repro protocols`` (the
+CLI) lists every registered protocol with its origin and any load
+errors; :func:`discover_plugins` with ``strict=True`` re-raises
+instead, which is what the plugin's own test suite should call.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.engine.errors import (
+    PluginCollisionError,
+    PluginError,
+    PluginLoadError,
+    PluginProtocolError,
+)
+from repro.protocols.base import (
+    CheckpointingProtocol,
+    register,
+    registry as _class_registry,
+    validate_capabilities,
+)
+
+#: The entry-point group plugins publish protocols under.
+ENTRY_POINT_GROUP = "repro.protocols"
+
+#: The namespace package scanned for drop-in protocol modules.
+NAMESPACE_PACKAGE = "repro_protocols"
+
+
+@dataclass(frozen=True)
+class ProtocolOrigin:
+    """Where a registered protocol name came from.
+
+    ``kind`` is ``"builtin"`` (registered by importing
+    :mod:`repro.protocols`), ``"plugin"`` (an entry-point
+    distribution), ``"namespace"`` (a ``repro_protocols`` module) or
+    ``"runtime"`` (registered programmatically after import -- test
+    stubs, notebooks).  ``source`` names the distribution or module for
+    the plugin kinds.
+    """
+
+    kind: str
+    source: Optional[str] = None
+
+    def __str__(self) -> str:
+        return self.kind if self.source is None else f"{self.kind}:{self.source}"
+
+
+_BUILTIN = ProtocolOrigin("builtin")
+_RUNTIME = ProtocolOrigin("runtime")
+
+#: Plugin-registered name -> origin (builtins are derived, not stored).
+_origins: dict[str, ProtocolOrigin] = {}
+#: Names present before any plugin loaded (the builtin snapshot).
+_builtin_names: frozenset[str] = frozenset()
+#: Errors collected by the last non-strict discovery pass.
+_errors: list[PluginError] = []
+_discovered = False
+_in_progress = False
+
+
+def _coordinated_registry() -> dict:
+    # Deferred: repro.engine.registry imports this module's consumers'
+    # world; binding it lazily keeps the import graph acyclic.
+    from repro.engine.registry import _coordinated
+
+    return _coordinated
+
+
+def _all_registered_names() -> set[str]:
+    return set(_class_registry) | set(_coordinated_registry())
+
+
+def protocol_origin(name: str) -> ProtocolOrigin:
+    """The origin of registered protocol *name* (see
+    :class:`ProtocolOrigin`).  Unregistered names raise ``KeyError``."""
+    if name in _origins:
+        return _origins[name]
+    if name not in _all_registered_names():
+        raise KeyError(name)
+    if _discovered and name not in _builtin_names:
+        return _RUNTIME
+    return _BUILTIN
+
+
+def plugin_errors() -> tuple[PluginError, ...]:
+    """Typed errors of the last discovery pass (empty = all clean)."""
+    return tuple(_errors)
+
+
+# ---------------------------------------------------------------------------
+# loading one plugin
+# ---------------------------------------------------------------------------
+
+
+def _snapshot():
+    return dict(_class_registry), dict(_coordinated_registry())
+
+def _restore(snapshot) -> None:
+    classes, coordinated = snapshot
+    _class_registry.clear()
+    _class_registry.update(classes)
+    reg = _coordinated_registry()
+    reg.clear()
+    reg.update(coordinated)
+
+
+def _adopt_new_names(
+    before: set[str], plugin: str, source: str, origin: ProtocolOrigin
+) -> list[str]:
+    """Validate and claim every name the plugin just registered.
+
+    Raises :class:`PluginProtocolError` when a new class registration is
+    incoherent; collision against *pre-existing* names is checked by the
+    caller before anything loads (the registries reject some collisions
+    themselves, but a plugin overwriting a dict entry would otherwise
+    be silent shadowing).
+    """
+    added = sorted(_all_registered_names() - before)
+    for name in added:
+        cls = _class_registry.get(name)
+        if cls is not None:
+            if not (
+                isinstance(cls, type) and issubclass(cls, CheckpointingProtocol)
+            ):
+                raise PluginProtocolError(
+                    plugin,
+                    source,
+                    f"registered {name!r} -> {cls!r}, which is not a "
+                    "CheckpointingProtocol subclass",
+                )
+            try:
+                validate_capabilities(cls)
+            except ValueError as exc:
+                raise PluginProtocolError(plugin, source, str(exc)) from exc
+        _origins[name] = origin
+    return added
+
+
+def _load_plugin(
+    plugin: str,
+    source: str,
+    origin: ProtocolOrigin,
+    loader: Callable[[], object],
+    register_class_as: Optional[str] = None,
+) -> list[str]:
+    """Run one plugin's *loader* under the atomicity contract.
+
+    Returns the names it registered.  ``register_class_as`` is the
+    entry-point name a resolved protocol *class* is registered under
+    (module / callable entry points register themselves).
+    """
+    before_names = _all_registered_names()
+    snapshot = _snapshot()
+    try:
+        try:
+            obj = loader()
+        except PluginError:
+            raise
+        except Exception as exc:
+            raise PluginLoadError(plugin, source, repr(exc)) from exc
+
+        if isinstance(obj, type):
+            if not issubclass(obj, CheckpointingProtocol):
+                raise PluginProtocolError(
+                    plugin,
+                    source,
+                    f"resolved to class {obj.__name__!r}, which is not a "
+                    "CheckpointingProtocol subclass",
+                )
+            name = register_class_as or plugin
+            existing = _class_registry.get(name)
+            if name in before_names and existing is not obj:
+                raise PluginCollisionError(
+                    plugin, source, name, str(protocol_origin(name))
+                )
+            if existing is not obj:
+                try:
+                    register(name)(obj)
+                except ValueError as exc:
+                    raise PluginProtocolError(plugin, source, str(exc)) from exc
+        elif callable(obj):
+            try:
+                obj()
+            except PluginError:
+                raise
+            except Exception as exc:
+                raise PluginLoadError(
+                    plugin, source, f"registration hook raised {exc!r}"
+                ) from exc
+        # else: a module (or anything with import-time side effects) --
+        # its registrations already happened during loader().
+
+        shadowed = [
+            name
+            for name in before_names
+            if _class_registry.get(name) is not snapshot[0].get(name)
+            or _coordinated_registry().get(name) is not snapshot[1].get(name)
+        ]
+        if shadowed:
+            raise PluginCollisionError(
+                plugin, source, shadowed[0], str(protocol_origin(shadowed[0]))
+            )
+        added = _adopt_new_names(before_names, plugin, source, origin)
+        if not added and not isinstance(obj, type) and not callable(obj):
+            # A module that registered nothing is a packaging bug
+            # (forgotten @register line) worth surfacing early.
+            raise PluginProtocolError(
+                plugin, source, "loaded but registered no protocols"
+            )
+        return added
+    except PluginError:
+        _restore(snapshot)
+        for name in list(_origins):
+            if name not in _all_registered_names():
+                del _origins[name]
+        raise
+
+
+# ---------------------------------------------------------------------------
+# discovery passes
+# ---------------------------------------------------------------------------
+
+
+def _iter_entry_points():
+    from importlib import metadata
+
+    try:
+        return list(metadata.entry_points(group=ENTRY_POINT_GROUP))
+    except Exception:  # pragma: no cover - defensive: broken metadata
+        return []
+
+
+def _discover_entry_points(collect: list[PluginError]) -> None:
+    for ep in _iter_entry_points():
+        dist = getattr(getattr(ep, "dist", None), "name", None)
+        source = f"entry point {ep.value!r}" + (
+            f" of distribution {dist!r}" if dist else ""
+        )
+        origin = ProtocolOrigin("plugin", dist or ep.value)
+        try:
+            _load_plugin(
+                ep.name, source, origin, ep.load, register_class_as=ep.name
+            )
+        except PluginError as exc:
+            collect.append(exc)
+
+
+def _discover_namespace(collect: list[PluginError]) -> None:
+    import importlib
+    import pkgutil
+
+    try:
+        ns = importlib.import_module(NAMESPACE_PACKAGE)
+    except ModuleNotFoundError:
+        return  # no drop-in modules anywhere on sys.path
+    except Exception as exc:
+        collect.append(
+            PluginLoadError(NAMESPACE_PACKAGE, "namespace package", repr(exc))
+        )
+        return
+    for info in pkgutil.iter_modules(getattr(ns, "__path__", [])):
+        if info.name.startswith("_"):
+            continue  # private helpers are not protocol modules
+        module = f"{NAMESPACE_PACKAGE}.{info.name}"
+        origin = ProtocolOrigin("namespace", module)
+        try:
+            _load_plugin(
+                module,
+                f"namespace module {module!r}",
+                origin,
+                lambda module=module: importlib.import_module(module),
+            )
+        except PluginError as exc:
+            collect.append(exc)
+
+
+def discover_plugins(*, strict: bool = False, force: bool = False) -> int:
+    """Run (or re-run) plugin discovery; returns the number of
+    protocol names plugins contributed overall.
+
+    ``force`` re-scans even if discovery already ran -- tests and
+    long-lived processes use it after mutating ``sys.path``.  Already
+    loaded plugin names stay registered (loads are idempotent: an entry
+    point resolving to the already-registered class is not a
+    collision).  ``strict`` raises the first
+    :class:`~repro.engine.errors.PluginError` instead of collecting;
+    the non-strict default stashes errors in :func:`plugin_errors` and
+    emits one :class:`UserWarning` naming them.
+    """
+    global _discovered, _builtin_names, _in_progress
+    if _in_progress or (_discovered and not force):
+        return len(_origins)
+    # Builtins must be fully registered before the snapshot is taken;
+    # importing the package is idempotent and cheap.
+    import repro.protocols  # noqa: F401
+    from repro.engine import registry as _registry  # noqa: F401  (coordinated)
+
+    if not _discovered:
+        _builtin_names = frozenset(_all_registered_names() - set(_origins))
+    _in_progress = True
+    try:
+        collect: list[PluginError] = []
+        _discover_entry_points(collect)
+        _discover_namespace(collect)
+        _errors[:] = collect
+        _discovered = True
+    finally:
+        _in_progress = False
+    if _errors:
+        if strict:
+            raise _errors[0]
+        warnings.warn(
+            f"{len(_errors)} protocol plugin(s) failed to load: "
+            + "; ".join(str(e) for e in _errors)
+            + " -- run `repro protocols` for details",
+            stacklevel=2,
+        )
+    return len(_origins)
+
+
+def ensure_discovered() -> None:
+    """Idempotent discovery trigger (the lazy path used by the
+    registry); never raises on plugin failures."""
+    if not _discovered and not _in_progress:
+        discover_plugins(strict=False)
+
+
+def reset_plugins() -> None:
+    """Unregister every plugin-contributed protocol and forget the
+    discovery state.  Test isolation only -- production processes have
+    no reason to unload plugins."""
+    global _discovered
+    coordinated = _coordinated_registry()
+    for name in list(_origins):
+        _class_registry.pop(name, None)
+        coordinated.pop(name, None)
+    _origins.clear()
+    _errors.clear()
+    _discovered = False

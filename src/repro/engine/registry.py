@@ -118,6 +118,7 @@ def register_coordinated(name: str, scheme: CoordinatedScheme) -> None:
 register_coordinated("CL", CoordinatedScheme.CHANDY_LAMPORT)
 register_coordinated("KT", CoordinatedScheme.KOO_TOUEG)
 register_coordinated("PS", CoordinatedScheme.PRAKASH_SINGHAL)
+register_coordinated("TK", CoordinatedScheme.TULI_KUMAR)
 
 #: Capabilities every coordinated baseline shares.
 _COORDINATED_CAPS = Capabilities(
@@ -131,8 +132,13 @@ def known_protocols() -> dict[str, ResolvedProtocol]:
     Re-reads :data:`repro.protocols.base.registry` on every call so
     protocols registered after import (custom classes, test stubs) are
     visible without any extra wiring -- adding a protocol stays a
-    single ``@register`` line.
+    single ``@register`` line.  Third-party plugins are discovered on
+    the first call (idempotent; see :mod:`repro.engine.plugins`), so
+    every resolution path sees the same protocol universe.
     """
+    from repro.engine import plugins
+
+    plugins.ensure_discovered()
     out: dict[str, ResolvedProtocol] = {}
     for name, cls in _class_registry.items():
         out[name] = ResolvedProtocol(

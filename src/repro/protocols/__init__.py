@@ -21,7 +21,14 @@ overhead/ablation experiments):
 * :class:`~repro.protocols.prakash_singhal.PrakashSinghalProtocol`
   (dependency-subset coordination, online-mode only),
 * :class:`~repro.protocols.bqf.BQFProtocol` -- Baldoni-Quaglia-Fornara
-  index-based variant with lazy index advance (extension).
+  index-based variant with lazy index advance (extension),
+* :class:`~repro.protocols.fdas.FDASProtocol` -- fixed-dependency-
+  after-send CIC from the Garcia-Vieira-Buzato family (extension).
+
+Third-party protocols join the same registry through the plugin
+mechanisms of :mod:`repro.engine.plugins` (entry points in the
+``repro.protocols`` group, or drop-in ``repro_protocols`` namespace
+modules); see ``docs/plugins.md``.
 """
 
 from repro.protocols.base import (
@@ -32,6 +39,7 @@ from repro.protocols.base import (
 from repro.protocols.bcs import BCSProtocol
 from repro.protocols.bqf import BQFProtocol
 from repro.protocols.chandy_lamport import run_chandy_lamport
+from repro.protocols.fdas import FDASProtocol
 from repro.protocols.koo_toueg import run_koo_toueg
 from repro.protocols.nosend import NoSendBCSProtocol, NoSendQBCProtocol
 from repro.protocols.prakash_singhal import run_prakash_singhal
@@ -43,6 +51,7 @@ __all__ = [
     "BCSProtocol",
     "BQFProtocol",
     "CheckpointingProtocol",
+    "FDASProtocol",
     "NoSendBCSProtocol",
     "NoSendQBCProtocol",
     "QBCProtocol",

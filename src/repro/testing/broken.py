@@ -1,0 +1,107 @@
+"""Deliberately broken protocols: mutation tests for the conformance kit.
+
+A verification kit that never fails is indistinguishable from one that
+never checks.  Each class here seeds exactly one defect class a real
+protocol (or a real refactoring bug) could exhibit, and the kit's own
+test suite proves the matching battery flags it:
+
+===============================  ==================================
+fixture                          battery that must catch it
+===============================  ==================================
+:class:`OrphanLineProtocol`      ``consistency-oracle`` (and the
+                                 orphan check inside
+                                 ``audit-cleanliness``)
+:class:`NonMonotoneIndexProtocol``audit-cleanliness``
+                                 (index-monotonicity)
+:class:`BogusRecoveryLineProtocol````recovery-line`` (the line cannot
+                                 be materialised)
+:class:`LyingCounterProtocol`    ``signature-stability``
+===============================  ==================================
+
+None of these is registered in the protocol registry -- they are
+injected through the ``factories`` override of
+:func:`repro.testing.conformance.run_battery` (the same hook the audit
+exposes), so the registry's protocol universe stays clean.
+:data:`BROKEN_FACTORIES` maps a stable name to each fixture.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.protocols.bcs import BCSProtocol
+
+__all__ = [
+    "BROKEN_FACTORIES",
+    "BogusRecoveryLineProtocol",
+    "LyingCounterProtocol",
+    "NonMonotoneIndexProtocol",
+    "OrphanLineProtocol",
+]
+
+
+class OrphanLineProtocol(BCSProtocol):
+    """A correct BCS run whose *claimed* recovery line is everyone's
+    latest checkpoint -- the naive cut the paper warns against: a
+    message sent after the sender's last checkpoint but consumed before
+    the receiver's is orphaned by it."""
+
+    name = "BROKEN-ORPHAN"
+
+    def recovery_line_indices(self) -> dict[int, int]:
+        return {host: self.last_index[host] for host in range(self.n_hosts)}
+
+
+class NonMonotoneIndexProtocol(BCSProtocol):
+    """Logs a second mobility checkpoint with index 0 once the run is
+    under way, violating per-host index monotonicity (the bug a broken
+    index-advance refactor would introduce)."""
+
+    name = "BROKEN-MONOTONE"
+
+    def on_cell_switch(self, host: int, now: float, new_cell: int) -> None:
+        if self.sn[host] > 0:
+            # Keep sn in sync with the bogus checkpoint so the *only*
+            # defect is the decreasing index -- the mutation stays
+            # minimal and must be caught by the monotonicity rule, not
+            # a collateral counter mismatch.
+            self.sn[host] = 0
+            self.take(host, 0, "basic", now)
+        else:
+            super().on_cell_switch(host, now, new_cell)
+
+
+class BogusRecoveryLineProtocol(BCSProtocol):
+    """Claims a recovery line at indices no host ever checkpointed, so
+    the line cannot be materialised at all."""
+
+    name = "BROKEN-LINE"
+
+    def recovery_line_indices(self) -> dict[int, int]:
+        return {
+            host: self.last_index[host] + 7 for host in range(self.n_hosts)
+        }
+
+
+class LyingCounterProtocol(BCSProtocol):
+    """Reports a different counter signature every time it is asked --
+    the determinism breach that would silently poison the sweep cache
+    and every cross-engine comparison."""
+
+    name = "BROKEN-COUNTERS"
+
+    _calls = itertools.count(1)
+
+    def counter_signature(self) -> dict:
+        signature = super().counter_signature()
+        signature["n_total"] += next(self._calls)
+        return signature
+
+
+#: Stable injection names -> broken fixture, for ``factories=`` overrides.
+BROKEN_FACTORIES = {
+    "BROKEN-ORPHAN": OrphanLineProtocol,
+    "BROKEN-MONOTONE": NonMonotoneIndexProtocol,
+    "BROKEN-LINE": BogusRecoveryLineProtocol,
+    "BROKEN-COUNTERS": LyingCounterProtocol,
+}

@@ -1,0 +1,138 @@
+"""Shared hypothesis strategies for protocol and engine testing.
+
+These used to live copy-pasted inside ``tests/core``; they are public
+now so protocol plugins can drive the same property-based machinery the
+in-tree suites use (see :mod:`repro.testing.conformance`):
+
+* :func:`workload_configs` -- small but varied valid
+  :class:`~repro.workload.config.WorkloadConfig` instances, the input
+  of every engine-differential property test;
+* :func:`traces` -- random *valid* mobile-computation traces built
+  event by event (message causality, cell occupancy and connectivity
+  all kept coherent), the input of the consistency-oracle properties;
+* :data:`FIGURE_CORNERS` -- the deterministic parameter corners of the
+  paper's figures (extreme cell-residence times crossed with the switch
+  and heterogeneity regimes), for exhaustive non-random spot checks.
+
+Both strategies are parametrizable so a suite can shrink or grow the
+search space (`traces(max_ops=80)`, `workload_configs(max_hosts=6)`)
+without re-deriving the validity bookkeeping.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import defaultdict
+from typing import Sequence
+
+from hypothesis import strategies as st
+
+from repro.core.trace import EventType, build_trace
+from repro.workload.config import WorkloadConfig
+
+__all__ = ["FIGURE_CORNERS", "traces", "workload_configs"]
+
+
+@st.composite
+def workload_configs(
+    draw,
+    *,
+    min_hosts: int = 2,
+    max_hosts: int = 4,
+    sim_times: Sequence[float] = (30.0, 80.0, 150.0),
+):
+    """Small but varied valid workload configurations.
+
+    The defaults keep single-run replay under a few milliseconds, so a
+    differential property (reference vs fused vs vectorized) stays
+    cheap at ``max_examples=30``.
+    """
+    return WorkloadConfig(
+        n_hosts=draw(st.integers(min_hosts, max_hosts)),
+        n_mss=draw(st.integers(2, 3)),
+        p_send=draw(st.sampled_from([0.1, 0.4, 0.9])),
+        t_switch=draw(st.sampled_from([20.0, 60.0, 200.0])),
+        p_switch=draw(st.sampled_from([0.8, 1.0])),
+        heterogeneity=draw(st.sampled_from([0.0, 0.3, 0.5])),
+        sim_time=draw(st.sampled_from(list(sim_times))),
+        seed=draw(st.integers(0, 2**16)),
+    ).validate()
+
+
+@st.composite
+def traces(
+    draw,
+    max_ops: int = 40,
+    *,
+    min_hosts: int = 2,
+    max_hosts: int = 4,
+):
+    """Random *valid* mobile-computation traces.
+
+    Validity means: a message is received only after it was sent and
+    only once, by its addressee; a disconnected host does nothing until
+    it reconnects; cell switches go to a *different* cell.  These are
+    the preconditions :func:`repro.core.trace.build_trace` checks, so
+    every draw replays cleanly on every protocol.
+    """
+    n_hosts = draw(st.integers(min_hosts, max_hosts))
+    n_mss = draw(st.integers(2, 3))
+    n_ops = draw(st.integers(1, max_ops))
+    connected = [True] * n_hosts
+    cells = [h % n_mss for h in range(n_hosts)]
+    pending: dict[int, list[tuple[int, int]]] = defaultdict(list)  # dst -> [(msg, src)]
+    msg_ctr = itertools.count(1)
+    events = []
+    t = 0.0
+    for _ in range(n_ops):
+        actions = []
+        for h in range(n_hosts):
+            if connected[h]:
+                actions.append(("send", h))
+                actions.append(("switch", h))
+                actions.append(("disconnect", h))
+                if pending[h]:
+                    actions.append(("receive", h))
+            else:
+                actions.append(("reconnect", h))
+        kind, h = draw(st.sampled_from(actions))
+        t += 1.0
+        if kind == "send":
+            dst = draw(st.sampled_from([x for x in range(n_hosts) if x != h]))
+            mid = next(msg_ctr)
+            pending[dst].append((mid, h))
+            events.append((t, EventType.SEND, h, mid, dst))
+        elif kind == "receive":
+            mid, src = pending[h].pop(0)
+            events.append((t, EventType.RECEIVE, h, mid, src))
+        elif kind == "switch":
+            new_cell = draw(
+                st.sampled_from([c for c in range(n_mss) if c != cells[h]])
+            )
+            events.append((t, EventType.CELL_SWITCH, h, -1, cells[h], new_cell))
+            cells[h] = new_cell
+        elif kind == "disconnect":
+            connected[h] = False
+            events.append((t, EventType.DISCONNECT, h))
+        else:  # reconnect
+            connected[h] = True
+            events.append((t, EventType.RECONNECT, h, -1, -1, cells[h]))
+    return build_trace(n_hosts, n_mss, events)
+
+
+#: The paper's figure corners: extreme cell-residence times crossed
+#: with both switch regimes and the heterogeneity extremes, at the
+#: figures' fixed P_s = 0.4.
+FIGURE_CORNERS = tuple(
+    WorkloadConfig(
+        p_send=0.4,
+        t_switch=t_switch,
+        p_switch=p_switch,
+        heterogeneity=heterogeneity,
+        sim_time=400.0,
+        seed=7,
+    ).validate()
+    for t_switch in (100.0, 10_000.0)
+    for p_switch in (1.0, 0.8)
+    for heterogeneity in (0.0, 0.5)
+)

@@ -19,12 +19,15 @@ the refactoring theorems the sweep engine rests on:
 """
 
 from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from repro.core.compiled import RECEIVE, SEND
 from repro.core.replay import replay, replay_fused, replay_vectorized
 from repro.protocols.base import registry
-from repro.workload import WorkloadConfig, generate_trace
+from repro.workload import generate_trace
+
+# The workload strategy and figure corners are shared with the
+# conformance kit -- see repro.testing.strategies.
+from repro.testing.strategies import FIGURE_CORNERS, workload_configs
 
 PAPER_PROTOCOLS = ("TP", "BCS", "QBC")
 
@@ -34,21 +37,6 @@ VECTORIZABLE = sorted(
     for name, cls in registry.items()
     if getattr(cls, "vectorizable", False) and cls.fusable
 )
-
-
-@st.composite
-def workload_configs(draw):
-    """Small but varied valid workload configurations."""
-    return WorkloadConfig(
-        n_hosts=draw(st.integers(2, 4)),
-        n_mss=draw(st.integers(2, 3)),
-        p_send=draw(st.sampled_from([0.1, 0.4, 0.9])),
-        t_switch=draw(st.sampled_from([20.0, 60.0, 200.0])),
-        p_switch=draw(st.sampled_from([0.8, 1.0])),
-        heterogeneity=draw(st.sampled_from([0.0, 0.3, 0.5])),
-        sim_time=draw(st.sampled_from([30.0, 80.0, 150.0])),
-        seed=draw(st.integers(0, 2**16)),
-    ).validate()
 
 
 @settings(max_examples=30, deadline=None)
@@ -141,24 +129,6 @@ def test_vectorized_replay_three_way_bit_identity(cfg):
             assert other.counter_signature() == ref.counter_signature(), name
             assert _trail(other) == _trail(ref), name
             assert _recovery_line(other) == _recovery_line(ref), name
-
-
-#: The paper's figure corners: extreme cell-residence times crossed
-#: with both switch regimes and the heterogeneity extremes, at the
-#: figures' fixed P_s = 0.4.
-FIGURE_CORNERS = [
-    WorkloadConfig(
-        p_send=0.4,
-        t_switch=t_switch,
-        p_switch=p_switch,
-        heterogeneity=heterogeneity,
-        sim_time=400.0,
-        seed=7,
-    ).validate()
-    for t_switch in (100.0, 10_000.0)
-    for p_switch in (1.0, 0.8)
-    for heterogeneity in (0.0, 0.5)
-]
 
 
 def test_vectorized_counters_only_at_figure_corners():

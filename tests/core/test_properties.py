@@ -12,9 +12,6 @@ implemented machinery:
 * the maximal-consistent-line search returns a consistent line.
 """
 
-import itertools
-from collections import defaultdict
-
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -26,65 +23,19 @@ from repro.core.consistency import (
     maximal_consistent_line,
 )
 from repro.core.replay import replay
-from repro.core.trace import EventType, build_trace
 from repro.protocols import (
     BCSProtocol,
     BQFProtocol,
+    NoSendBCSProtocol,
+    NoSendQBCProtocol,
     QBCProtocol,
     TwoPhaseProtocol,
     UncoordinatedProtocol,
 )
 
-
-@st.composite
-def traces(draw, max_ops: int = 40):
-    """Random *valid* mobile-computation traces."""
-    n_hosts = draw(st.integers(2, 4))
-    n_mss = draw(st.integers(2, 3))
-    n_ops = draw(st.integers(1, max_ops))
-    connected = [True] * n_hosts
-    cells = [h % n_mss for h in range(n_hosts)]
-    pending: dict[int, list[tuple[int, int]]] = defaultdict(list)  # dst -> [(msg, src)]
-    msg_ctr = itertools.count(1)
-    events = []
-    t = 0.0
-    for _ in range(n_ops):
-        actions = []
-        for h in range(n_hosts):
-            if connected[h]:
-                actions.append(("send", h))
-                actions.append(("switch", h))
-                actions.append(("disconnect", h))
-                if pending[h]:
-                    actions.append(("receive", h))
-            else:
-                actions.append(("reconnect", h))
-        kind, h = draw(st.sampled_from(actions))
-        t += 1.0
-        if kind == "send":
-            dst = draw(st.sampled_from([x for x in range(n_hosts) if x != h]))
-            mid = next(msg_ctr)
-            pending[dst].append((mid, h))
-            events.append((t, EventType.SEND, h, mid, dst))
-        elif kind == "receive":
-            mid, src = pending[h].pop(0)
-            events.append((t, EventType.RECEIVE, h, mid, src))
-        elif kind == "switch":
-            new_cell = draw(
-                st.sampled_from([c for c in range(n_mss) if c != cells[h]])
-            )
-            events.append((t, EventType.CELL_SWITCH, h, -1, cells[h], new_cell))
-            cells[h] = new_cell
-        elif kind == "disconnect":
-            connected[h] = False
-            events.append((t, EventType.DISCONNECT, h))
-        else:  # reconnect
-            connected[h] = True
-            events.append((t, EventType.RECONNECT, h, -1, -1, cells[h]))
-    return build_trace(n_hosts, n_mss, events)
-
-
-from repro.protocols import NoSendBCSProtocol, NoSendQBCProtocol
+# The trace strategy is shared with the conformance kit (and with
+# third-party plugin suites) -- see repro.testing.strategies.
+from repro.testing.strategies import traces
 
 INDEX_PROTOCOLS = [
     lambda n, m: BCSProtocol(n, m),

@@ -1,0 +1,53 @@
+"""Tests for the Tuli-Kumar min-process coordinated baseline (TK)."""
+
+from repro.core.online import CoordinatedScheme, run_coordinated
+from repro.workload import WorkloadConfig
+
+
+def cfg(**kw):
+    defaults = dict(sim_time=1000.0, seed=5, t_switch=300.0, p_switch=0.9)
+    defaults.update(kw)
+    return WorkloadConfig(**defaults)
+
+
+def _run(scheme, **kw):
+    return run_coordinated(cfg(**kw), scheme, snapshot_interval=100.0)
+
+
+def test_tuli_kumar_is_non_blocking():
+    r = _run(CoordinatedScheme.TULI_KUMAR)
+    assert r.scheme is CoordinatedScheme.TULI_KUMAR
+    assert r.blocked_time == 0.0
+    assert r.rounds == 10
+
+
+def test_min_process_participant_set_matches_koo_toueg():
+    """TK coordinates exactly KT's participant set (direct dependents),
+    so on a shared schedule the snapshot counts are identical -- the
+    difference is blocking and message count, not who checkpoints."""
+    tk = _run(CoordinatedScheme.TULI_KUMAR, seed=2)
+    kt = _run(CoordinatedScheme.KOO_TOUEG, seed=2)
+    assert tk.n_snapshot == kt.n_snapshot
+    assert tk.blocked_time == 0.0 and kt.blocked_time > 0.0
+
+
+def test_two_control_messages_per_participant():
+    """Request/reply: two-thirds of KT's three-message exchange."""
+    tk = _run(CoordinatedScheme.TULI_KUMAR, seed=2)
+    kt = _run(CoordinatedScheme.KOO_TOUEG, seed=2)
+    assert tk.control_messages * 3 == kt.control_messages * 2
+
+
+def test_registered_as_tk_with_coordinated_capabilities():
+    from repro.engine import resolve_protocols
+
+    (entry,) = resolve_protocols(["TK"])
+    assert entry.capabilities.coordinated
+    assert not entry.capabilities.replayable
+    assert entry.scheme is CoordinatedScheme.TULI_KUMAR
+
+
+def test_deterministic_across_runs():
+    a = _run(CoordinatedScheme.TULI_KUMAR, seed=3)
+    b = _run(CoordinatedScheme.TULI_KUMAR, seed=3)
+    assert (a.n_total, a.control_messages) == (b.n_total, b.control_messages)

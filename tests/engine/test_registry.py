@@ -123,3 +123,26 @@ def test_late_registration_is_visible(monkeypatch):
     assert "Late" in known_protocols()
     (entry,) = resolve_protocols(["Late"])
     assert entry.capabilities == Capabilities.of(LateProtocol)
+
+
+def test_unknown_name_carries_did_you_mean_suggestions():
+    """Typos resolve to closest-match hints, in the message and as
+    structured data on the exception."""
+    with pytest.raises(UnknownProtocolError) as exc:
+        resolve_protocols(["BSC"])
+    assert "did you mean" in str(exc.value)
+    assert "'BCS'" in str(exc.value)
+    assert "BCS" in exc.value.suggestions["BSC"]
+
+
+def test_suggestions_are_case_insensitive():
+    with pytest.raises(UnknownProtocolError) as exc:
+        resolve_protocols(["qbc"])
+    assert exc.value.suggestions["qbc"][0] == "QBC"
+
+
+def test_hopeless_names_get_no_suggestion():
+    with pytest.raises(UnknownProtocolError) as exc:
+        resolve_protocols(["ZZZZZZZZ"])
+    assert exc.value.suggestions["ZZZZZZZZ"] == ()
+    assert "did you mean" not in str(exc.value)

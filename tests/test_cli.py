@@ -302,3 +302,36 @@ def test_tail_once_missing_file_exits_2(tmp_path, capsys):
     rc = main(["tail", str(tmp_path / "absent.jsonl"), "--once"])
     assert rc == 2
     assert "no such file" in capsys.readouterr().err
+
+
+def test_protocols_lists_every_registered_protocol(capsys):
+    rc = main(["protocols"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    from repro.engine import known_names
+
+    for name in known_names():
+        assert name in out
+    assert "builtin" in out
+    assert "coordinated" in out and "vectorizable" in out
+
+
+def test_protocols_json_output(capsys):
+    import json
+
+    rc = main(["protocols", "--json"])
+    assert rc == 0
+    payload = json.loads(capsys.readouterr().out)
+    names = {p["name"] for p in payload["protocols"]}
+    assert {"BCS", "FDAS", "TK"} <= names
+    assert payload["plugin_errors"] == []
+    (bcs,) = [p for p in payload["protocols"] if p["name"] == "BCS"]
+    assert bcs["origin"] == "builtin"
+    assert "replayable" in bcs["capabilities"]
+
+
+def test_unknown_protocol_suggests_correction(capsys):
+    rc = main(["compare", "--sim-time", "200", "--protocols", "BSC"])
+    assert rc == 2
+    err = capsys.readouterr().err
+    assert "did you mean" in err and "'BCS'" in err

@@ -44,6 +44,7 @@ CONSUMER_PATHS = (
     SRC / "experiments",
     SRC / "obs",
     SRC / "analysis",
+    SRC / "testing",
     REPO / "benchmarks",
     REPO / "examples",
 )

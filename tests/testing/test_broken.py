@@ -1,0 +1,72 @@
+"""Negative tests: each deliberately broken protocol is caught by the
+battery that targets its defect class.
+
+This is the kit's mutation coverage -- proof the batteries check what
+they claim to check, not just that correct protocols pass them.
+"""
+
+import pytest
+
+from repro.testing import ConformanceFailure, check_conformance, run_battery
+from repro.testing.broken import (
+    BROKEN_FACTORIES,
+    LyingCounterProtocol,
+    NonMonotoneIndexProtocol,
+    OrphanLineProtocol,
+)
+
+
+def test_orphan_line_is_caught_by_the_consistency_oracle():
+    with pytest.raises(ConformanceFailure) as exc:
+        run_battery(
+            "consistency-oracle",
+            "BROKEN-ORPHAN",
+            factories={"BROKEN-ORPHAN": OrphanLineProtocol},
+        )
+    assert exc.value.battery == "consistency-oracle"
+    assert "orphan" in exc.value.detail
+
+
+def test_non_monotone_index_is_caught_by_the_audit():
+    with pytest.raises(ConformanceFailure) as exc:
+        run_battery(
+            "audit-cleanliness",
+            "BROKEN-MONOTONE",
+            factories={"BROKEN-MONOTONE": NonMonotoneIndexProtocol},
+        )
+    assert exc.value.battery == "audit-cleanliness"
+    assert "index-monotonicity" in exc.value.detail
+
+
+def test_bogus_recovery_line_cannot_be_materialised():
+    with pytest.raises(ConformanceFailure) as exc:
+        run_battery(
+            "recovery-line",
+            "BROKEN-LINE",
+            factories=BROKEN_FACTORIES,
+        )
+    assert exc.value.battery == "recovery-line"
+    assert "materialised" in exc.value.detail
+
+
+def test_lying_counters_break_signature_stability():
+    with pytest.raises(ConformanceFailure) as exc:
+        run_battery(
+            "signature-stability",
+            "BROKEN-COUNTERS",
+            factories={"BROKEN-COUNTERS": LyingCounterProtocol},
+        )
+    assert exc.value.battery == "signature-stability"
+    assert "disagree" in exc.value.detail
+
+
+def test_every_broken_fixture_fails_overall_conformance():
+    for name in BROKEN_FACTORIES:
+        report = check_conformance(name, factories=BROKEN_FACTORIES)
+        assert not report.ok, f"{name} slipped through:\n{report.summary()}"
+
+
+def test_broken_fixtures_are_not_registered():
+    from repro.engine import known_names
+
+    assert not set(BROKEN_FACTORIES) & set(known_names())

@@ -1,0 +1,12 @@
+"""Every registered protocol passes the conformance kit.
+
+This is the acceptance gate of the plugin mechanism: whatever the
+registry holds when this module is collected -- builtins, the two
+extension protocols (FDAS, TK), and any plugin distribution installed
+in the environment (CI installs examples/repro-plugin-example) -- goes
+through the full battery set.
+"""
+
+from repro.testing import conformance_suite
+
+TestAllRegisteredProtocols = conformance_suite(max_examples=8)
