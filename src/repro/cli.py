@@ -24,6 +24,14 @@ Subcommands
 ``protocols``
     List every registered protocol -- builtin and plugin-contributed --
     with capabilities and origin, plus any plugin load errors.
+``conformance``
+    Run the protocol conformance batteries (counter-signature shape,
+    engine equivalence, determinism, orphan-freedom, ...) against one
+    or more registered protocols and print a per-battery table.
+``shard-worker``
+    Join a running sharded sweep (``figure --shard-listen``) as an
+    external worker process; leases, executes and streams back shards
+    until the coordinator drains it.
 
 Exit codes are standardized across subcommands: 0 = success, 1 =
 violations / failed validation / grid holes, 2 = usage error, 130 =
@@ -97,6 +105,9 @@ def _cmd_figure(args) -> int:
         heartbeat_path=args.heartbeat,
         trace_path=args.trace,
         stream_path=args.stream,
+        shards=args.shards,
+        shard_listen=args.shard_listen,
+        shard_size=args.shard_size,
     )
     if args.metrics:
         from repro.obs.metrics import registry
@@ -330,6 +341,100 @@ def _cmd_failures(args) -> int:
     return EXIT_OK
 
 
+def _cmd_conformance(args) -> int:
+    try:
+        from repro.testing import check_conformance
+    except ImportError as exc:
+        # repro.testing needs the optional test extra (hypothesis);
+        # point at the fix instead of dumping a traceback.
+        print(
+            f"the conformance kit needs the test extra ({exc}); install "
+            f"with: pip install -e '.[test]'",
+            file=sys.stderr,
+        )
+        return EXIT_USAGE
+
+    from repro.engine import known_names
+    from repro.engine.errors import suggest_names
+
+    known = known_names()
+    unknown = [n for n in args.names if n not in known]
+    if unknown:
+        for name in unknown:
+            hints = suggest_names(name, known)
+            hint = f" (did you mean {', '.join(hints)}?)" if hints else ""
+            print(f"unknown protocol {name!r}{hint}", file=sys.stderr)
+        print(f"known protocols: {', '.join(known)}", file=sys.stderr)
+        return EXIT_USAGE
+
+    reports = [check_conformance(name) for name in args.names]
+    if args.json:
+        import json
+
+        print(json.dumps({
+            "reports": [
+                {
+                    "protocol": r.protocol,
+                    "ok": r.ok,
+                    "results": [
+                        {
+                            "battery": b.battery,
+                            "status": b.status,
+                            "detail": b.detail,
+                        }
+                        for b in r.results
+                    ],
+                }
+                for r in reports
+            ],
+            "ok": all(r.ok for r in reports),
+        }, indent=2))
+    else:
+        for i, report in enumerate(reports):
+            if i:
+                print()
+            print(report.summary())
+        failed = sum(len(r.failures) for r in reports)
+        total = sum(len(r.results) for r in reports)
+        print(
+            f"\n{len(reports)} protocol(s), {total} batteries, "
+            f"{failed} failure(s)"
+        )
+    return EXIT_OK if all(r.ok for r in reports) else EXIT_FAILURE
+
+
+def _cmd_shard_worker(args) -> int:
+    from repro.experiments.sharded import AUTHKEY_ENV, parse_address, worker_main
+
+    import os
+
+    if not os.environ.get(AUTHKEY_ENV):
+        print(
+            f"{AUTHKEY_ENV} must carry the coordinator's hex authkey "
+            f"(the sweep side exports it when --shard-listen is set)",
+            file=sys.stderr,
+        )
+        return EXIT_USAGE
+    try:
+        address = parse_address(args.connect)
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return EXIT_USAGE
+    try:
+        code = worker_main(address, connect_timeout_s=args.connect_timeout)
+    except ConnectionError as exc:
+        print(exc, file=sys.stderr)
+        return EXIT_FAILURE
+    if code != 0:
+        print(
+            "connection to the coordinator was lost; the lease was "
+            "reassigned on its side",
+            file=sys.stderr,
+        )
+        return EXIT_FAILURE
+    return EXIT_OK
+
+
 def _cmd_protocols(args) -> int:
     from repro.engine import known_protocols, plugin_errors, protocol_origin
 
@@ -478,6 +583,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="append periodic {\"kind\": \"heartbeat\"} JSONL progress "
         "records to PATH (machine-readable twin of --progress)",
     )
+    p.add_argument(
+        "--shards", type=int, default=0, metavar="N",
+        help="run the grid on the sharded dispatch service with N "
+        "spawned worker processes (shard leases, heartbeat liveness, "
+        "reassignment on worker loss; value-identical to --workers)",
+    )
+    p.add_argument(
+        "--shard-listen", default=None, metavar="HOST:PORT",
+        help="also accept external 'repro shard-worker' processes on "
+        "HOST:PORT (authenticated via REPRO_SHARD_AUTHKEY)",
+    )
+    p.add_argument(
+        "--shard-size", type=int, default=None, metavar="CELLS",
+        help="cells per shard lease (default: ~4 leases per worker)",
+    )
     p.set_defaults(fn=_cmd_figure)
 
     p = sub.add_parser(
@@ -559,6 +679,35 @@ def build_parser() -> argparse.ArgumentParser:
         help="machine-readable output (protocols + plugin errors)",
     )
     p.set_defaults(fn=_cmd_protocols)
+
+    p = sub.add_parser(
+        "conformance",
+        help="run the protocol conformance batteries",
+    )
+    p.add_argument(
+        "names", nargs="+", metavar="PROTOCOL",
+        help="registered protocol name(s) to check (see 'repro "
+        "protocols')",
+    )
+    p.add_argument(
+        "--json", action="store_true",
+        help="machine-readable per-battery results",
+    )
+    p.set_defaults(fn=_cmd_conformance)
+
+    p = sub.add_parser(
+        "shard-worker",
+        help="join a sharded sweep as an external worker",
+    )
+    p.add_argument(
+        "--connect", required=True, metavar="HOST:PORT",
+        help="coordinator address (the sweep's --shard-listen value)",
+    )
+    p.add_argument(
+        "--connect-timeout", type=float, default=15.0, metavar="SECONDS",
+        help="how long to retry dialing the coordinator (default 15s)",
+    )
+    p.set_defaults(fn=_cmd_shard_worker)
 
     p = sub.add_parser(
         "tail",

@@ -68,11 +68,18 @@ from repro.engine.registry import (
     register_coordinated,
     resolve_protocols,
 )
-from repro.engine.spec import ENGINE_KINDS, ExecutionPlan, RunSpec, plan
+from repro.engine.spec import (
+    ENGINE_KINDS,
+    SPEC_WIRE_VERSION,
+    ExecutionPlan,
+    RunSpec,
+    plan,
+)
 
 __all__ = [
     "ENGINES",
     "ENGINE_KINDS",
+    "SPEC_WIRE_VERSION",
     "AuditObserver",
     "Capabilities",
     "CapabilityError",

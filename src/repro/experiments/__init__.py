@@ -7,6 +7,8 @@
 * :mod:`repro.experiments.report` -- paper-style tables, gains, plots.
 * :mod:`repro.experiments.resilience` -- fault-tolerant execution:
   per-task supervision, pool healing, the sweep journal and resumption.
+* :mod:`repro.experiments.sharded` -- multi-process sharded dispatch:
+  shard leases, heartbeat liveness, reassignment on worker loss.
 * :mod:`repro.experiments.validation` -- the paper's qualitative claims
   checked against measured sweeps.
 """
@@ -15,6 +17,7 @@ from repro.experiments.config import SweepConfig
 from repro.experiments.figures import FIGURE_PARAMS, run_figure
 from repro.experiments.report import figure_report, gains_table, points_table
 from repro.experiments.resilience import (
+    JournalLocked,
     SweepJournal,
     TaskError,
     sweep_config_hash,
@@ -33,6 +36,7 @@ from repro.experiments.validation import (
 
 __all__ = [
     "FIGURE_PARAMS",
+    "JournalLocked",
     "PointResult",
     "SweepConfig",
     "SweepJournal",

@@ -114,6 +114,35 @@ class SweepConfig:
         outcome (plus one per run) there as it completes, via
         :class:`~repro.engine.StreamObserver` -- a live feed of results
         where telemetry/journal files land only at task completion.
+    shards:
+        Number of shard *worker processes* the sharded dispatch service
+        (:mod:`repro.experiments.sharded`) spawns for this sweep.
+        ``0`` (default) keeps the classic in-process pool (or serial)
+        path; any positive value routes execution through the
+        coordinator: the (point, seed) grid is partitioned into shard
+        leases dispatched over a serialized connection boundary, with
+        heartbeat liveness, lease revocation and reassignment on
+        worker loss.  Results are value-identical to the in-process
+        paths.
+    shard_listen:
+        ``"host:port"`` the coordinator listens on for *external*
+        shard workers (``repro shard-worker``), in addition to any
+        locally spawned ``shards``.  ``None`` (default) binds an
+        ephemeral loopback port reachable only by the spawned workers.
+        Setting it (with ``shards=0`` allowed) turns the sweep into a
+        service other machines' workers can join; the connection is
+        authenticated with the ``REPRO_SHARD_AUTHKEY`` hex key.
+    shard_size:
+        Cells per shard lease.  ``None`` (default) balances the grid
+        at roughly four leases per worker so reassignment after a
+        worker loss stays cheap.
+    shard_heartbeat_s:
+        Interval at which a shard worker pumps heartbeat frames to the
+        coordinator.
+    shard_lease_timeout_s:
+        Liveness deadline: a leased worker silent for this long has
+        its lease revoked and its incomplete cells reassigned (as
+        ``worker-lost`` retries).  Must exceed ``shard_heartbeat_s``.
     """
 
     base: WorkloadConfig = field(default_factory=WorkloadConfig)
@@ -137,6 +166,11 @@ class SweepConfig:
     trace_spans: bool = False
     trace_path: Optional[str] = None
     stream_path: Optional[str] = None
+    shards: int = 0
+    shard_listen: Optional[str] = None
+    shard_size: Optional[int] = None
+    shard_heartbeat_s: float = 1.0
+    shard_lease_timeout_s: float = 10.0
 
     def validate(self) -> "SweepConfig":
         """Check the sweep parameters; returns self (chainable).
@@ -179,4 +213,19 @@ class SweepConfig:
             raise ValueError("retry_backoff_s must be >= 0")
         if not 0 <= self.retry_jitter <= 1:
             raise ValueError("retry_jitter must be in [0, 1]")
+        if self.shards < 0:
+            raise ValueError("shards must be >= 0")
+        if self.shard_listen is not None:
+            from repro.experiments.sharded import parse_address
+
+            parse_address(self.shard_listen)  # raises ValueError if bad
+        if self.shard_size is not None and self.shard_size < 1:
+            raise ValueError("shard_size must be >= 1 (or None)")
+        if self.shard_heartbeat_s <= 0:
+            raise ValueError("shard_heartbeat_s must be positive")
+        if self.shard_lease_timeout_s <= self.shard_heartbeat_s:
+            raise ValueError(
+                "shard_lease_timeout_s must exceed shard_heartbeat_s "
+                "(a worker must get several heartbeats per deadline)"
+            )
         return self

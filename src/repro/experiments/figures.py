@@ -57,6 +57,9 @@ def figure_sweep_config(
     trace_spans: bool = False,
     trace_path: Optional[str] = None,
     stream_path: Optional[str] = None,
+    shards: int = 0,
+    shard_listen: Optional[str] = None,
+    shard_size: Optional[int] = None,
 ) -> SweepConfig:
     """Sweep configuration reproducing one paper figure.
 
@@ -93,6 +96,9 @@ def figure_sweep_config(
         trace_spans=trace_spans,
         trace_path=trace_path,
         stream_path=stream_path,
+        shards=shards,
+        shard_listen=shard_listen,
+        shard_size=shard_size,
     ).validate()
 
 
@@ -116,6 +122,9 @@ def run_figure(
     trace_spans: bool = False,
     trace_path: Optional[str] = None,
     stream_path: Optional[str] = None,
+    shards: int = 0,
+    shard_listen: Optional[str] = None,
+    shard_size: Optional[int] = None,
 ) -> SweepResult:
     """Run one paper figure end to end and return the sweep result.
 
@@ -125,7 +134,9 @@ def run_figure(
     resumable (see docs/resilience.md).  ``progress`` /
     ``heartbeat_path`` / ``trace_spans`` / ``trace_path`` /
     ``stream_path`` are the observability taps (see
-    docs/observability.md).
+    docs/observability.md).  ``shards`` / ``shard_listen`` route the
+    grid through the fault-tolerant sharded dispatch service
+    (:mod:`repro.experiments.sharded`; see docs/resilience.md).
     """
     cfg = figure_sweep_config(
         figure,
@@ -147,5 +158,8 @@ def run_figure(
         trace_spans=trace_spans,
         trace_path=trace_path,
         stream_path=stream_path,
+        shards=shards,
+        shard_listen=shard_listen,
+        shard_size=shard_size,
     )
     return run_sweep(cfg)

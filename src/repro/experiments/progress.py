@@ -121,6 +121,8 @@ class ProgressReporter:
         self.quarantined = 0
         self.retries = 0
         self.cache_hits = 0
+        # Sharded dispatch only: live worker count (None = not sharded).
+        self.workers_alive: Optional[int] = None
         self._started = time.monotonic()
         self._last_render = 0.0
         self._last_heartbeat = time.monotonic()
@@ -163,6 +165,13 @@ class ProgressReporter:
         self.quarantined += 1
         self._count("quarantined")
         self._tick()
+
+    def set_workers(self, alive: Optional[int]) -> None:
+        """Sharded dispatch: how many shard workers are live right now
+        (shown on the status line and in heartbeat records)."""
+        if alive != self.workers_alive:
+            self.workers_alive = alive
+            self._tick()
 
     @staticmethod
     def _count(status: str) -> None:
@@ -207,6 +216,8 @@ class ProgressReporter:
             parts.append(f"retries {self.retries}")
         if self.quarantined:
             parts.append(f"quarantined {self.quarantined}")
+        if self.workers_alive is not None:
+            parts.append(f"workers {self.workers_alive}")
         return " | ".join(parts)
 
     def _tick(self) -> None:
@@ -258,6 +269,7 @@ class ProgressReporter:
             "elapsed_s": self.elapsed_s(),
             "rate_per_s": self.rate_per_s(),
             "eta_s": eta,
+            "workers_alive": self.workers_alive,
         }
 
     def _write_heartbeat(self) -> None:

@@ -55,12 +55,16 @@ from concurrent.futures import wait as futures_wait
 from dataclasses import asdict, dataclass, field
 from typing import Any, Optional, Sequence
 
-#: The TaskError.kind vocabulary.
+#: The TaskError.kind vocabulary.  ``worker-lost`` is the sharded
+#: dispatch variant of ``worker-crash``: a whole shard worker vanished
+#: (process death, severed connection or missed heartbeat deadline)
+#: and the cell was reassigned -- see :mod:`repro.experiments.sharded`.
 TASK_ERROR_KINDS = (
     "timeout",
     "worker-crash",
     "cache-corrupt",
     "protocol-error",
+    "worker-lost",
 )
 
 #: Journal format version (header field; bumped on breaking changes).
@@ -85,6 +89,17 @@ class TaskTimeout(Exception):
 
 class JournalConfigMismatch(ValueError):
     """A journal's config hash does not match the resuming sweep."""
+
+
+class JournalLocked(RuntimeError):
+    """Another live process (or coordinator) holds this journal open.
+
+    The journal is the sweep's exactly-once ledger: two concurrent
+    writers would interleave appends and corrupt resume semantics, so
+    :meth:`SweepJournal.open` takes an advisory ``flock`` and refuses
+    to share.  Wait for the other sweep to finish, or point
+    ``--journal`` / ``--resume`` at a different path.
+    """
 
 
 @dataclass(slots=True)
@@ -205,12 +220,48 @@ class SweepJournal:
                 if os.path.exists(tmp):
                     os.unlink(tmp)
                 raise
-        self._fh = open(self.path, "a")
+        self._fh = open(self.path, "a", encoding="utf-8")
+        self._lock()
+        # A crash mid-append can leave a torn final line with no
+        # newline; appending straight after it would glue the next
+        # record onto the garbage and lose *both* on the next resume.
+        # Terminate the torn line so every new record starts clean.
+        with open(self.path, "rb") as check:
+            check.seek(0, os.SEEK_END)
+            if check.tell() > 0:
+                check.seek(-1, os.SEEK_END)
+                if check.read(1) != b"\n":
+                    self._fh.write("\n")
+                    self._fh.flush()
         return self
+
+    def _lock(self) -> None:
+        """Advisory exclusive lock on the journal (see
+        :class:`JournalLocked`).  Platforms without ``fcntl`` skip the
+        guard -- the single-writer contract is then on the operator."""
+        try:
+            import fcntl
+        except ImportError:  # pragma: no cover - non-POSIX platform
+            return
+        try:
+            fcntl.flock(self._fh.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+        except OSError:
+            fh, self._fh = self._fh, None
+            fh.close()
+            raise JournalLocked(
+                f"journal {self.path} is locked by another live sweep "
+                f"process; two concurrent writers would corrupt "
+                f"exactly-once resume.  Wait for that sweep to finish "
+                f"(the lock releases on close/exit) or pass a "
+                f"different --journal/--resume path."
+            ) from None
 
     @staticmethod
     def _read_header(path) -> dict:
-        with open(path) as fh:
+        # errors="replace": a crash can tear the file mid multi-byte
+        # UTF-8 sequence; decoding must degrade to a skipped line, not
+        # raise out of the read loop.
+        with open(path, encoding="utf-8", errors="replace") as fh:
             first = fh.readline().strip()
         try:
             header = json.loads(first) if first else {}
@@ -278,7 +329,11 @@ class SweepJournal:
                 f"{header.get('config_hash')!r}, not {config_hash!r}"
             )
         entries: dict[tuple[float, int], tuple] = {}
-        with open(path) as fh:
+        # errors="replace": a torn trailing line may cut a multi-byte
+        # UTF-8 sequence; the mangled line then fails json.loads and is
+        # skipped like any other torn line instead of raising
+        # UnicodeDecodeError out of the iterator.
+        with open(path, encoding="utf-8", errors="replace") as fh:
             fh.readline()  # header, already verified
             for line in fh:
                 line = line.strip()
@@ -518,9 +573,18 @@ def execute(config, tasks: Sequence[tuple]) -> ExecutionReport:
     # Deterministic jitter per sweep: retries are reproducible and
     # tests can reason about delays.
     rng = random.Random(int(config_hash[:8], 16))
+    sharded = bool(
+        getattr(config, "shards", 0) or getattr(config, "shard_listen", None)
+    )
     try:
         with _SignalDrain() as drain:
-            if config.workers > 1 and pending:
+            if sharded and pending:
+                from repro.experiments.sharded import run_sharded
+
+                run_sharded(
+                    config, pending, report, journal, drain, rng, reporter
+                )
+            elif config.workers > 1 and pending:
                 _run_pooled(
                     config, pending, report, journal, drain, rng, reporter
                 )

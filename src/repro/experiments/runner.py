@@ -16,7 +16,12 @@ pool is persistent across sweeps within a process (spawning workers
 costs more than a small sweep), tasks stream back via
 ``imap_unordered``, and results are reassembled deterministically --
 points in config order, runs seed-major then protocol -- so the output
-is bit-identical to the serial path.
+is bit-identical to the serial path.  With ``SweepConfig.shards`` (or
+``shard_listen``) set, dispatch instead goes through the sharded sweep
+service (:mod:`repro.experiments.sharded`): shard leases to worker
+processes over a wire protocol, heartbeat liveness and exactly-once
+journaling -- same bit-identical results, fault-tolerant to whole
+worker loss.
 
 Protocol instances run in counters-only mode
 (``log_checkpoints = False``): figure curves need nothing but counts,

@@ -442,3 +442,37 @@ def test_drained_failure_with_retries_left_is_a_hole_not_an_error(
 def test_resilience_knobs_are_validated(bad):
     with pytest.raises(ValueError):
         sweep_config(**bad).validate()
+
+
+# ----------------------------------------------------------------------
+# the journal's advisory lock (single-writer contract)
+# ----------------------------------------------------------------------
+def test_journal_lock_refuses_second_opener(tmp_path):
+    """Two simultaneous openers of one journal would interleave appends
+    and corrupt exactly-once resume; the second must be refused with a
+    typed, actionable error."""
+    from repro.experiments.resilience import JournalLocked
+
+    path = str(tmp_path / "sweep.jsonl")
+    h = sweep_config_hash(sweep_config())
+    first = SweepJournal(path, h).open()
+    try:
+        with pytest.raises(JournalLocked) as exc:
+            SweepJournal(path, h).open()
+        # The remediation is in the message, not just the type.
+        assert "another live sweep" in str(exc.value)
+        assert "--journal" in str(exc.value)
+        # The first opener keeps working after the refused attempt.
+        assert first._fh is not None
+    finally:
+        first.close()
+    # The lock releases on close: a fresh opener succeeds.
+    SweepJournal(path, h).open().close()
+
+
+def test_journal_lock_is_exported():
+    import repro.experiments as experiments
+
+    from repro.experiments.resilience import JournalLocked
+
+    assert experiments.JournalLocked is JournalLocked

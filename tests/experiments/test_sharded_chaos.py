@@ -1,0 +1,211 @@
+"""Whole-worker chaos for the sharded sweep service.
+
+These kill a real shard worker process mid-sweep, sever a live
+connection, and stall heartbeats past the lease deadline, then assert
+the final ``SweepResult`` is value-identical to a fault-free serial
+run, the journal holds exactly one entry per cell, and the loss is
+visible as ``worker-lost`` retries in the shard metrics -- the
+acceptance bar for the sharded dispatch service.
+
+Fault injection uses the same ``REPRO_CHAOS_DIR`` flag-file hook as
+test_chaos.py, with the sharded-path flags consumed by the worker loop
+(:func:`repro.experiments.sharded._worker_chaos`): ``kill-worker-*``,
+``drop-conn-*`` and ``stall-heartbeat-*``.  Each flag strikes exactly
+one attempt.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments import SweepConfig, run_sweep
+from repro.experiments.resilience import CHAOS_DIR_ENV
+from repro.obs.metrics import registry
+from repro.workload import WorkloadConfig
+
+pytestmark = pytest.mark.timeout(300)
+
+GRID = dict(t_switch_values=(100.0, 800.0), seeds=(0, 1))
+
+N_CELLS = len(GRID["t_switch_values"]) * len(GRID["seeds"])
+
+
+def sweep_config(**overrides):
+    kw = dict(
+        base=WorkloadConfig(p_switch=0.8, sim_time=200.0),
+        shards=2,
+        retry_backoff_s=0.01,
+        shard_size=1,  # one cell per lease: a lost worker loses little
+        shard_heartbeat_s=0.1,
+        shard_lease_timeout_s=1.0,
+        **GRID,
+    )
+    kw.update(overrides)
+    return SweepConfig(**kw)
+
+
+def _values(result):
+    return [[r for r in p.runs] for p in result.points]
+
+
+@pytest.fixture()
+def clean_registry():
+    registry().reset()
+    yield
+    registry().reset()
+
+
+def _assert_exactly_once_journal(path):
+    with open(path) as fh:
+        lines = [json.loads(l) for l in fh if l.strip()]
+    cells = [
+        (l["t_switch"], l["seed"]) for l in lines if l["kind"] == "task"
+    ]
+    assert sorted(cells) == sorted(
+        (t, s) for t in GRID["t_switch_values"] for s in GRID["seeds"]
+    )
+    assert len(cells) == len(set(cells))
+
+
+def test_killed_worker_mid_sweep_converges(
+    tmp_path, monkeypatch, clean_registry
+):
+    """A whole worker process dying hard mid-shard is healed: its cell
+    is reassigned as a worker-lost retry, a replacement is respawned,
+    and the sweep converges value-identical with no duplicate journal
+    entries."""
+    baseline = run_sweep(sweep_config(shards=0, workers=0))
+
+    chaos_dir = tmp_path / "chaos"
+    chaos_dir.mkdir()
+    (chaos_dir / "kill-worker-100-0").touch()
+    monkeypatch.setenv(CHAOS_DIR_ENV, str(chaos_dir))
+    journal = str(tmp_path / "sweep.jsonl")
+
+    result = run_sweep(sweep_config(journal_path=journal))
+    assert _values(result) == _values(baseline)
+    assert result.complete
+    assert result.errors == []
+    assert result.task_retries >= 1
+    assert not list(chaos_dir.iterdir())  # the flag really fired
+    _assert_exactly_once_journal(journal)
+    # The loss is visible in the shard metrics.
+    assert (
+        registry()
+        .counter("repro_shard_leases_revoked_total", reason="conn-lost")
+        .value
+        >= 1
+    )
+    assert registry().counter("repro_shard_cells_reassigned_total").value >= 1
+    assert registry().counter("repro_shard_worker_respawns_total").value >= 1
+
+
+def test_severed_connection_mid_sweep_converges(
+    tmp_path, monkeypatch, clean_registry
+):
+    """A worker whose connection is severed (the worker itself stays
+    alive for a moment) is treated as lost: lease revoked, cell
+    reassigned, sweep value-identical."""
+    baseline = run_sweep(sweep_config(shards=0, workers=0))
+
+    chaos_dir = tmp_path / "chaos"
+    chaos_dir.mkdir()
+    (chaos_dir / "drop-conn-800-1").touch()
+    monkeypatch.setenv(CHAOS_DIR_ENV, str(chaos_dir))
+    journal = str(tmp_path / "sweep.jsonl")
+
+    result = run_sweep(sweep_config(journal_path=journal))
+    assert _values(result) == _values(baseline)
+    assert result.complete
+    assert result.errors == []
+    assert not list(chaos_dir.iterdir())
+    _assert_exactly_once_journal(journal)
+    assert (
+        registry()
+        .counter("repro_shard_leases_revoked_total", reason="conn-lost")
+        .value
+        >= 1
+    )
+
+
+def test_stalled_heartbeat_revokes_lease_and_fences_late_results(
+    tmp_path, monkeypatch, clean_registry
+):
+    """A worker frozen past the lease deadline (GC pause / partition
+    shape) has its lease revoked and the cell reassigned; when it wakes
+    up and reports anyway, the late result is fenced -- accepted at most
+    once, never journaled twice."""
+    baseline = run_sweep(sweep_config(shards=0, workers=0))
+
+    chaos_dir = tmp_path / "chaos"
+    chaos_dir.mkdir()
+    (chaos_dir / "stall-heartbeat-100-1").touch()
+    monkeypatch.setenv(CHAOS_DIR_ENV, str(chaos_dir))
+    journal = str(tmp_path / "sweep.jsonl")
+
+    result = run_sweep(sweep_config(journal_path=journal))
+    assert _values(result) == _values(baseline)
+    assert result.complete
+    assert result.errors == []
+    assert not list(chaos_dir.iterdir())
+    _assert_exactly_once_journal(journal)
+    assert (
+        registry()
+        .counter(
+            "repro_shard_leases_revoked_total", reason="heartbeat-timeout"
+        )
+        .value
+        >= 1
+    )
+    # The revoked cell was reassigned and charged a worker-lost retry.
+    assert registry().counter("repro_shard_cells_reassigned_total").value >= 1
+    assert result.task_retries >= 1
+    # (Whether the stalled worker wakes before the sweep finishes is a
+    # race; the deterministic fencing proof -- late results accepted at
+    # most once -- is test_sharded.py's coordinator-level fence test,
+    # and the exactly-once journal assertion above covers this run.)
+
+
+def test_repeated_worker_loss_exhausts_budget_into_explicit_holes(
+    tmp_path, monkeypatch, clean_registry
+):
+    """When every attempt at a cell dies with the worker, the cell is
+    quarantined as a worker-lost hole instead of looping forever."""
+    chaos_dir = tmp_path / "chaos"
+    chaos_dir.mkdir()
+    monkeypatch.setenv(CHAOS_DIR_ENV, str(chaos_dir))
+
+    def rearm(*args):
+        (chaos_dir / "kill-worker-100-0").touch()
+
+    rearm()
+    # Re-arm the kill flag every time it is consumed so every retry of
+    # the cell dies too: monkeypatch the consume hook on the *parent*
+    # side is useless (workers consume it), so pre-arm enough copies by
+    # watching the journal-free sweep retry budget: attempts = 1 + max
+    # retries.
+    cfg = sweep_config(max_task_retries=1, shards=1)
+    import threading
+
+    stop = threading.Event()
+
+    def rearmer():
+        while not stop.is_set():
+            if not (chaos_dir / "kill-worker-100-0").exists():
+                rearm()
+            stop.wait(0.02)
+
+    t = threading.Thread(target=rearmer, daemon=True)
+    t.start()
+    try:
+        result = run_sweep(cfg)
+    finally:
+        stop.set()
+        t.join()
+    assert result.n_holes == 1
+    assert [e.kind for e in result.errors] == ["worker-lost"]
+    # The surviving cells are intact: graceful degradation, not abort.
+    done = {
+        (p.t_switch, r.seed) for p in result.points for r in p.runs
+    }
+    assert (100.0, 1) in done and (800.0, 0) in done

@@ -335,3 +335,89 @@ def test_unknown_protocol_suggests_correction(capsys):
     assert rc == 2
     err = capsys.readouterr().err
     assert "did you mean" in err and "'BCS'" in err
+
+
+# ----------------------------------------------------------------------
+# conformance
+# ----------------------------------------------------------------------
+def test_conformance_passing_protocol_exits_0(capsys):
+    rc = main(["conformance", "TP"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "conformance TP:" in out
+    assert "passed" in out
+    assert "0 failure(s)" in out
+
+
+def test_conformance_json_output(capsys):
+    import json
+
+    rc = main(["conformance", "TP", "--json"])
+    assert rc == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["ok"] is True
+    (report,) = payload["reports"]
+    assert report["protocol"] == "TP"
+    assert {r["status"] for r in report["results"]} <= {
+        "passed",
+        "skipped",
+        "failed",
+    }
+
+
+def test_conformance_unknown_protocol_suggests_and_exits_2(capsys):
+    rc = main(["conformance", "TQ"])
+    assert rc == 2
+    err = capsys.readouterr().err
+    assert "unknown protocol 'TQ'" in err
+    assert "did you mean" in err and "TP" in err
+    assert "known protocols:" in err
+
+
+# ----------------------------------------------------------------------
+# sharded dispatch
+# ----------------------------------------------------------------------
+def test_shard_worker_requires_authkey(capsys, monkeypatch):
+    from repro.experiments.sharded import AUTHKEY_ENV
+
+    monkeypatch.delenv(AUTHKEY_ENV, raising=False)
+    rc = main(["shard-worker", "--connect", "127.0.0.1:9000"])
+    assert rc == 2
+    assert AUTHKEY_ENV in capsys.readouterr().err
+
+
+def test_shard_worker_bad_address_exits_2(capsys, monkeypatch):
+    from repro.experiments.sharded import AUTHKEY_ENV
+
+    monkeypatch.setenv(AUTHKEY_ENV, "00" * 16)
+    rc = main(["shard-worker", "--connect", "not-an-address"])
+    assert rc == 2
+    assert "host:port" in capsys.readouterr().err
+
+
+def test_shard_worker_unreachable_coordinator_exits_1(capsys, monkeypatch):
+    from repro.experiments.sharded import AUTHKEY_ENV
+
+    monkeypatch.setenv(AUTHKEY_ENV, "00" * 16)
+    rc = main(
+        ["shard-worker", "--connect", "127.0.0.1:1", "--connect-timeout",
+         "0.2"]
+    )
+    assert rc == 1
+    assert "could not reach coordinator" in capsys.readouterr().err
+
+
+def test_figure_shards_flag_runs_sharded_sweep(capsys):
+    rc = main(
+        [
+            "figure", "2",
+            "--sim-time", "300",
+            "--seeds", "0", "1",
+            "--sweep", "100", "800",
+            "--shards", "2",
+            "--no-progress",
+        ]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "PASS" in out
