@@ -1,0 +1,177 @@
+"""Workload-layer benchmarks: streaming-compile memory and throughput.
+
+The streaming trace compiler (:mod:`repro.core.streamed`) exists so
+compilation does not require the whole event list in memory; this bench
+*gates* that claim.  Both pipelines consume the same synthetic
+1M-event schedule:
+
+* **materialized** -- build the full ``TraceEvent`` list, then
+  ``compile_trace`` it (the classic path: peak = event objects + the
+  compiled python-list columns);
+* **streaming** -- feed events one at a time into a
+  :class:`~repro.core.streamed.StreamingCompiler` (peak = one staging
+  block + the numpy slabs, 56 bytes/event).
+
+Peaks are measured with ``tracemalloc`` (numpy allocations register
+with it), and the gate requires the streaming peak under 25% of the
+materialized one.  Headline numbers land in ``BENCH_workload.json`` so
+CI can archive the trend.
+
+``REPRO_BENCH_WORKLOAD_EVENTS`` overrides the event count (default
+1_000_000; CI may shrink it -- the gate is a ratio, so it holds at any
+size past the staging block).
+"""
+
+import json
+import os
+import tracemalloc
+
+from repro.core.compiled import compile_trace
+from repro.core.streamed import StreamingCompiler
+from repro.core.trace import EventType, Trace, TraceEvent
+from repro.workload.config import WorkloadConfig
+from repro.workload.driver import generate_streamed, generate_trace
+
+N_EVENTS = int(os.environ.get("REPRO_BENCH_WORKLOAD_EVENTS", "1000000"))
+N_HOSTS = 10
+N_MSS = 5
+
+BENCH_JSON = os.environ.get(
+    "REPRO_BENCH_WORKLOAD_JSON", "BENCH_workload.json"
+)
+
+#: The gate: streaming peak must stay under this fraction of the
+#: materialized peak.
+PEAK_RATIO_GATE = 0.25
+
+
+def _record(case: str, payload: dict) -> None:
+    """Merge one case's numbers into ``BENCH_workload.json``."""
+    data = {}
+    if os.path.exists(BENCH_JSON):
+        try:
+            with open(BENCH_JSON) as fh:
+                data = json.load(fh)
+        except (OSError, ValueError):
+            data = {}
+    data[case] = payload
+    with open(BENCH_JSON, "w") as fh:
+        json.dump(data, fh, indent=2, sort_keys=True)
+
+
+def _synthetic_events(n: int):
+    """Deterministic n-event schedule: send/receive pairs + filler.
+
+    Same shape either pipeline sees from the driver, without paying the
+    simulator's cost for a million events: every third event is a SEND,
+    matched by a RECEIVE two events later, with INTERNAL filler.
+    """
+    time = 0.0
+    msg = 0
+    i = 0
+    while i < n:
+        time += 0.25
+        if i % 3 == 0 and i + 2 < n:
+            src = i % N_HOSTS
+            dst = (i + 1) % N_HOSTS
+            yield time, int(EventType.SEND), src, msg, dst, -1
+            yield time + 0.1, int(EventType.INTERNAL), dst, -1, -1, -1
+            yield time + 0.2, int(EventType.RECEIVE), dst, msg, src, -1
+            msg += 1
+            i += 3
+        else:
+            yield time, int(EventType.INTERNAL), i % N_HOSTS, -1, -1, -1
+            i += 1
+
+
+def _materialized_peak(n: int) -> tuple[int, int]:
+    """(peak bytes, n_events) of the event-list + compile_trace path."""
+    tracemalloc.start()
+    try:
+        events = [
+            TraceEvent(
+                time=t, etype=EventType(et), host=h, msg_id=m, peer=p, cell=c
+            )
+            for t, et, h, m, p, c in _synthetic_events(n)
+        ]
+        trace = Trace(
+            n_hosts=N_HOSTS, n_mss=N_MSS, sim_time=events[-1].time + 1.0,
+            events=events,
+        )
+        compiled = compile_trace(trace)
+        _, peak = tracemalloc.get_traced_memory()
+        return peak, compiled.n_events
+    finally:
+        tracemalloc.stop()
+
+
+def _streaming_peak(n: int) -> tuple[int, int]:
+    """(peak bytes, n_events) of the StreamingCompiler path."""
+    tracemalloc.start()
+    try:
+        compiler = StreamingCompiler(
+            n_hosts=N_HOSTS, n_mss=N_MSS, sim_time=float(n)
+        )
+        for t, et, h, m, p, c in _synthetic_events(n):
+            compiler.feed(t, et, h, m, p, c)
+        streamed = compiler.finish()
+        _, peak = tracemalloc.get_traced_memory()
+        return peak, streamed.n_events
+    finally:
+        tracemalloc.stop()
+
+
+def test_streaming_compile_peak_memory():
+    """The tentpole gate: streaming peak < 25% of materialized peak."""
+    mat_peak, mat_events = _materialized_peak(N_EVENTS)
+    stream_peak, stream_events = _streaming_peak(N_EVENTS)
+    assert mat_events == stream_events
+    ratio = stream_peak / mat_peak
+    _record(
+        "streaming_peak",
+        {
+            "n_events": mat_events,
+            "materialized_peak_mb": round(mat_peak / 1e6, 2),
+            "streaming_peak_mb": round(stream_peak / 1e6, 2),
+            "ratio": round(ratio, 4),
+            "gate": PEAK_RATIO_GATE,
+        },
+    )
+    assert ratio < PEAK_RATIO_GATE, (
+        f"streaming compile peaked at {stream_peak / 1e6:.1f} MB = "
+        f"{ratio:.1%} of the materialized {mat_peak / 1e6:.1f} MB "
+        f"(gate: {PEAK_RATIO_GATE:.0%})"
+    )
+
+
+def test_streaming_throughput(benchmark):
+    """Events/second through the streaming compiler (no gate)."""
+    n = min(N_EVENTS, 200_000)
+
+    def _run():
+        compiler = StreamingCompiler(
+            n_hosts=N_HOSTS, n_mss=N_MSS, sim_time=float(n)
+        )
+        for t, et, h, m, p, c in _synthetic_events(n):
+            compiler.feed(t, et, h, m, p, c)
+        return compiler.finish()
+
+    streamed = benchmark.pedantic(_run, rounds=3, iterations=1)
+    rate = streamed.n_events / benchmark.stats.stats.mean
+    _record(
+        "streaming_throughput",
+        {"n_events": streamed.n_events, "events_per_s": round(rate)},
+    )
+    assert streamed.n_events == n
+
+
+def test_generate_streamed_matches_and_records():
+    """Driver-level identity on a real (small) simulation + bookkeeping."""
+    cfg = WorkloadConfig(sim_time=500.0).validate()
+    streamed = generate_streamed(cfg)
+    compiled = compile_trace(generate_trace(cfg))
+    assert streamed.to_compiled() == compiled
+    _record(
+        "generate_streamed_identity",
+        {"sim_time": cfg.sim_time, "n_events": streamed.n_events, "ok": True},
+    )

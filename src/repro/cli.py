@@ -62,9 +62,21 @@ def _add_workload_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--heterogeneity", type=float, default=0.0)
     parser.add_argument("--sim-time", type=float, default=10_000.0)
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--workload", default=None, metavar="NAME[:K=V,...]",
+        help="registered workload model shaping the run (e.g. "
+        "'zipf:alpha=1.1'; see 'repro workloads'; default: paper)",
+    )
 
 
 def _workload_from(args) -> WorkloadConfig:
+    extra = {}
+    workload = getattr(args, "workload", None)
+    if workload:
+        from repro.workload.registry import resolve_workload_spec
+
+        name, params = resolve_workload_spec(workload)
+        extra = {"workload": name, "workload_params": params}
     return WorkloadConfig(
         n_hosts=args.hosts,
         n_mss=args.mss,
@@ -74,6 +86,7 @@ def _workload_from(args) -> WorkloadConfig:
         heterogeneity=args.heterogeneity,
         sim_time=args.sim_time,
         seed=args.seed,
+        **extra,
     ).validate()
 
 
@@ -92,6 +105,7 @@ def _cmd_figure(args) -> int:
         seeds=tuple(args.seeds),
         t_switch_values=tuple(args.sweep),
         engine=args.engine,
+        workload=args.workload,
         workers=args.workers,
         use_cache=not args.no_cache,
         cache_dir=args.cache_dir,
@@ -490,6 +504,37 @@ def _cmd_protocols(args) -> int:
     return EXIT_FAILURE if errors else EXIT_OK
 
 
+def _cmd_workloads(args) -> int:
+    from repro.workload.registry import get_workload, workload_names
+
+    infos = [get_workload(name).describe() for name in workload_names()]
+    if args.json:
+        import json
+
+        print(json.dumps({"workloads": infos}, indent=2))
+        return EXIT_OK
+
+    def _params(info) -> str:
+        parts = []
+        for key, spec in info["params"].items():
+            value = "<required>" if spec["required"] else repr(spec["default"])
+            parts.append(f"{key}={value}")
+        return ", ".join(parts) or "-"
+
+    rows = [(info["name"], _params(info), info["doc"]) for info in infos]
+    name_w = max(len("workload"), max(len(r[0]) for r in rows))
+    params_w = max(len("parameters"), max(len(r[1]) for r in rows))
+    print(f"{'workload':<{name_w}}  {'parameters':<{params_w}}  description")
+    for name, params, doc in rows:
+        print(f"{name:<{name_w}}  {params:<{params_w}}  {doc}")
+    print(
+        f"\n{len(rows)} workload model(s) registered; use "
+        "--workload NAME[:key=value,...] on figure/audit/compare/"
+        "trace/recovery/failures"
+    )
+    return EXIT_OK
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the argparse tree for ``python -m repro``."""
     parser = argparse.ArgumentParser(
@@ -511,6 +556,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="replay strategy per (point, seed) task (bit-identical "
         "results; 'vectorized' runs batch kernels, 'auto' picks it "
         "when every protocol supports it)",
+    )
+    p.add_argument(
+        "--workload", default=None, metavar="NAME[:K=V,...]",
+        help="swap the figure's workload model for a registered one, "
+        "e.g. 'zipf:alpha=1.1' (see 'repro workloads'; default: the "
+        "paper's uniform model)",
     )
     p.add_argument(
         "--workers", type=int, default=0,
@@ -681,6 +732,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=_cmd_protocols)
 
     p = sub.add_parser(
+        "workloads",
+        help="list registered workload models with their parameters",
+    )
+    p.add_argument(
+        "--json", action="store_true",
+        help="machine-readable output (name, doc, parameter specs)",
+    )
+    p.set_defaults(fn=_cmd_workloads)
+
+    p = sub.add_parser(
         "conformance",
         help="run the protocol conformance batteries",
     )
@@ -738,13 +799,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     usage error (argparse convention), 130 = interrupted.
     """
     from repro.engine import EngineError
+    from repro.workload.registry import WorkloadError
 
     args = build_parser().parse_args(argv)
     try:
         return args.fn(args)
-    except EngineError as exc:
-        # Unknown protocols and capability mismatches are usage errors,
-        # reported uniformly regardless of which subcommand hit them.
+    except (EngineError, WorkloadError) as exc:
+        # Unknown protocols/workloads and capability mismatches are
+        # usage errors, reported uniformly regardless of which
+        # subcommand hit them.
         print(exc, file=sys.stderr)
         return EXIT_USAGE
     except KeyboardInterrupt:

@@ -1,0 +1,342 @@
+"""Streaming trace compilation: SoA blocks built incrementally.
+
+:func:`~repro.core.compiled.compile_trace` needs the whole event list
+in memory first -- a :class:`~repro.core.trace.TraceEvent` dataclass
+per event (~300 bytes with object headers) before any column exists.
+That caps trace size at RAM, which the scenario registry's large
+workloads (millions of hosts, long horizons) blow through.
+
+:class:`StreamingCompiler` accepts events one at a time, stages them in
+plain python lists and flushes a :class:`CompiledBlock` of numpy
+columns every ``block_events`` events.  Block *storage* uses the
+narrowest lossless dtypes (``int8`` event types, ``int32`` host / peer
+/ cell / slot ids, ``int64`` message ids, ``float64`` times -- 33
+bytes per event); the lowerings (:meth:`StreamedTrace.array_columns`,
+:meth:`StreamedTrace.to_compiled`) widen back to the engine's pinned
+``int64``/``float64``, which is exact because every stored value is an
+integer in range (numpy raises ``OverflowError`` rather than wrap if a
+feed ever exceeds a column's range).  Peak *staging* memory is
+O(``block_events``) python objects; the total output is the compact
+numpy blocks.  Slot assignment and validation are the same as
+``compile_trace`` -- the same ``open_sends`` matching, the same
+:class:`~repro.core.trace.TraceError` messages -- and
+:meth:`StreamedTrace.to_compiled` reconstructs a **bit-identical**
+:class:`~repro.core.compiled.CompiledTrace` (``argv`` tuples included),
+which CI gates against the materialized path.
+
+The driver side is :func:`repro.workload.driver.generate_streamed`,
+which feeds the simulation's events here instead of growing
+``Trace.events``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.core.compiled import (
+    DISCONNECT,
+    FLOAT_DTYPE,
+    INT_DTYPE,
+    INTERNAL,
+    RECEIVE,
+    SEND,
+    ArrayColumns,
+    CompiledTrace,
+)
+from repro.core.trace import TraceError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    import numpy as np
+
+    from repro.core.trace import TraceEvent
+
+#: Default events per flushed block: large enough that numpy conversion
+#: amortizes, small enough that staging stays a few MB.
+DEFAULT_BLOCK_EVENTS = 65_536
+
+#: Column name -> (storage dtype, lowering dtype) of one block.  The
+#: storage side is the narrowest type that holds the column losslessly:
+#: event types are tiny enums, host/peer/cell ids are bounded by the
+#: system size, and a slot is a send ordinal (an int32 overflows only
+#: past 2**31 sends, far beyond what fits in memory at all); message
+#: ids stay int64 because callers may feed arbitrary identities.
+_COLUMNS = (
+    ("etype", "int8", INT_DTYPE),
+    ("time", FLOAT_DTYPE, FLOAT_DTYPE),
+    ("host", "int32", INT_DTYPE),
+    ("msg_id", INT_DTYPE, INT_DTYPE),
+    ("peer", "int32", INT_DTYPE),
+    ("cell", "int32", INT_DTYPE),
+    ("slot", "int32", INT_DTYPE),
+)
+
+
+@dataclass(slots=True, frozen=True)
+class CompiledBlock:
+    """One flushed slab of compiled columns (storage dtypes; see
+    :data:`_COLUMNS` for the widths and the lossless-widening rule)."""
+
+    etype: "np.ndarray"
+    time: "np.ndarray"
+    host: "np.ndarray"
+    msg_id: "np.ndarray"
+    peer: "np.ndarray"
+    cell: "np.ndarray"
+    slot: "np.ndarray"
+
+    def __len__(self) -> int:
+        return int(self.etype.shape[0])
+
+    @property
+    def nbytes(self) -> int:
+        return sum(getattr(self, name).nbytes for name, *_ in _COLUMNS)
+
+
+@dataclass(slots=True, frozen=True)
+class StreamedTrace:
+    """A block-compiled trace: the streaming twin of ``CompiledTrace``.
+
+    Holds the flushed :class:`CompiledBlock` slabs plus the totals the
+    compiled form carries.  :meth:`to_compiled` rebuilds the exact
+    :class:`~repro.core.compiled.CompiledTrace` the materialized
+    pipeline produces; :meth:`array_columns` concatenates the blocks
+    into the vectorized engine's
+    :class:`~repro.core.compiled.ArrayColumns` lowering directly.
+    """
+
+    n_hosts: int
+    n_mss: int
+    sim_time: float
+    n_events: int
+    n_sends: int
+    n_receives: int
+    blocks: tuple[CompiledBlock, ...]
+
+    def __len__(self) -> int:
+        return self.n_events
+
+    @property
+    def nbytes(self) -> int:
+        """Total bytes held by the numpy blocks."""
+        return sum(block.nbytes for block in self.blocks)
+
+    def _cat(self, name: str, dtype: str) -> "np.ndarray":
+        import numpy as np
+
+        if not self.blocks:
+            return np.empty(0, dtype=dtype)
+        out = np.concatenate([getattr(b, name) for b in self.blocks])
+        # Widen the storage dtype back to the engine's pinned lowering
+        # dtype (exact: integer values, in range by construction).
+        return out.astype(dtype, copy=False)
+
+    def array_columns(self) -> ArrayColumns:
+        """The blocks concatenated into one ``ArrayColumns`` view."""
+        columns = {
+            name: self._cat(name, lowering)
+            for name, _storage, lowering in _COLUMNS
+        }
+        return ArrayColumns(
+            n_hosts=self.n_hosts,
+            n_mss=self.n_mss,
+            sim_time=self.sim_time,
+            n_events=self.n_events,
+            n_sends=self.n_sends,
+            n_receives=self.n_receives,
+            **columns,
+        )
+
+    def to_compiled(self) -> CompiledTrace:
+        """Rebuild the bit-identical ``CompiledTrace`` list form.
+
+        ``tolist()`` converts ``int64``/``float64`` back to the exact
+        python ints/floats ``compile_trace`` stored, and the ``argv``
+        tuples are reassembled per event type from the columns.
+        """
+        etype: list[int] = []
+        time: list[float] = []
+        host: list[int] = []
+        msg_id: list[int] = []
+        peer: list[int] = []
+        cell: list[int] = []
+        slot: list[int] = []
+        argv: list[tuple] = []
+        for block in self.blocks:
+            b_etype = block.etype.tolist()
+            b_time = block.time.tolist()
+            b_host = block.host.tolist()
+            b_peer = block.peer.tolist()
+            b_cell = block.cell.tolist()
+            etype.extend(b_etype)
+            time.extend(b_time)
+            host.extend(b_host)
+            msg_id.extend(block.msg_id.tolist())
+            peer.extend(b_peer)
+            cell.extend(b_cell)
+            slot.extend(block.slot.tolist())
+            for i, et in enumerate(b_etype):
+                if et == SEND or et == RECEIVE:
+                    argv.append((b_host[i], b_peer[i], b_time[i]))
+                elif et == DISCONNECT:
+                    argv.append((b_host[i], b_time[i]))
+                elif et == INTERNAL:
+                    argv.append(())
+                else:  # CELL_SWITCH / RECONNECT
+                    argv.append((b_host[i], b_time[i], b_cell[i]))
+        return CompiledTrace(
+            n_hosts=self.n_hosts,
+            n_mss=self.n_mss,
+            sim_time=self.sim_time,
+            n_events=self.n_events,
+            n_sends=self.n_sends,
+            n_receives=self.n_receives,
+            etype=etype,
+            time=time,
+            host=host,
+            msg_id=msg_id,
+            peer=peer,
+            cell=cell,
+            slot=slot,
+            argv=argv,
+        )
+
+
+class StreamingCompiler:
+    """Incremental ``compile_trace``: feed events, flush SoA blocks.
+
+    Same slot assignment and validation as the materialized compiler:
+    a duplicate send or an unmatched receive raises
+    :class:`~repro.core.trace.TraceError` with the identical message,
+    at feed time (so a broken generator fails as early as possible).
+
+    Usage::
+
+        compiler = StreamingCompiler(n_hosts=10, n_mss=5, sim_time=1e5)
+        for event in source:
+            compiler.feed_event(event)
+        streamed = compiler.finish()
+    """
+
+    def __init__(
+        self,
+        n_hosts: int,
+        n_mss: int,
+        sim_time: float,
+        block_events: int = DEFAULT_BLOCK_EVENTS,
+    ):
+        if block_events < 1:
+            raise ValueError("block_events must be >= 1")
+        self.n_hosts = n_hosts
+        self.n_mss = n_mss
+        self.sim_time = sim_time
+        self.block_events = block_events
+        self.n_events = 0
+        self.n_sends = 0
+        self.n_receives = 0
+        self._etype: list[int] = []
+        self._time: list[float] = []
+        self._host: list[int] = []
+        self._msg_id: list[int] = []
+        self._peer: list[int] = []
+        self._cell: list[int] = []
+        self._slot: list[int] = []
+        self._blocks: list[CompiledBlock] = []
+        self._open_sends: dict[int, int] = {}
+        self._finished = False
+
+    def __len__(self) -> int:
+        return self.n_events
+
+    def feed(
+        self,
+        time: float,
+        etype: int,
+        host: int,
+        msg_id: int = -1,
+        peer: int = -1,
+        cell: int = -1,
+    ) -> None:
+        """Compile one event (field order mirrors ``TraceEvent``)."""
+        if self._finished:
+            raise TraceError("StreamingCompiler already finished")
+        et = int(etype)
+        slot = -1
+        if et == SEND:
+            if msg_id in self._open_sends:
+                raise TraceError(f"duplicate send of msg {msg_id}")
+            slot = self.n_sends
+            self._open_sends[msg_id] = slot
+            self.n_sends += 1
+        elif et == RECEIVE:
+            try:
+                slot = self._open_sends.pop(msg_id)
+            except KeyError:
+                raise TraceError(
+                    f"receive of msg {msg_id} that was never sent or "
+                    "was already consumed (validate() the trace first)"
+                ) from None
+            self.n_receives += 1
+        self._etype.append(et)
+        self._time.append(time)
+        self._host.append(host)
+        self._msg_id.append(msg_id)
+        self._peer.append(peer)
+        self._cell.append(cell)
+        self._slot.append(slot)
+        self.n_events += 1
+        if len(self._etype) >= self.block_events:
+            self._flush()
+
+    def feed_event(self, event: "TraceEvent") -> None:
+        """Compile one :class:`~repro.core.trace.TraceEvent`."""
+        self.feed(
+            event.time,
+            event.etype,
+            event.host,
+            event.msg_id,
+            event.peer,
+            event.cell,
+        )
+
+    def _flush(self) -> None:
+        if not self._etype:
+            return
+        import numpy as np
+
+        self._blocks.append(
+            CompiledBlock(
+                etype=np.asarray(self._etype, dtype="int8"),
+                time=np.asarray(self._time, dtype=FLOAT_DTYPE),
+                host=np.asarray(self._host, dtype="int32"),
+                msg_id=np.asarray(self._msg_id, dtype=INT_DTYPE),
+                peer=np.asarray(self._peer, dtype="int32"),
+                cell=np.asarray(self._cell, dtype="int32"),
+                slot=np.asarray(self._slot, dtype="int32"),
+            )
+        )
+        self._etype.clear()
+        self._time.clear()
+        self._host.clear()
+        self._msg_id.clear()
+        self._peer.clear()
+        self._cell.clear()
+        self._slot.clear()
+
+    def finish(self) -> StreamedTrace:
+        """Flush the tail block and seal the compiler.
+
+        Sends still in flight at the horizon are fine (they are in the
+        materialized compile too); further feeds raise ``TraceError``.
+        """
+        self._flush()
+        self._finished = True
+        return StreamedTrace(
+            n_hosts=self.n_hosts,
+            n_mss=self.n_mss,
+            sim_time=self.sim_time,
+            n_events=self.n_events,
+            n_sends=self.n_sends,
+            n_receives=self.n_receives,
+            blocks=tuple(self._blocks),
+        )

@@ -45,7 +45,10 @@ ENGINE_KINDS = ("auto", "reference", "fused", "vectorized", "online")
 
 #: Version tag of the :meth:`RunSpec.to_wire` dict format (bumped on
 #: breaking shape changes; :meth:`RunSpec.from_wire` refuses others).
-SPEC_WIRE_VERSION = 1
+#: v2: the workload dict carries the registry fields ``workload`` /
+#: ``workload_params`` (name + params travel, never a materialized
+#: schedule), so a v1 peer must not silently drop them.
+SPEC_WIRE_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -277,6 +280,16 @@ def plan(spec: RunSpec) -> ExecutionPlan:
         raise PlanError(
             "spec has both a workload and a pre-built trace; pick one "
             "schedule source"
+        )
+    if spec.workload is not None:
+        # Resolve the workload model at plan time, so an unknown name
+        # or bad parameter fails here with the registry's did-you-mean
+        # errors (ValueErrors, like every engine error) instead of
+        # mid-run in a worker process.
+        from repro.workload.registry import check_workload
+
+        check_workload(
+            spec.workload.workload, spec.workload.workload_params
         )
 
     # protocols=None means "everything the chosen engine can drive":

@@ -34,6 +34,18 @@ class SweepConfig:
         ``vectorizable``) or ``"auto"`` (vectorized when possible,
         fused otherwise).  Results are bit-identical across the three;
         this only trades execution strategy.
+    workload:
+        Workload-model spec ``NAME[:key=value,...]`` (e.g.
+        ``"zipf:alpha=1.1"``) resolved through the workload registry
+        (:mod:`repro.workload.registry`).  :meth:`validate` folds the
+        parsed name and coerced parameters into ``base`` --
+        ``base.workload`` / ``base.workload_params`` -- so the model
+        rides every execution path (serial, pool, sharded wire)
+        identically.  ``None`` (default) leaves ``base`` alone (the
+        paper model unless ``base`` already names another).  Unknown
+        names raise
+        :class:`~repro.workload.registry.UnknownWorkloadError` with
+        did-you-mean suggestions, like unknown protocols.
     seeds:
         One run per seed per point; results are averaged and the
         within-4% agreement is checked.
@@ -149,6 +161,7 @@ class SweepConfig:
     t_switch_values: Sequence[float] = T_SWITCH_SWEEP
     protocols: Sequence[str] = DEFAULT_PROTOCOLS
     engine: str = "fused"
+    workload: Optional[str] = None
     seeds: Sequence[int] = (0, 1, 2)
     workers: int = 0
     use_cache: bool = True
@@ -185,6 +198,19 @@ class SweepConfig:
         """
         from repro.engine import resolve_protocols
 
+        if self.workload is not None:
+            from repro.workload.registry import resolve_workload_spec
+
+            name, params = resolve_workload_spec(self.workload)
+            if (name, params) != (self.base.workload,
+                                  self.base.workload_params):
+                # Fold the spec into the base config once (idempotent:
+                # re-validation sees the values already applied), so
+                # the journal hash, the task grid and the sharded wire
+                # all carry the resolved model.
+                self.base = self.base.with_(
+                    workload=name, workload_params=params
+                )
         self.base.validate()
         if not self.t_switch_values:
             raise ValueError("need at least one t_switch value")

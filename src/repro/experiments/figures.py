@@ -43,6 +43,7 @@ def figure_sweep_config(
     t_switch_values: Sequence[float] = T_SWITCH_SWEEP,
     protocols: Sequence[str] = DEFAULT_PROTOCOLS,
     engine: str = "fused",
+    workload: Optional[str] = None,
     workers: int = 0,
     use_cache: bool = True,
     cache_dir: Optional[str] = None,
@@ -66,6 +67,11 @@ def figure_sweep_config(
     ``sim_time`` is explicit because the paper-scale horizon (1e5) takes
     minutes per sweep in pure Python; benches use a shorter horizon and
     EXPERIMENTS.md records which was used where.
+
+    ``workload`` swaps the figure's traffic/mobility model for a
+    registered one (``NAME[:key=value,...]``, e.g. ``"zipf:alpha=1.1"``)
+    while keeping the figure's ``P_switch`` / ``H`` parameters -- the
+    sensitivity ablation the registry exists for.
     """
     if figure not in FIGURE_PARAMS:
         raise ValueError(f"the paper has figures 1..6, got {figure}")
@@ -81,6 +87,7 @@ def figure_sweep_config(
         t_switch_values=tuple(t_switch_values),
         protocols=tuple(protocols),
         engine=engine,
+        workload=workload,
         seeds=tuple(seeds),
         workers=workers,
         use_cache=use_cache,
@@ -108,6 +115,7 @@ def run_figure(
     seeds: Sequence[int] = (0, 1, 2),
     t_switch_values: Optional[Sequence[float]] = None,
     engine: str = "fused",
+    workload: Optional[str] = None,
     workers: int = 0,
     use_cache: bool = True,
     cache_dir: Optional[str] = None,
@@ -144,6 +152,7 @@ def run_figure(
         seeds=seeds,
         t_switch_values=tuple(t_switch_values or T_SWITCH_SWEEP),
         engine=engine,
+        workload=workload,
         workers=workers,
         use_cache=use_cache,
         cache_dir=cache_dir,

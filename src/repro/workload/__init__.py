@@ -1,10 +1,17 @@
 """Workload: the paper's application/mobility model and trace generation.
 
 * :class:`~repro.workload.config.WorkloadConfig` -- every knob of the
-  paper's Section 5.1 simulation model.
+  paper's Section 5.1 simulation model, including which registered
+  workload model shapes the run (``workload`` / ``workload_params``).
+* :mod:`~repro.workload.registry` -- the workload-model registry:
+  :class:`WorkloadModel` + :func:`register_workload` discovery, typed
+  errors with did-you-mean suggestions, ``NAME[:k=v,...]`` spec
+  parsing.  Builtin models live in :mod:`~repro.workload.models`.
 * :func:`~repro.workload.driver.generate_trace` -- run the full mobile
   system simulation and emit a protocol-independent
   :class:`~repro.core.trace.Trace`.
+* :func:`~repro.workload.driver.generate_streamed` -- same simulation,
+  compiled into SoA blocks on the fly (bounded staging memory).
 * :func:`~repro.workload.driver.run_online` -- same workload with a
   checkpointing protocol embedded in the simulation (supports
   non-negligible checkpoint latency).
@@ -16,17 +23,49 @@
 
 from repro.workload.cache import TraceCache, config_key, shared_cache
 from repro.workload.config import WorkloadConfig
-from repro.workload.driver import OnlineResult, generate_trace, run_online
+from repro.workload.driver import (
+    OnlineResult,
+    generate_streamed,
+    generate_trace,
+    run_online,
+)
+from repro.workload.registry import (
+    Param,
+    UnknownWorkloadError,
+    WorkloadError,
+    WorkloadModel,
+    WorkloadParamError,
+    check_workload,
+    get_workload,
+    make_workload,
+    parse_workload_spec,
+    register_workload,
+    resolve_workload_spec,
+    workload_names,
+)
 from repro.workload.scenarios import figure_config, paper_scenarios
 
 __all__ = [
     "OnlineResult",
+    "Param",
     "TraceCache",
+    "UnknownWorkloadError",
     "WorkloadConfig",
+    "WorkloadError",
+    "WorkloadModel",
+    "WorkloadParamError",
+    "check_workload",
     "config_key",
     "figure_config",
+    "generate_streamed",
     "generate_trace",
+    "get_workload",
+    "make_workload",
     "paper_scenarios",
+    "parse_workload_spec",
+    "register_workload",
+    "resolve_workload_spec",
     "run_online",
     "shared_cache",
+    "workload_names",
 ]

@@ -84,11 +84,20 @@ def config_key(config: WorkloadConfig) -> str:
     A hex SHA-256 over the canonicalized (field name -> value) mapping.
     Stable across processes and sessions; sensitive to every field
     (``seed`` included), insensitive to ``extra`` dict ordering.
+
+    The registry fields (``workload`` / ``workload_params``) joined the
+    config after traces were already cached on disk; at their paper
+    defaults they are dropped from the hashed payload, so every
+    pre-registry key (and existing cache entry) stays valid while any
+    non-default model still gets its own distinct key.
     """
     payload = {
         f.name: _canonical(getattr(config, f.name))
         for f in fields(config)
     }
+    if payload.get("workload") == "paper" and not config.workload_params:
+        del payload["workload"]
+        del payload["workload_params"]
     blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 

@@ -2,8 +2,8 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Any, Optional
+from dataclasses import dataclass, field, fields, replace
+from typing import Any
 
 #: Run length used by the paper's figures (the OCR dropped the literal;
 #: see DESIGN.md for the inference).
@@ -73,6 +73,15 @@ class WorkloadConfig:
     #: finite value, each checkpoint pauses the host for
     #: shipped_bytes / bandwidth (composes with ``ckpt_latency``).
     wireless_bandwidth: float = float("inf")
+    # -- workload model (registry) -------------------------------------------
+    #: Registered workload model shaping arrivals, destination choice
+    #: and mobility modulation (see :mod:`repro.workload.registry`);
+    #: ``"paper"`` is the uniform-destination Section 5.1 model.
+    workload: str = "paper"
+    #: Model parameters, coerced against the model's declared
+    #: :class:`~repro.workload.registry.Param` specs (``repro
+    #: workloads`` lists them).
+    workload_params: dict[str, Any] = field(default_factory=dict)
     # -- run ------------------------------------------------------------------
     sim_time: float = SIM_TIME_PAPER
     seed: int = 0
@@ -103,6 +112,13 @@ class WorkloadConfig:
             raise ValueError("dirty_pages_per_op must be >= 0")
         if self.wireless_bandwidth <= 0:
             raise ValueError("wireless_bandwidth must be positive")
+        if self.workload != "paper" or self.workload_params:
+            # Lazy import keeps the default path registry-free; raises
+            # UnknownWorkloadError / WorkloadParamError (ValueErrors)
+            # with did-you-mean suggestions on bad names/params.
+            from repro.workload.registry import check_workload
+
+            check_workload(self.workload, self.workload_params)
         return self
 
     def with_(self, **changes) -> "WorkloadConfig":
@@ -110,15 +126,18 @@ class WorkloadConfig:
         return replace(self, **changes)
 
     def meta(self) -> dict[str, Any]:
-        """Metadata dict recorded into generated traces."""
-        return {
-            "seed": self.seed,
-            "n_hosts": self.n_hosts,
-            "n_mss": self.n_mss,
-            "p_send": self.p_send,
-            "t_switch": self.t_switch,
-            "p_switch": self.p_switch,
-            "heterogeneity": self.heterogeneity,
-            "sim_time": self.sim_time,
-            "send_to_connected_only": self.send_to_connected_only,
-        }
+        """Metadata dict recorded into generated traces.
+
+        Carries *every* config field, so a stored trace names its
+        generating config exactly: ``WorkloadConfig(**trace.meta)``
+        round-trips the trace cache key
+        (:func:`repro.workload.cache.config_key`) and no two configs
+        with different keys can share a meta dict.
+        """
+        out: dict[str, Any] = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if isinstance(value, dict):
+                value = dict(value)
+            out[f.name] = value
+        return out

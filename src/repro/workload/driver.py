@@ -21,12 +21,26 @@ Per-host loops (paper Section 5.1):
   ``p_switch``, residence Exp(T_i)) or disconnect (residence
   Exp(T_i/3), away Exp(``disconnect_mean``)); disconnected hosts pause
   their application loop and reconnect into the same cell.
+
+Both loops consult the config's registered *workload model*
+(:mod:`repro.workload.registry`) for the shaping decisions -- arrival
+delays, destination choice, residence scaling.  The default ``"paper"``
+model reproduces the hard-coded behaviour above bit-identically.
+
+A third entry point, :func:`generate_streamed`, runs the same
+simulation but hands each event to a
+:class:`~repro.core.streamed.StreamingCompiler` instead of growing the
+in-memory event list -- compiled SoA blocks come out the other side
+with O(block) staging memory.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Callable, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.streamed import StreamedTrace
 
 from repro.core.metrics import CheckpointStats, ProtocolRunMetrics
 from repro.core.trace import EventType, Trace, TraceEvent
@@ -54,6 +68,38 @@ class OnlineResult:
     bytes_shipped: int = 0
 
 
+class _AllOthers:
+    """Lazy ascending sequence of every host id except one.
+
+    The destination-candidate set for ``send_to_connected_only=False``:
+    ``_AllOthers(n, skip)[k]`` is ``k`` shifted past ``skip``, exactly
+    the mapping :meth:`RandomStreams.choice_other` applies -- so the
+    paper model's uniform draw over it stays bit-identical to the old
+    direct ``choice_other`` call while costing O(1) memory per host
+    (a materialized list would be O(n) per sender).
+    """
+
+    __slots__ = ("n", "skip")
+
+    def __init__(self, n: int, skip: int):
+        self.n = n
+        self.skip = skip
+
+    def __len__(self) -> int:
+        return self.n - 1
+
+    def __getitem__(self, index: int) -> int:
+        if index < 0:
+            index += self.n - 1
+        if not 0 <= index < self.n - 1:
+            raise IndexError(index)
+        return index if index < self.skip else index + 1
+
+    def __iter__(self):
+        for index in range(self.n - 1):
+            yield index if index < self.skip else index + 1
+
+
 class _Driver:
     """One simulated run; see module docstring for the model."""
 
@@ -63,6 +109,7 @@ class _Driver:
         protocol: Optional[CheckpointingProtocol] = None,
         ckpt_latency: float = 0.0,
         gc_interval: Optional[float] = None,
+        event_sink: Optional[Callable[[TraceEvent], None]] = None,
     ):
         config.validate()
         if ckpt_latency < 0:
@@ -102,7 +149,18 @@ class _Driver:
             disconnect_residence_divisor=config.disconnect_residence_divisor,
         )
         self.chooser = make_cell_chooser(config.cell_chooser, config.n_mss)
+        # Imported lazily: the registry must stay importable without
+        # the driver (and vice versa).
+        from repro.workload.registry import make_workload
+
+        self.model = make_workload(config)
+        self._others_cache: dict[int, _AllOthers] = {}
         self.events: list[TraceEvent] = []
+        #: Where emitted events go: the in-memory list by default, a
+        #: caller-supplied sink (e.g. a StreamingCompiler) otherwise.
+        self._emit = (
+            self.events.append if event_sink is None else event_sink
+        )
         self._app_paused = [False] * config.n_hosts
         self.n_sends = 0
         self.n_receives = 0
@@ -196,8 +254,7 @@ class _Driver:
     # ------------------------------------------------------------------
     def _schedule_app(self, host: int, extra: float = 0.0) -> None:
         delay = (
-            self.rng.exponential(f"app/internal/{host}", self.config.internal_mean)
-            + extra
+            self.model.arrival_delay(host, self.rng, self.env.now) + extra
         )
         self.env.call_later(delay, lambda: self._app_step(host))
 
@@ -238,11 +295,17 @@ class _Driver:
             ]
             if not others:
                 return  # nobody reachable: the send operation is a no-op
-            dst = others[self.rng.choice_index(f"app/dst/{host}", len(others))]
         else:
-            dst = self.rng.choice_other(
-                f"app/dst/{host}", self.config.n_hosts, host
-            )
+            others = self._others_cache.get(host)
+            if others is None:
+                others = self._others_cache[host] = _AllOthers(
+                    self.config.n_hosts, host
+                )
+        dst = self.model.choose_destination(
+            host, others, self.rng, self.env.now
+        )
+        if dst is None:
+            return  # the model dropped the send: a no-op
         piggyback = {}
         pg_ints = 0
         if self.protocol is not None:
@@ -252,7 +315,7 @@ class _Driver:
             host, dst, piggyback=piggyback, piggyback_ints=pg_ints
         )
         self.n_sends += 1
-        self.events.append(
+        self._emit(
             TraceEvent(
                 time=self.env.now,
                 etype=EventType.SEND,
@@ -266,7 +329,7 @@ class _Driver:
         if self.protocol is not None:
             self.protocol.on_receive(host, msg.piggyback["pg"], msg.src, self.env.now)
         self.n_receives += 1
-        self.events.append(
+        self._emit(
             TraceEvent(
                 time=self.env.now,
                 etype=EventType.RECEIVE,
@@ -281,18 +344,23 @@ class _Driver:
     # ------------------------------------------------------------------
     def _enter_cell(self, host: int) -> None:
         decision = self.mobility.decide(host, self.rng)
+        # The workload model may stretch/shrink residence (day/night
+        # modulation); the paper model's 1.0 leaves it bit-identical.
+        residence = decision.residence * self.model.residence_scale(
+            host, self.env.now
+        )
         if decision.kind is MoveKind.SWITCH:
-            self.env.call_later(decision.residence, lambda: self._do_switch(host))
+            self.env.call_later(residence, lambda: self._do_switch(host))
         else:
             self.env.call_later(
-                decision.residence,
+                residence,
                 lambda: self._do_disconnect(host, decision.away_time),
             )
 
     def _do_switch(self, host: int) -> None:
         old = self.system.hosts[host].mss_id
         new = self.chooser.next_cell(host, old, self.rng)
-        self.events.append(
+        self._emit(
             TraceEvent(
                 time=self.env.now,
                 etype=EventType.CELL_SWITCH,
@@ -307,7 +375,7 @@ class _Driver:
         self._enter_cell(host)
 
     def _do_disconnect(self, host: int, away_time: float) -> None:
-        self.events.append(
+        self._emit(
             TraceEvent(time=self.env.now, etype=EventType.DISCONNECT, host=host)
         )
         if self.protocol is not None:
@@ -318,7 +386,7 @@ class _Driver:
     def _do_reconnect(self, host: int) -> None:
         self.system.reconnect(host)
         cell = self.system.hosts[host].mss_id
-        self.events.append(
+        self._emit(
             TraceEvent(
                 time=self.env.now, etype=EventType.RECONNECT, host=host, cell=cell
             )
@@ -343,7 +411,8 @@ class _Driver:
         self.env.call_later(self.gc_interval, self._gc_tick)
 
     # ------------------------------------------------------------------
-    def run(self) -> Trace:
+    def _run_sim(self) -> None:
+        """Schedule the per-host loops and run the DES to the horizon."""
         for host in range(self.config.n_hosts):
             self._schedule_app(host)
             self._enter_cell(host)
@@ -355,6 +424,9 @@ class _Driver:
                 )
             self.env.call_later(self.gc_interval, self._gc_tick)
         self.env.run(until=self.config.sim_time)
+
+    def run(self) -> Trace:
+        self._run_sim()
         return Trace(
             n_hosts=self.config.n_hosts,
             n_mss=self.config.n_mss,
@@ -372,6 +444,35 @@ def generate_trace(config: WorkloadConfig) -> Trace:
     its ``seed``.
     """
     return _Driver(config).run()
+
+
+def generate_streamed(
+    config: WorkloadConfig,
+    block_events: Optional[int] = None,
+) -> "StreamedTrace":
+    """Simulate the mobile system, compiling SoA blocks on the fly.
+
+    Equivalent to ``compile_trace(generate_trace(config))`` -- the
+    returned :class:`~repro.core.streamed.StreamedTrace` reconstructs a
+    bit-identical :class:`~repro.core.compiled.CompiledTrace` -- but
+    the event list is never materialized: each
+    :class:`~repro.core.trace.TraceEvent` goes straight into a
+    :class:`~repro.core.streamed.StreamingCompiler` and is dropped, so
+    peak staging memory is O(*block_events*) python objects plus the
+    compact numpy output blocks.
+    """
+    from repro.core.streamed import StreamingCompiler
+
+    kwargs = {} if block_events is None else {"block_events": block_events}
+    compiler = StreamingCompiler(
+        n_hosts=config.n_hosts,
+        n_mss=config.n_mss,
+        sim_time=config.sim_time,
+        **kwargs,
+    )
+    driver = _Driver(config, event_sink=compiler.feed_event)
+    driver._run_sim()
+    return compiler.finish()
 
 
 def run_online(

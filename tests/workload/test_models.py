@@ -1,0 +1,315 @@
+"""Builtin workload models: behavior, determinism and the bit-identity
+of the ``paper`` entry with the pre-registry driver."""
+
+import json
+from collections import Counter
+
+import pytest
+
+from repro.des.rng import RandomStreams
+from repro.workload.cache import config_key
+from repro.workload.config import WorkloadConfig
+from repro.workload.driver import generate_trace
+from repro.workload.registry import (
+    WorkloadParamError,
+    get_workload,
+    make_workload,
+)
+
+# Trace cache keys captured on the pre-registry driver (PR 8 tree).
+# The registry refactor must not move them: the paper model makes
+# exactly the old draws and `config_key` drops the registry fields at
+# their defaults, so cached traces stay addressable.
+PINNED_KEYS = {
+    (): "8ec8b91e82f74df5fdfeb3a0c798f4e4c1f33436ec89603ed61226ec2f8929c5",
+    (("sim_time", 200.0),):
+        "47a66e390fc5115bd3e7731b73a8c67d18730278def17c4862b106aa75299e10",
+}
+
+
+@pytest.mark.parametrize("overrides", list(PINNED_KEYS), ids=repr)
+def test_paper_cache_keys_unmoved(overrides):
+    cfg = WorkloadConfig(**dict(overrides))
+    assert config_key(cfg) == PINNED_KEYS[overrides]
+
+
+def test_nonpaper_workload_changes_cache_key():
+    base = WorkloadConfig(sim_time=200.0)
+    zipf = base.with_(workload="zipf", workload_params={"alpha": 1.1})
+    assert config_key(zipf) != config_key(base)
+    # And the params matter, not just the name.
+    assert config_key(zipf) != config_key(
+        base.with_(workload="zipf", workload_params={"alpha": 2.0})
+    )
+
+
+def _cfg(**kw) -> WorkloadConfig:
+    kw.setdefault("sim_time", 300.0)
+    return WorkloadConfig(**kw).validate()
+
+
+def _send_destinations(trace):
+    from repro.core.trace import EventType
+
+    return Counter(
+        e.peer for e in trace.events if e.etype == EventType.SEND
+    )
+
+
+def test_generation_is_deterministic_per_model():
+    cfg = _cfg(workload="zipf", workload_params={"alpha": 1.2})
+    a = generate_trace(cfg)
+    b = generate_trace(cfg)
+    assert a.events == b.events
+
+
+def test_zipf_skews_destinations_low():
+    uniform = _send_destinations(generate_trace(_cfg(sim_time=600.0)))
+    skewed = _send_destinations(
+        generate_trace(
+            _cfg(
+                sim_time=600.0,
+                workload="zipf",
+                workload_params={"alpha": 1.5},
+            )
+        )
+    )
+    # Host 0's share of received sends must grow markedly under skew.
+    share = lambda c: c[0] / max(1, sum(c.values()))  # noqa: E731
+    assert share(skewed) > 2 * share(uniform)
+
+
+def test_zipf_alpha_zero_matches_weights_uniform():
+    model = make_workload(_cfg(workload="zipf", workload_params={"alpha": 0}))
+    assert set(model._weight) == {1.0}
+
+
+def test_zipf_negative_alpha_rejected():
+    with pytest.raises(WorkloadParamError, match="alpha.*>= 0"):
+        make_workload(_cfg(workload="zipf", workload_params={"alpha": -1}))
+
+
+def test_hotspot_concentrates_on_hot_set():
+    plain = _send_destinations(generate_trace(_cfg(sim_time=600.0)))
+    hot = _send_destinations(
+        generate_trace(
+            _cfg(
+                sim_time=600.0,
+                workload="hotspot",
+                workload_params={"n_hot": 2, "bias": 0.95},
+            )
+        )
+    )
+    hot_share = (hot[0] + hot[1]) / max(1, sum(hot.values()))
+    plain_share = (plain[0] + plain[1]) / max(1, sum(plain.values()))
+    assert hot_share > 0.6 > plain_share
+
+
+@pytest.mark.parametrize(
+    "params, match",
+    [
+        ({"n_hot": 0}, "n_hot"),
+        ({"bias": 1.5}, "bias"),
+    ],
+)
+def test_hotspot_param_ranges(params, match):
+    with pytest.raises(WorkloadParamError, match=match):
+        make_workload(_cfg(workload="hotspot", workload_params=params))
+
+
+def test_bursty_rates_differ_by_phase():
+    cfg = _cfg(
+        workload="bursty",
+        workload_params={
+            "on_mean": 1e9,  # pin host 0 in its initial ON phase
+            "off_mean": 1.0,
+            "burst_factor": 4.0,
+        },
+    )
+    model = make_workload(cfg)
+    rng = RandomStreams(seed=cfg.seed)
+    on_delays = [model.arrival_delay(0, rng, 1.0) for _ in range(400)]
+    # A fresh model whose first phase ends immediately is OFF afterward.
+    model2 = make_workload(
+        cfg.with_(workload_params={**cfg.workload_params, "on_mean": 1e-12})
+    )
+    rng2 = RandomStreams(seed=cfg.seed)
+    off_delays = [model2.arrival_delay(0, rng2, 1.0) for _ in range(400)]
+    mean = lambda xs: sum(xs) / len(xs)  # noqa: E731
+    # ON mean ~ internal_mean/4, OFF mean ~ internal_mean*4.
+    assert mean(off_delays) > 4 * mean(on_delays)
+
+
+def test_bursty_param_validation():
+    with pytest.raises(WorkloadParamError, match="on_mean"):
+        make_workload(
+            _cfg(workload="bursty", workload_params={"on_mean": 0})
+        )
+    with pytest.raises(WorkloadParamError, match="burst_factor"):
+        make_workload(
+            _cfg(workload="bursty", workload_params={"burst_factor": 0.5})
+        )
+
+
+def test_daynight_scale_schedule():
+    model = make_workload(
+        _cfg(
+            workload="daynight",
+            workload_params={
+                "period": 100.0,
+                "day_fraction": 0.5,
+                "night_factor": 3.0,
+            },
+        )
+    )
+    assert model.residence_scale(0, 10.0) == 1.0
+    assert model.residence_scale(0, 49.9) == 1.0
+    assert model.residence_scale(0, 50.0) == 3.0
+    assert model.residence_scale(0, 99.0) == 3.0
+    assert model.residence_scale(0, 110.0) == 1.0  # next period's day
+
+
+def test_daynight_param_validation():
+    with pytest.raises(WorkloadParamError, match="period"):
+        make_workload(
+            _cfg(workload="daynight", workload_params={"period": 0})
+        )
+    with pytest.raises(WorkloadParamError, match="day_fraction"):
+        make_workload(
+            _cfg(workload="daynight", workload_params={"day_fraction": 2})
+        )
+
+
+# -- trace-driven model ------------------------------------------------
+
+def _schedule(tmp_path, records):
+    path = tmp_path / "schedule.jsonl"
+    path.write_text(
+        "\n".join(json.dumps(r) if r else "" for r in records) + "\n",
+        encoding="utf-8",
+    )
+    return str(path)
+
+
+def test_trace_model_replays_delays(tmp_path):
+    path = _schedule(
+        tmp_path,
+        [
+            {"host": 0, "delay": 1.5},
+            {},  # blank line is skipped
+            {"host": 0, "delay": 2.5},
+            {"host": 1, "delay": 7.0},
+        ],
+    )
+    model = make_workload(
+        _cfg(workload="trace", workload_params={"path": path})
+    )
+    rng = RandomStreams(seed=0)
+    assert model.arrival_delay(0, rng, 0.0) == 1.5
+    assert model.arrival_delay(0, rng, 0.0) == 2.5
+    # Host 1's record was buffered while scanning for host 0's.
+    assert model.arrival_delay(1, rng, 0.0) == 7.0
+    # wrap=True (default): the file restarts.
+    assert model.arrival_delay(0, rng, 0.0) == 1.5
+
+
+def test_trace_model_no_wrap_falls_back(tmp_path):
+    path = _schedule(tmp_path, [{"host": 0, "delay": 3.0}])
+    model = make_workload(
+        _cfg(
+            workload="trace",
+            workload_params={"path": path, "wrap": "false"},
+        )
+    )
+    rng = RandomStreams(seed=0)
+    assert model.arrival_delay(0, rng, 0.0) == 3.0
+    fallback = model.arrival_delay(0, rng, 0.0)
+    assert fallback > 0 and fallback != 3.0  # Exp(internal_mean) draw
+    assert 0 in model._absent
+
+
+def test_trace_model_absent_host_uses_exponential(tmp_path):
+    path = _schedule(tmp_path, [{"host": 5, "delay": 1.0}])
+    model = make_workload(
+        _cfg(workload="trace", workload_params={"path": path})
+    )
+    rng = RandomStreams(seed=0)
+    # Host 2 never appears: one full scan (with wrap) marks it absent.
+    delay = model.arrival_delay(2, rng, 0.0)
+    assert delay > 0 and 2 in model._absent
+
+
+def test_trace_model_missing_file():
+    with pytest.raises(WorkloadParamError, match="not found"):
+        make_workload(
+            _cfg(workload="trace", workload_params={"path": "/no/such.jsonl"})
+        )
+
+
+@pytest.mark.parametrize(
+    "line, match",
+    [
+        ("{\"host\": 0}", "bad schedule line"),
+        ("not json", "bad schedule line"),
+        ("{\"host\": 0, \"delay\": -1}", "negative delay"),
+    ],
+)
+def test_trace_model_malformed_lines(tmp_path, line, match):
+    path = tmp_path / "schedule.jsonl"
+    path.write_text(line + "\n", encoding="utf-8")
+    model = make_workload(
+        _cfg(workload="trace", workload_params={"path": str(path)})
+    )
+    rng = RandomStreams(seed=0)
+    with pytest.raises(WorkloadParamError, match=match):
+        model.arrival_delay(0, rng, 0.0)
+
+
+def test_end_to_end_trace_generation_with_model(tmp_path):
+    path = _schedule(
+        tmp_path,
+        [{"host": h, "delay": 0.5 + h} for h in range(10)],
+    )
+    cfg = _cfg(
+        sim_time=100.0,
+        workload="trace",
+        workload_params={"path": path},
+    )
+    trace = generate_trace(cfg)
+    assert len(trace.events) > 0
+    assert trace.meta["workload"] == "trace"
+    assert trace.meta["workload_params"]["path"] == path
+
+
+# -- meta() round-trip (cache-key fidelity) ----------------------------
+
+def test_meta_roundtrips_cache_key():
+    cfg = WorkloadConfig(
+        sim_time=200.0,
+        workload="hotspot",
+        workload_params={"n_hot": 2, "bias": 0.9},
+        extra={"note": "x"},
+    )
+    clone = WorkloadConfig(**cfg.meta())
+    assert clone == cfg
+    assert config_key(clone) == config_key(cfg)
+
+
+def test_meta_carries_every_field():
+    from dataclasses import fields
+
+    cfg = WorkloadConfig()
+    meta = cfg.meta()
+    assert set(meta) == {f.name for f in fields(WorkloadConfig)}
+    # Dicts are copies, not aliases: mutating the meta cannot corrupt
+    # the config (or the cache key of a trace holding it).
+    meta["workload_params"]["alpha"] = 9.9
+    meta["extra"]["x"] = 1
+    assert cfg.workload_params == {} and cfg.extra == {}
+
+
+def test_distinct_keys_imply_distinct_meta():
+    a = WorkloadConfig()
+    b = WorkloadConfig(workload="zipf", workload_params={"alpha": 1.1})
+    assert config_key(a) != config_key(b)
+    assert a.meta() != b.meta()

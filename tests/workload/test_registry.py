@@ -1,0 +1,183 @@
+"""Workload registry: registration, resolution, spec parsing, errors."""
+
+import pytest
+
+from repro.engine.spec import RunSpec, plan
+from repro.experiments.config import SweepConfig
+from repro.workload.config import WorkloadConfig
+from repro.workload.registry import (
+    Param,
+    UnknownWorkloadError,
+    WorkloadError,
+    WorkloadModel,
+    WorkloadParamError,
+    cast_bool,
+    check_workload,
+    get_workload,
+    make_workload,
+    parse_workload_spec,
+    register_workload,
+    resolve_workload_spec,
+    workload_names,
+)
+
+
+def test_builtin_models_registered():
+    names = workload_names()
+    for expected in ("paper", "zipf", "hotspot", "bursty", "trace", "daynight"):
+        assert expected in names
+    assert names == sorted(names)
+
+
+def test_get_workload_unknown_suggests():
+    with pytest.raises(UnknownWorkloadError) as exc_info:
+        get_workload("zipff")
+    msg = str(exc_info.value)
+    assert "unknown workload 'zipff'" in msg
+    assert "'zipf'" in msg
+    assert "known:" in msg
+    assert exc_info.value.suggestions == ("zipf",)
+
+
+def test_unknown_workload_is_value_error():
+    # Consumers catching the engine's ValueError-based errors keep
+    # working when a workload name is bad instead.
+    with pytest.raises(ValueError):
+        get_workload("nope")
+
+
+def test_reregistering_same_class_is_noop():
+    cls = get_workload("paper")
+    assert register_workload("paper")(cls) is cls
+
+
+def test_shadowing_existing_name_raises():
+    class Impostor(WorkloadModel):
+        pass
+
+    with pytest.raises(WorkloadError, match="already registered"):
+        register_workload("paper")(Impostor)
+
+
+def test_register_rejects_non_model():
+    with pytest.raises(TypeError):
+        register_workload("not-a-model")(object)
+
+
+def test_coerce_params_defaults_and_casting():
+    zipf = get_workload("zipf")
+    assert zipf.coerce_params({}) == {"alpha": 1.0}
+    assert zipf.coerce_params({"alpha": "1.5"}) == {"alpha": 1.5}
+
+
+def test_coerce_params_unknown_key_suggests():
+    zipf = get_workload("zipf")
+    with pytest.raises(WorkloadParamError, match="did you mean 'alpha'"):
+        zipf.coerce_params({"alfa": 1.0})
+
+
+def test_coerce_params_uninterpretable_value():
+    zipf = get_workload("zipf")
+    with pytest.raises(WorkloadParamError, match="cannot interpret"):
+        zipf.coerce_params({"alpha": "spicy"})
+
+
+def test_required_param_missing():
+    with pytest.raises(WorkloadParamError, match="requires parameter 'path'"):
+        check_workload("trace", {})
+
+
+def test_cast_bool_spellings():
+    for truthy in (True, 1, "1", "true", "YES", " on "):
+        assert cast_bool(truthy) is True
+    for falsy in (False, 0, "0", "False", "no", "off"):
+        assert cast_bool(falsy) is False
+    with pytest.raises(ValueError):
+        cast_bool("maybe")
+    with pytest.raises(ValueError):
+        cast_bool(2)
+
+
+def test_parse_workload_spec():
+    assert parse_workload_spec("paper") == ("paper", {})
+    assert parse_workload_spec("zipf:alpha=1.1") == ("zipf", {"alpha": "1.1"})
+    assert parse_workload_spec("hotspot:n_hot=2,bias=0.9") == (
+        "hotspot",
+        {"n_hot": "2", "bias": "0.9"},
+    )
+
+
+@pytest.mark.parametrize("bad", ["", ":alpha=1", "zipf:alpha", "zipf:=1"])
+def test_parse_workload_spec_malformed(bad):
+    with pytest.raises(WorkloadParamError):
+        parse_workload_spec(bad)
+
+
+def test_resolve_workload_spec_coerces():
+    name, params = resolve_workload_spec("zipf:alpha=2")
+    assert name == "zipf"
+    assert params == {"alpha": 2.0}
+    assert isinstance(params["alpha"], float)
+
+
+def test_make_workload_from_config():
+    cfg = WorkloadConfig(workload="zipf", workload_params={"alpha": 1.3})
+    model = make_workload(cfg)
+    assert model.name == "zipf"
+    assert model.params == {"alpha": 1.3}
+    assert model.config is cfg
+
+
+def test_describe_lists_params():
+    info = get_workload("hotspot").describe()
+    assert info["name"] == "hotspot"
+    assert set(info["params"]) == {"n_hot", "bias"}
+    assert info["doc"]
+
+
+def test_param_spec_defaults():
+    p = Param()
+    assert p.default is None and p.cast is float and not p.required
+
+
+# -- the three consumer-facing validation gates ------------------------
+
+def test_workload_config_validate_rejects_unknown():
+    cfg = WorkloadConfig(workload="zpif")
+    with pytest.raises(UnknownWorkloadError, match="did you mean 'zipf'"):
+        cfg.validate()
+
+
+def test_workload_config_validate_rejects_bad_param():
+    cfg = WorkloadConfig(workload="zipf", workload_params={"alfa": 1.0})
+    with pytest.raises(WorkloadParamError, match="did you mean 'alpha'"):
+        cfg.validate()
+
+
+def test_plan_rejects_unknown_workload():
+    spec = RunSpec(
+        protocols=("TP",), workload=WorkloadConfig(workload="hotspit")
+    )
+    with pytest.raises(UnknownWorkloadError, match="did you mean 'hotspot'"):
+        plan(spec)
+
+
+def test_sweep_config_rejects_unknown_workload():
+    with pytest.raises(UnknownWorkloadError, match="did you mean 'bursty'"):
+        SweepConfig(workload="burstyy").validate()
+
+
+def test_sweep_config_folds_spec_into_base():
+    cfg = SweepConfig(workload="zipf:alpha=1.1").validate()
+    assert cfg.base.workload == "zipf"
+    assert cfg.base.workload_params == {"alpha": 1.1}
+    # Idempotent: re-validation leaves the fold in place.
+    base = cfg.base
+    cfg.validate()
+    assert cfg.base == base
+
+
+def test_sweep_config_default_leaves_base_alone():
+    cfg = SweepConfig().validate()
+    assert cfg.base.workload == "paper"
+    assert cfg.base.workload_params == {}

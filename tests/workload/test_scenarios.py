@@ -1,0 +1,76 @@
+"""Error paths and parameter threading of the figure scenarios."""
+
+import pytest
+
+from repro.workload.config import SIM_TIME_PAPER
+from repro.workload.scenarios import (
+    T_SWITCH_SWEEP,
+    figure_config,
+    paper_scenarios,
+)
+
+
+@pytest.mark.parametrize("bad_figure", [0, 7, -1, 99])
+def test_invalid_figure_number(bad_figure):
+    with pytest.raises(
+        ValueError, match=f"the paper has figures 1..6, got {bad_figure}"
+    ):
+        figure_config(bad_figure, t_switch=1000.0)
+
+
+@pytest.mark.parametrize("bad_t_switch", [0.0, -100.0])
+def test_non_positive_t_switch(bad_t_switch):
+    with pytest.raises(ValueError, match="t_switch must be positive"):
+        figure_config(1, t_switch=bad_t_switch)
+
+
+def test_non_positive_sim_time_override():
+    with pytest.raises(ValueError, match="sim_time must be positive"):
+        figure_config(1, t_switch=1000.0, sim_time=0.0)
+
+
+def test_seed_threads_through():
+    assert figure_config(1, t_switch=500.0).seed == 0
+    assert figure_config(1, t_switch=500.0, seed=17).seed == 17
+
+
+def test_seed_changes_only_the_seed():
+    a = figure_config(3, t_switch=500.0, seed=0)
+    b = figure_config(3, t_switch=500.0, seed=1)
+    assert a.with_(seed=1) == b
+
+
+def test_sim_time_default_and_override():
+    assert figure_config(2, t_switch=500.0).sim_time == SIM_TIME_PAPER
+    assert figure_config(2, t_switch=500.0, sim_time=250.0).sim_time == 250.0
+
+
+@pytest.mark.parametrize(
+    "figure, p_switch, heterogeneity",
+    [
+        (1, 1.0, 0.0),
+        (2, 0.8, 0.0),
+        (3, 1.0, 0.5),
+        (4, 0.8, 0.5),
+        (5, 1.0, 0.3),
+        (6, 0.8, 0.3),
+    ],
+)
+def test_figure_parameters_match_the_paper(figure, p_switch, heterogeneity):
+    cfg = figure_config(figure, t_switch=1000.0)
+    assert cfg.p_send == 0.4
+    assert cfg.p_switch == p_switch
+    assert cfg.heterogeneity == heterogeneity
+    # Figures use the paper's uniform workload model.
+    assert cfg.workload == "paper" and cfg.workload_params == {}
+
+
+def test_t_switch_sweep_is_the_figure_x_axis():
+    assert T_SWITCH_SWEEP[0] == 100.0 and T_SWITCH_SWEEP[-1] == 10000.0
+    assert list(T_SWITCH_SWEEP) == sorted(T_SWITCH_SWEEP)
+
+
+def test_paper_scenarios_cover_all_figures():
+    scenarios = paper_scenarios()
+    assert sorted(scenarios) == [1, 2, 3, 4, 5, 6]
+    assert all(s["p_send"] == 0.4 for s in scenarios.values())

@@ -1,0 +1,71 @@
+"""Smoke: every registered workload runs end to end on both replay
+engines with identical counters, and streams bit-identically.
+
+This is the local twin of the CI ``workload-smoke`` step: a model that
+registers but cannot actually drive a run (or diverges between the
+fused and vectorized engines, or between the streaming and materialized
+compilers) fails here before any figure uses it.
+"""
+
+import json
+
+import pytest
+
+from repro.core.compiled import compile_trace
+from repro.engine import RunSpec, execute
+from repro.workload.config import WorkloadConfig
+from repro.workload.driver import generate_streamed, generate_trace
+from repro.workload.registry import workload_names
+
+PROTOCOLS = ("TP", "BCS", "QBC")
+
+
+@pytest.fixture
+def smoke_params(tmp_path):
+    """Minimal valid params per model (only 'trace' needs any)."""
+    schedule = tmp_path / "schedule.jsonl"
+    schedule.write_text(
+        "\n".join(
+            json.dumps({"host": h % 10, "delay": 0.5 + (h % 3)})
+            for h in range(60)
+        )
+        + "\n",
+        encoding="utf-8",
+    )
+    return {"trace": {"path": str(schedule)}}
+
+
+def _smoke_config(name, smoke_params) -> WorkloadConfig:
+    return WorkloadConfig(
+        sim_time=200.0,
+        workload=name,
+        workload_params=smoke_params.get(name, {}),
+    ).validate()
+
+
+@pytest.mark.parametrize("name", workload_names())
+def test_workload_runs_on_both_engines(name, smoke_params):
+    cfg = _smoke_config(name, smoke_params)
+    fused = execute(
+        RunSpec(protocols=PROTOCOLS, workload=cfg, engine="fused")
+    )
+    vectorized = execute(
+        RunSpec(protocols=PROTOCOLS, workload=cfg, engine="vectorized")
+    )
+    assert fused.engine_kind == "fused"
+    assert vectorized.engine_kind == "vectorized"
+    for proto in PROTOCOLS:
+        f = fused.outcome(proto).metrics
+        v = vectorized.outcome(proto).metrics
+        assert f.n_total == v.n_total, proto
+        assert f.n_total >= 0
+    # A model that silences the application entirely is a broken smoke.
+    assert len(fused.trace.events) > 0
+
+
+@pytest.mark.parametrize("name", workload_names())
+def test_workload_streams_bit_identically(name, smoke_params):
+    cfg = _smoke_config(name, smoke_params)
+    streamed = generate_streamed(cfg, block_events=128)
+    compiled = compile_trace(generate_trace(cfg))
+    assert streamed.to_compiled() == compiled
