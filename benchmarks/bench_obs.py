@@ -144,3 +144,104 @@ def test_tracer_span_cost(benchmark):
     benchmark.extra_info.update(payload)
     _record("tracer_span", payload)
     assert per_span_us < 100, f"span costs {per_span_us:.1f}us"
+
+
+def test_fleet_plane_overhead(benchmark, tmp_path):
+    """The fleet plane (delta source + aggregation + exporters) must
+    stay inside the same <5% envelope as the observer stack.  Measured
+    over a serial sweep so the comparison is single-process and stable;
+    the cross-process transport adds only pickled frames on the
+    existing heartbeat cadence."""
+    from repro.experiments import SweepConfig, run_sweep
+    from repro.workload import WorkloadConfig as WC
+
+    def config(**fleet):
+        return SweepConfig(
+            base=WC(p_switch=0.8, sim_time=2000.0),
+            t_switch_values=(100.0, 800.0),
+            seeds=(0,),
+            use_cache=False,
+            progress=False,
+            **fleet,
+        )
+
+    prom = tmp_path / "fleet.prom"
+    otlp = tmp_path / "fleet-otlp.json"
+
+    def plain():
+        return run_sweep(config())
+
+    def observed():
+        return run_sweep(config(
+            run_id="bench",
+            prom_path=str(prom),
+            otlp_path=str(otlp),
+        ))
+
+    def interleaved(rounds=7):
+        plain_best = obs_best = float("inf")
+        plain_result = obs_result = None
+        for _ in range(rounds):
+            t0 = time.perf_counter()
+            plain_result = plain()
+            plain_best = min(plain_best, time.perf_counter() - t0)
+            t0 = time.perf_counter()
+            obs_result = observed()
+            obs_best = min(obs_best, time.perf_counter() - t0)
+        return plain_best, plain_result, obs_best, obs_result
+
+    plain_time, plain_result, obs_time, obs_result = benchmark.pedantic(
+        interleaved, rounds=1, iterations=1
+    )
+
+    # Purely observational: identical values with the plane on or off.
+    for pp, op in zip(plain_result.points, obs_result.points):
+        assert [  # full counter signature per run
+            (r.protocol, r.seed, r.n_total, r.n_basic, r.n_forced)
+            for r in pp.runs
+        ] == [
+            (r.protocol, r.seed, r.n_total, r.n_basic, r.n_forced)
+            for r in op.runs
+        ]
+    assert prom.exists() and otlp.exists()
+
+    overhead = obs_time / plain_time - 1.0
+    payload = {
+        "plain_sweep_ms": round(plain_time * 1e3, 2),
+        "fleet_sweep_ms": round(obs_time * 1e3, 2),
+        "overhead_pct": round(100 * overhead, 2),
+        "gate_pct": round(100 * MAX_OVERHEAD, 1),
+    }
+    benchmark.extra_info.update(payload)
+    _record("fleet_plane", payload)
+    assert obs_time <= plain_time * (1.0 + MAX_OVERHEAD), (
+        f"fleet plane adds {100*overhead:.1f}% over a plain sweep "
+        f"({obs_time*1e3:.2f}ms vs {plain_time*1e3:.2f}ms)"
+    )
+
+
+def test_metrics_delta_cost(benchmark):
+    """One delta cycle (snapshot + diff over ~100 live series) rides
+    every worker heartbeat; it must stay far below the heartbeat
+    interval."""
+    from repro.obs.fleet import MetricsDeltaSource
+    from repro.obs.metrics import MetricsRegistry
+
+    reg = MetricsRegistry()
+    for i in range(50):
+        reg.counter("repro_bench_total", series=str(i)).inc(i)
+        reg.histogram("repro_bench_seconds", series=str(i)).observe(0.1)
+    source = MetricsDeltaSource(reg)
+    source.delta()  # absorb the initial state
+
+    def cycle():
+        reg.counter("repro_bench_total", series="0").inc()
+        return source.delta()
+
+    delta = benchmark(cycle)
+    assert delta is not None and len(delta["series"]) == 1
+    per_cycle_us = benchmark.stats.stats.min * 1e6
+    payload = {"series": 100, "per_delta_us": round(per_cycle_us, 1)}
+    benchmark.extra_info.update(payload)
+    _record("metrics_delta", payload)
+    assert per_cycle_us < 50_000, f"delta costs {per_cycle_us:.0f}us"

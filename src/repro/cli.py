@@ -20,7 +20,11 @@ Subcommands
 ``tail``
     Follow a telemetry / outcome / heartbeat JSONL stream (written by
     ``figure --telemetry/--stream/--heartbeat``) and print a live
-    summary.
+    summary.  Survives log truncation and rotation.
+``dash``
+    Live TTY dashboard over the same JSONL streams: per-worker
+    throughput, cache-tier hit rates, retry/quarantine counts and
+    per-protocol forced-checkpoint-rate sparklines.
 ``protocols``
     List every registered protocol -- builtin and plugin-contributed --
     with capabilities and origin, plus any plugin load errors.
@@ -122,6 +126,12 @@ def _cmd_figure(args) -> int:
         shards=args.shards,
         shard_listen=args.shard_listen,
         shard_size=args.shard_size,
+        run_id=args.run_id,
+        prom_path=args.prom,
+        prom_gateway=args.prom_gateway,
+        otlp_path=args.otlp,
+        obs_refresh_s=args.obs_refresh,
+        adaptive_shard_size=args.adaptive_shards,
     )
     if args.metrics:
         from repro.obs.metrics import registry
@@ -155,63 +165,70 @@ def _cmd_figure(args) -> int:
         for violation in result.violations:
             print(f"  {violation}")
         ok = ok and audit_report.ok
+    otlp_file = args.otlp if args.otlp and "://" not in args.otlp else None
     for label, path in (
         ("telemetry", args.telemetry),
         ("trace-event JSON", args.trace),
         ("metrics", args.metrics),
         ("outcome stream", args.stream),
         ("heartbeats", args.heartbeat),
+        ("fleet metrics (prometheus)", args.prom),
+        ("fleet OTLP-JSON", otlp_file),
     ):
         if path:
             print(f"\n{label} written to {path}", end="")
     if any((args.telemetry, args.trace, args.metrics, args.stream,
-            args.heartbeat)):
+            args.heartbeat, args.prom, otlp_file)):
         print()
     return EXIT_OK if ok else EXIT_FAILURE
 
 
 def _cmd_tail(args) -> int:
-    import json
+    import os
     import time as _time
 
+    from repro.obs.dash import JsonlFollower
     from repro.obs.telemetry import tail_summary
-
-    def _read(path) -> list[dict]:
-        records = []
-        try:
-            with open(path) as fh:
-                for line in fh:
-                    line = line.strip()
-                    if not line:
-                        continue
-                    try:
-                        records.append(json.loads(line))
-                    except ValueError:
-                        continue  # torn trailing line mid-append
-        except FileNotFoundError:
-            return []
-        return records
-
-    import os
 
     if args.once:
         if not os.path.exists(args.path):
             print(f"{args.path}: no such file", file=sys.stderr)
             return EXIT_USAGE
-        print(tail_summary(_read(args.path)))
+        follower = JsonlFollower(args.path)
+        follower.poll()
+        print(tail_summary(follower.records))
         return EXIT_OK
-    # Follow mode: wait for the file, then re-summarize as it grows
-    # (KeyboardInterrupt -> 130 via main()).
-    last_count = -1
+    # Follow mode: an incremental reader keeps its offset between
+    # polls and reopens from the start on truncation/rotation (stat
+    # size below offset, or inode change), so a rotated file never
+    # stalls the summary at a stale offset (KeyboardInterrupt -> 130
+    # via main()).
+    follower = JsonlFollower(args.path)
+    first = True
     while True:
-        records = _read(args.path)
-        if len(records) != last_count:
-            if last_count >= 0:
+        if follower.poll() or first:
+            if not first:
                 print("---")
-            print(tail_summary(records) if records else
+            print(tail_summary(follower.records) if follower.records else
                   f"(waiting for {args.path})")
-            last_count = len(records)
+            first = False
         _time.sleep(args.interval)
+
+
+def _cmd_dash(args) -> int:
+    import os
+
+    from repro.obs.dash import run_dashboard
+
+    if args.once and not os.path.exists(args.path):
+        print(f"{args.path}: no such file", file=sys.stderr)
+        return EXIT_USAGE
+    return run_dashboard(
+        args.path,
+        interval_s=args.interval,
+        once=args.once,
+        width=args.width,
+    )
 
 
 def _cmd_audit(args) -> int:
@@ -649,6 +666,37 @@ def build_parser() -> argparse.ArgumentParser:
         "--shard-size", type=int, default=None, metavar="CELLS",
         help="cells per shard lease (default: ~4 leases per worker)",
     )
+    p.add_argument(
+        "--prom", default=None, metavar="PATH",
+        help="fleet observability: write the merged worker+coordinator "
+        "metrics as a Prometheus textfile at PATH, refreshed every "
+        "--obs-refresh seconds (enables the fleet plane)",
+    )
+    p.add_argument(
+        "--prom-gateway", default=None, metavar="URL",
+        help="also PUT the exposition to a Prometheus push-gateway at "
+        "URL on the same refresh cadence",
+    )
+    p.add_argument(
+        "--otlp", default=None, metavar="PATH_OR_URL",
+        help="write one OTLP-JSON artifact (merged metrics + "
+        "skew-aligned spans) at sweep end: a file path, or an "
+        "http(s):// endpoint to POST to (enables the fleet plane)",
+    )
+    p.add_argument(
+        "--obs-refresh", type=float, default=5.0, metavar="SECONDS",
+        help="fleet exporter refresh interval (default 5)",
+    )
+    p.add_argument(
+        "--run-id", default=None, metavar="ID",
+        help="run label stamped into fleet metric series and span tags "
+        "(default: derived from the sweep config hash)",
+    )
+    p.add_argument(
+        "--adaptive-shards", action="store_true",
+        help="size shard leases from observed per-cell wall time "
+        "instead of the static --shard-size",
+    )
     p.set_defaults(fn=_cmd_figure)
 
     p = sub.add_parser(
@@ -788,6 +836,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="poll interval while following (default 2s)",
     )
     p.set_defaults(fn=_cmd_tail)
+
+    p = sub.add_parser(
+        "dash",
+        help="live TTY dashboard over a sweep's JSONL stream",
+    )
+    p.add_argument(
+        "path",
+        help="JSONL file written by figure --stream, --telemetry or "
+        "--heartbeat (mixed record kinds are fine)",
+    )
+    p.add_argument(
+        "--interval", type=float, default=2.0, metavar="SECONDS",
+        help="repaint interval (default 2s)",
+    )
+    p.add_argument(
+        "--once", action="store_true",
+        help="render a single frame and exit instead of following",
+    )
+    p.add_argument(
+        "--width", type=int, default=72, metavar="COLS",
+        help="frame width in columns (default 72)",
+    )
+    p.set_defaults(fn=_cmd_dash)
 
     return parser
 

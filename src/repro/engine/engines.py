@@ -209,7 +209,15 @@ class Engine:
         self._tracer = _find_tracer(p.observers)
         self._observer_errors: list[ObserverError] = []
         started = time.perf_counter()
-        with self._span("run", engine=self.kind):
+        # run_id labels only exist when the spec carries one (the
+        # fleet-observability plane); unlabelled runs keep the exact
+        # series/tag shapes they always had.
+        run_labels = {"kind": self.kind}
+        run_tags = {"engine": self.kind}
+        if p.spec.run_id:
+            run_labels["run_id"] = p.spec.run_id
+            run_tags["run_id"] = p.spec.run_id
+        with self._span("run", **run_tags):
             for obs in p.observers:
                 obs.on_run_start(p)
             result = self._execute(p)
@@ -226,11 +234,11 @@ class Engine:
                             )
                         )
         reg = _metrics_registry()
-        reg.counter("repro_engine_runs_total", kind=self.kind).inc()
-        reg.histogram("repro_engine_run_seconds", kind=self.kind).observe(
+        reg.counter("repro_engine_runs_total", **run_labels).inc()
+        reg.histogram("repro_engine_run_seconds", **run_labels).observe(
             result.wall_time_s
         )
-        reg.counter("repro_engine_outcomes_total", kind=self.kind).inc(
+        reg.counter("repro_engine_outcomes_total", **run_labels).inc(
             len(result.outcomes)
         )
         if result.observer_errors:
@@ -582,8 +590,12 @@ def execute_batch(specs) -> list[RunResult]:
                 )
         results.append(result)
     reg = _metrics_registry()
-    reg.counter("repro_engine_runs_total", kind="vectorized").inc(len(plans))
-    reg.counter("repro_engine_outcomes_total", kind="vectorized").inc(
+    batch_labels = {"kind": "vectorized"}
+    run_ids = {p.spec.run_id for p in plans}
+    if len(run_ids) == 1 and next(iter(run_ids)):
+        batch_labels["run_id"] = next(iter(run_ids))
+    reg.counter("repro_engine_runs_total", **batch_labels).inc(len(plans))
+    reg.counter("repro_engine_outcomes_total", **batch_labels).inc(
         sum(len(r.outcomes) for r in results)
     )
     return results

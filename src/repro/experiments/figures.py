@@ -61,6 +61,12 @@ def figure_sweep_config(
     shards: int = 0,
     shard_listen: Optional[str] = None,
     shard_size: Optional[int] = None,
+    run_id: Optional[str] = None,
+    prom_path: Optional[str] = None,
+    prom_gateway: Optional[str] = None,
+    otlp_path: Optional[str] = None,
+    obs_refresh_s: float = 5.0,
+    adaptive_shard_size: bool = False,
 ) -> SweepConfig:
     """Sweep configuration reproducing one paper figure.
 
@@ -106,6 +112,12 @@ def figure_sweep_config(
         shards=shards,
         shard_listen=shard_listen,
         shard_size=shard_size,
+        run_id=run_id,
+        prom_path=prom_path,
+        prom_gateway=prom_gateway,
+        otlp_path=otlp_path,
+        obs_refresh_s=obs_refresh_s,
+        adaptive_shard_size=adaptive_shard_size,
     ).validate()
 
 
@@ -133,6 +145,12 @@ def run_figure(
     shards: int = 0,
     shard_listen: Optional[str] = None,
     shard_size: Optional[int] = None,
+    run_id: Optional[str] = None,
+    prom_path: Optional[str] = None,
+    prom_gateway: Optional[str] = None,
+    otlp_path: Optional[str] = None,
+    obs_refresh_s: float = 5.0,
+    adaptive_shard_size: bool = False,
 ) -> SweepResult:
     """Run one paper figure end to end and return the sweep result.
 
@@ -145,6 +163,10 @@ def run_figure(
     docs/observability.md).  ``shards`` / ``shard_listen`` route the
     grid through the fault-tolerant sharded dispatch service
     (:mod:`repro.experiments.sharded`; see docs/resilience.md).
+    ``prom_path`` / ``prom_gateway`` / ``otlp_path`` enable the fleet
+    observability plane (merged cross-process metrics + skew-aligned
+    spans, see docs/observability.md); ``adaptive_shard_size`` sizes
+    shard leases from observed per-cell wall time.
     """
     cfg = figure_sweep_config(
         figure,
@@ -170,5 +192,11 @@ def run_figure(
         shards=shards,
         shard_listen=shard_listen,
         shard_size=shard_size,
+        run_id=run_id,
+        prom_path=prom_path,
+        prom_gateway=prom_gateway,
+        otlp_path=otlp_path,
+        obs_refresh_s=obs_refresh_s,
+        adaptive_shard_size=adaptive_shard_size,
     )
     return run_sweep(cfg)

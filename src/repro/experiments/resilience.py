@@ -536,10 +536,18 @@ def _backoff(config, attempt: int, rng: random.Random) -> float:
     return base * (1.0 + config.retry_jitter * rng.random())
 
 
-def execute(config, tasks: Sequence[tuple]) -> ExecutionReport:
+def execute(
+    config, tasks: Sequence[tuple], fleet=None
+) -> ExecutionReport:
     """Run the sweep's task grid with supervision, healing, journaling
     and resumption; the runner assembles the report into a
     :class:`~repro.experiments.runner.SweepResult`.
+
+    *fleet* (a :class:`repro.obs.fleet.FleetAggregator`, owned by the
+    runner's :class:`~repro.obs.fleet.FleetPlane`) rides along to the
+    sharded coordinator, which merges worker metric deltas and spans
+    into it.  Serial and pooled sweeps leave it untouched -- their
+    metrics already live in this process's registry.
 
     *tasks* is the point-major list of ``_evaluate_task`` argument
     tuples (``tasks[i][1]`` / ``tasks[i][2]`` are the task's t_switch
@@ -582,7 +590,8 @@ def execute(config, tasks: Sequence[tuple]) -> ExecutionReport:
                 from repro.experiments.sharded import run_sharded
 
                 run_sharded(
-                    config, pending, report, journal, drain, rng, reporter
+                    config, pending, report, journal, drain, rng, reporter,
+                    fleet=fleet,
                 )
             elif config.workers > 1 and pending:
                 _run_pooled(

@@ -209,6 +209,7 @@ def _evaluate_task(
     trace_spans: bool = False,
     stream_path: Optional[str] = None,
     engine: str = "fused",
+    run_id: Optional[str] = None,
 ) -> tuple[float, int, list[RunOutcome], TaskTelemetry, list]:
     """Worker body: one (point, seed) pair, all protocols, one replay
     pass over one trace -- routed through the execution engine
@@ -254,6 +255,7 @@ def _evaluate_task(
                 use_cache=use_cache,
                 cache_dir=cache_dir,
                 observers=observers,
+                run_id=run_id,
             )
         )
     finally:
@@ -365,6 +367,7 @@ def _tasks(config: SweepConfig) -> list[tuple]:
             trace_spans,
             config.stream_path,
             config.engine,
+            config.run_id,
         )
         for t in config.t_switch_values
         for seed in config.seeds
@@ -405,13 +408,40 @@ def run_sweep(config: SweepConfig) -> SweepResult:
     Telemetry is collected for every task; when
     ``config.telemetry_path`` is set the records (plus an aggregate
     summary line) are written there as JSONL.  In audit mode the
-    result additionally carries every invariant violation found."""
-    from repro.experiments.resilience import execute
+    result additionally carries every invariant violation found.
+
+    When any fleet-observability knob is set (``obs_fleet`` /
+    ``prom_path`` / ``prom_gateway`` / ``otlp_path``) a
+    :class:`repro.obs.fleet.FleetPlane` rides the sweep: shard workers
+    ship metric deltas back, the merged registry refreshes the
+    Prometheus targets while the sweep runs, and one OTLP-JSON
+    artifact (metrics + skew-aligned spans) lands at the end.  The
+    plane observes; results are bit-identical with it on or off."""
+    from repro.experiments.resilience import execute, sweep_config_hash
 
     config.validate()
+    plane = None
+    if config.fleet_enabled:
+        from repro.obs.fleet import FleetPlane
+
+        if not config.run_id:
+            config.run_id = "sweep-" + sweep_config_hash(config)[:12]
+        plane = FleetPlane(
+            config.run_id,
+            prom_path=config.prom_path,
+            prom_gateway=config.prom_gateway,
+            otlp_path=config.otlp_path,
+            refresh_s=config.obs_refresh_s,
+        )
+        plane.start()
     started = time.perf_counter()
     tasks = _tasks(config)
-    report = execute(config, tasks)
+    try:
+        report = execute(config, tasks, fleet=plane.aggregator if plane else None)
+    except BaseException:
+        if plane is not None:
+            plane.stop_refresh()
+        raise
     result = _assemble(config, report.outcomes)
     result.errors = report.errors
     result.resumed_tasks = report.resumed
@@ -426,13 +456,19 @@ def run_sweep(config: SweepConfig) -> SweepResult:
             config.telemetry_path,
             summary=result.telemetry_summary(),
         )
+    spans = [s for rec in result.telemetry for s in rec.spans]
     if config.trace_path:
         from repro.obs.tracing import write_chrome_trace
 
         # Worker spans rode home on the telemetry records; merged they
         # form the sweep's full timeline (pids keep workers apart).
+        # With the fleet plane on they are additionally clock-skew
+        # aligned onto the coordinator's monotonic timeline.
         write_chrome_trace(
             config.trace_path,
-            [s for rec in result.telemetry for s in rec.spans],
+            plane.aggregator.align(spans) if plane is not None else spans,
         )
+    if plane is not None:
+        # finalize aligns internally -- hand it the raw spans.
+        plane.finalize(spans=spans)
     return result

@@ -99,7 +99,10 @@ __all__ = [
 
 #: Wire protocol version; bumped on any frame-shape change.  Both ends
 #: tag every frame with it and refuse mismatches.
-PROTOCOL_VERSION = 1
+#: v2: register/heartbeat frames carry a ``mono`` clock sample and the
+#: fleet observability plane adds the ``obs-delta`` frame kind
+#: (worker metric deltas; see :mod:`repro.obs.fleet`).
+PROTOCOL_VERSION = 2
 
 #: Hex-encoded connection authkey for *external* workers
 #: (``repro shard-worker``); locally spawned workers inherit a random
@@ -118,6 +121,11 @@ _REGISTER_GRACE_S = 10.0
 
 #: Respawn budget per locally spawned worker slot.
 _RESPAWNS_PER_SLOT = 2
+
+#: Bounded wait for the workers' final obs-delta flush at shutdown.
+#: Healthy workers answer in milliseconds; this only bites when one
+#: is wedged, and even then it delays teardown, never correctness.
+_OBS_HARVEST_S = 2.0
 
 
 class ShardProtocolError(RuntimeError):
@@ -212,15 +220,28 @@ class _HeartbeatPump(threading.Thread):
     Shares the connection with the worker's main loop through a send
     lock.  ``pause``/``unpause`` exist for the stall-heartbeat chaos
     hook; a send failure sets :attr:`dead` so the main loop can stop.
+
+    When the coordinator enabled the fleet plane (*obs_source* set),
+    each beat is followed by an ``obs-delta`` frame carrying whatever
+    changed in this process's metrics registry since the last one --
+    nothing when nothing changed, so an idle worker still costs one
+    frame per interval, not two.  Every frame samples
+    ``time.monotonic()`` so the coordinator can estimate this
+    process's clock offset for span alignment.
     """
 
     def __init__(
-        self, conn: Connection, lock: threading.Lock, interval_s: float
+        self,
+        conn: Connection,
+        lock: threading.Lock,
+        interval_s: float,
+        obs_source=None,
     ):
         super().__init__(name="shard-heartbeat", daemon=True)
         self.conn = conn
         self.lock = lock
         self.interval_s = interval_s
+        self.obs_source = obs_source
         self.shard_id: Optional[int] = None
         self.dead = threading.Event()
         self._stop = threading.Event()
@@ -234,8 +255,15 @@ class _HeartbeatPump(threading.Thread):
             try:
                 send_frame(
                     self.conn,
-                    {"kind": "heartbeat", "shard_id": self.shard_id},
+                    {
+                        "kind": "heartbeat",
+                        "shard_id": self.shard_id,
+                        "mono": time.monotonic(),
+                    },
                     self.lock,
+                )
+                _flush_obs(
+                    self.conn, self.lock, self.obs_source, self.shard_id
                 )
             except (OSError, ValueError, BrokenPipeError):
                 self.dead.set()
@@ -291,6 +319,35 @@ def _drain_control(conn: Connection) -> Optional[str]:
     return None
 
 
+def _flush_obs(
+    conn: Connection,
+    lock: threading.Lock,
+    obs_source,
+    shard_id: Optional[int],
+) -> None:
+    """Send one ``obs-delta`` frame when the registry changed.
+
+    Send errors propagate to the caller (the pump marks itself dead,
+    the main loop's own handling kicks in); an *empty* delta sends
+    nothing at all.
+    """
+    if obs_source is None:
+        return
+    delta = obs_source.delta()
+    if delta is None:
+        return
+    send_frame(
+        conn,
+        {
+            "kind": "obs-delta",
+            "shard_id": shard_id,
+            "mono": time.monotonic(),
+            "delta": delta,
+        },
+        lock,
+    )
+
+
 def _goodbye(conn: Connection, lock: threading.Lock) -> None:
     """Best-effort farewell: a coordinator that already closed the
     connection after its shutdown frame must not turn a clean drain
@@ -327,6 +384,7 @@ def worker_main(
             "kind": "register",
             "pid": os.getpid(),
             "version": PROTOCOL_VERSION,
+            "mono": time.monotonic(),
         },
         lock,
     )
@@ -339,7 +397,15 @@ def worker_main(
     task = hello["task"]
     timeout_s = task.get("timeout_s")
     stall_s = task["lease_timeout_s"] + 2 * task["heartbeat_interval_s"] + 0.5
-    pump = _HeartbeatPump(conn, lock, task["heartbeat_interval_s"])
+    obs_source = None
+    if task.get("obs_fleet"):
+        from repro.obs.fleet import MetricsDeltaSource
+        from repro.obs.metrics import registry as _worker_registry
+
+        obs_source = MetricsDeltaSource(_worker_registry())
+    pump = _HeartbeatPump(
+        conn, lock, task["heartbeat_interval_s"], obs_source=obs_source
+    )
     pump.start()
     try:
         while True:
@@ -367,6 +433,7 @@ def worker_main(
                                 task["trace_spans"],
                                 task["stream_path"],
                                 spec.engine,
+                                run_id=spec.run_id,
                             )
                     except (Exception, SystemExit) as exc:
                         send_frame(conn, {
@@ -383,6 +450,10 @@ def worker_main(
                             "cell": (t_switch, seed),
                             "outcome": outcome,
                         }, lock)
+                # Flush pending metric deltas at the lease boundary so
+                # the coordinator's aggregate is fresh before the next
+                # grant (and before a drain tears the connection down).
+                _flush_obs(conn, lock, obs_source, shard_id)
                 send_frame(
                     conn, {"kind": "shard-done", "shard_id": shard_id}, lock
                 )
@@ -391,6 +462,10 @@ def worker_main(
                     _goodbye(conn, lock)
                     return 0
             elif kind in ("drain", "shutdown"):
+                try:
+                    _flush_obs(conn, lock, obs_source, None)
+                except (OSError, ValueError, BrokenPipeError):
+                    pass
                 _goodbye(conn, lock)
                 return 0
             # Unknown control frames are ignored: a newer coordinator
@@ -453,6 +528,7 @@ class _WorkerState:
     worker_id: int
     conn: Connection
     process: Any = None  # mp.Process for locally spawned workers
+    pid: Optional[int] = None  # remote os.getpid() (clock-sync key)
     last_seen: float = 0.0
     lease: Optional[_Lease] = None
     busy: bool = False  # holds (or is still chewing a revoked) shard
@@ -468,8 +544,9 @@ class _Coordinator:
     """
 
     def __init__(self, config, pending, report, journal, drain, rng,
-                 reporter):
+                 reporter, fleet=None):
         self.config = config
+        self.fleet = fleet  # FleetAggregator when the plane is enabled
         self.report = report
         self.journal = journal
         self.drain = drain
@@ -506,6 +583,18 @@ class _Coordinator:
             # small enough that a lost worker forfeits little work.
             slots = max(1, config.shards or 1)
             self.shard_size = max(1, -(-n_cells // (slots * 4)))
+        self.sizer = None
+        if getattr(config, "adaptive_shard_size", False):
+            from repro.obs.fleet import AdaptiveShardSizer
+
+            # Target about half the lease deadline so a lease sized on
+            # a stale median still completes well inside its liveness
+            # window; never grow past the static default (it already
+            # bounds reassignment loss on worker death).
+            self.sizer = AdaptiveShardSizer(
+                target_lease_s=config.shard_lease_timeout_s / 2,
+                max_cells=max(self.shard_size, 1),
+            )
 
     # -- metrics -------------------------------------------------------
     @staticmethod
@@ -594,8 +683,11 @@ class _Coordinator:
         self.next_worker_id += 1
         process = self._unclaimed.pop(msg.get("pid"), None)
         worker = _WorkerState(
-            worker_id=wid, conn=conn, process=process, last_seen=now
+            worker_id=wid, conn=conn, process=process,
+            pid=msg.get("pid"), last_seen=now
         )
+        if self.fleet is not None:
+            self.fleet.observe_clock(worker.pid, msg.get("mono"))
         try:
             send_frame(conn, self._hello_payload())
         except (OSError, ValueError):
@@ -616,6 +708,7 @@ class _Coordinator:
             audit=config.audit,
             use_cache=config.use_cache,
             cache_dir=config.cache_dir,
+            run_id=getattr(config, "run_id", None),
         )
         trace_spans = bool(
             getattr(config, "trace_spans", False)
@@ -631,6 +724,7 @@ class _Coordinator:
                 "stream_path": getattr(config, "stream_path", None),
                 "heartbeat_interval_s": config.shard_heartbeat_s,
                 "lease_timeout_s": config.shard_lease_timeout_s,
+                "obs_fleet": self.fleet is not None,
             },
         }
 
@@ -658,6 +752,10 @@ class _Coordinator:
             self.reporter,
         )
         self.open_cells -= 1
+        if self.sizer is not None:
+            # outcome = (t_switch, seed, runs, telemetry, violations);
+            # observed wall time feeds the next lease's sizing.
+            self.sizer.observe(getattr(outcome[3], "wall_time_s", None))
 
     def _fail_cell(self, spec, error: TaskError) -> None:
         """Shared retry/quarantine semantics (mirrors the pooled path)."""
@@ -679,8 +777,15 @@ class _Coordinator:
 
     # -- leases --------------------------------------------------------
     def _grant(self, worker: _WorkerState) -> bool:
+        size = self.shard_size
+        if self.sizer is not None:
+            size = self.sizer.suggest(self.shard_size)
+            if size != self.shard_size:
+                self._metrics().gauge(
+                    "repro_shard_adaptive_lease_size"
+                ).set(size)
         cells = []
-        while self.queue and len(cells) < self.shard_size:
+        while self.queue and len(cells) < size:
             spec = self.queue.popleft()
             if self._cell_open(spec):
                 cells.append(spec)
@@ -771,6 +876,17 @@ class _Coordinator:
         self._mark_alive(worker, now)
         if kind == "heartbeat":
             self._metrics().counter("repro_shard_heartbeats_total").inc()
+            if self.fleet is not None:
+                self.fleet.observe_clock(worker.pid, msg.get("mono"))
+            return
+        if kind == "obs-delta":
+            # Fleet metric deltas: seq-fenced by the aggregator, so a
+            # duplicated or replayed frame never double-counts.
+            if self.fleet is not None:
+                self.fleet.observe_clock(worker.pid, msg.get("mono"))
+                self.fleet.apply_delta(
+                    worker.worker_id, msg.get("delta")
+                )
             return
         if kind == "goodbye":
             worker.process = None  # departing cleanly: never respawn
@@ -798,6 +914,14 @@ class _Coordinator:
                     # lands exactly once -- the completed-cell check
                     # above is the journal's single dedupe gate.
                     self._complete_cell(spec, msg["outcome"])
+                    if self.fleet is not None:
+                        # Spans ride the (fenced) result frames, so a
+                        # duplicate outcome never duplicates spans.
+                        self.fleet.add_spans(
+                            worker.worker_id,
+                            msg.get("shard_id"),
+                            getattr(msg["outcome"][3], "spans", None),
+                        )
             elif not stale and self._cell_open(spec):
                 self._fail_cell(spec, TaskError(
                     kind=msg.get("error_kind", "protocol-error"),
@@ -920,6 +1044,32 @@ class _Coordinator:
         finally:
             self._shutdown()
 
+    def _harvest_final_deltas(self) -> None:
+        """Collect the post-shutdown ``obs-delta`` flushes.
+
+        Each live worker reacts to the shutdown frame by flushing its
+        remaining metric deltas and sending ``goodbye``; a goodbye (or
+        a dead connection) releases that worker, so the deadline only
+        bites when a worker is wedged.  Frames other than obs-delta
+        are ignored -- results past this point are moot.
+        """
+        deadline = time.monotonic() + _OBS_HARVEST_S
+        pending = {w.conn: w for w in self.workers.values()}
+        while pending and time.monotonic() < deadline:
+            for conn in wait(list(pending), timeout=_TICK_S):
+                worker = pending[conn]
+                try:
+                    msg = recv_frame(conn)
+                except (EOFError, OSError, ShardProtocolError):
+                    del pending[conn]
+                    continue
+                kind = msg.get("kind")
+                if kind == "obs-delta":
+                    self.fleet.observe_clock(worker.pid, msg.get("mono"))
+                    self.fleet.apply_delta(worker.worker_id, msg.get("delta"))
+                elif kind == "goodbye":
+                    del pending[conn]
+
     def _broadcast_drain(self) -> None:
         if self.drain_sent:
             return
@@ -955,6 +1105,14 @@ class _Coordinator:
                 send_frame(worker.conn, {"kind": "shutdown"})
             except (OSError, ValueError):
                 pass
+        # The run loop exits the instant the last cell completes --
+        # before the workers' lease-boundary obs-delta flush has been
+        # read.  Workers answer the shutdown with one final flush and
+        # a goodbye; harvest those frames (bounded) so the fleet
+        # aggregate covers the whole grid, then tear down.
+        if self.fleet is not None:
+            self._harvest_final_deltas()
+        for worker in list(self.workers.values()):
             self._close_quietly(worker.conn)
         for conn, _ in self._pending_conns:
             self._close_quietly(conn)
@@ -973,19 +1131,29 @@ class _Coordinator:
                 process.terminate()
                 process.join(timeout=1.0)
         self.workers.clear()
+        # Finalize the liveness gauge: a drained sweep must export 0,
+        # not the last nonzero head count (phantom live workers).
+        self._metrics().gauge("repro_shard_workers_alive").set(0)
         self.reporter.set_workers(None)
 
 
-def run_sharded(config, pending, report, journal, drain, rng, reporter):
+def run_sharded(config, pending, report, journal, drain, rng, reporter,
+                fleet=None):
     """Sharded leg of :func:`repro.experiments.resilience.execute`.
 
     Same contract as ``_run_pooled``: mutate *report* in place
     (outcomes, errors, retries), journal every completion, respect the
     drain flag.  The caller owns journal/resume/signal setup, so a
     sharded sweep resumes and drains exactly like a pooled one.
+
+    *fleet* (a :class:`repro.obs.fleet.FleetAggregator`) enables the
+    observability plane: workers ship metric deltas on the heartbeat
+    cadence and the coordinator merges them (plus result-frame spans)
+    into the aggregator.  Purely observational -- cell values are
+    bit-identical with or without it.
     """
     coordinator = _Coordinator(
-        config, pending, report, journal, drain, rng, reporter
+        config, pending, report, journal, drain, rng, reporter, fleet=fleet
     )
     coordinator.start()
     coordinator.run()

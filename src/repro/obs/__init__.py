@@ -11,6 +11,15 @@
   text phase table.
 * :mod:`repro.obs.metrics` -- process-local counters / gauges /
   histograms (:class:`MetricsRegistry`), JSON and Prometheus dumps.
+* :mod:`repro.obs.fleet` -- cross-process aggregation: metric deltas,
+  clock-skew span alignment, adaptive shard sizing
+  (:class:`FleetAggregator`, :class:`AdaptiveShardSizer`,
+  :class:`FleetPlane`).
+* :mod:`repro.obs.export` -- Prometheus textfile / push-gateway and
+  OTLP-JSON exporters (:func:`write_prometheus`, :func:`write_otlp`).
+* :mod:`repro.obs.dash` -- the live TTY sweep dashboard and the
+  rotation-aware JSONL follower (:func:`render_dashboard`,
+  :class:`JsonlFollower`).
 
 This package resolves its re-exports lazily (PEP 562): the
 dependency-free leaves (:mod:`~repro.obs.tracing`,
@@ -52,6 +61,24 @@ _EXPORTS = {
     # metrics
     "MetricsRegistry": "metrics",
     "registry": "metrics",
+    # fleet
+    "AdaptiveShardSizer": "fleet",
+    "ClockSync": "fleet",
+    "FleetAggregator": "fleet",
+    "FleetPlane": "fleet",
+    "MetricsDeltaSource": "fleet",
+    # export
+    "otlp_metrics": "export",
+    "otlp_payload": "export",
+    "otlp_spans": "export",
+    "push_prometheus": "export",
+    "write_otlp": "export",
+    "write_prometheus": "export",
+    # dash
+    "JsonlFollower": "dash",
+    "render_dashboard": "dash",
+    "run_dashboard": "dash",
+    "sparkline": "dash",
 }
 
 __all__ = sorted(_EXPORTS)
@@ -68,6 +95,27 @@ if TYPE_CHECKING:  # pragma: no cover - static-analysis convenience
         audit_trace,
         check_protocol_invariants,
         run_audit_grid,
+    )
+    from repro.obs.dash import (  # noqa: F401
+        JsonlFollower,
+        render_dashboard,
+        run_dashboard,
+        sparkline,
+    )
+    from repro.obs.export import (  # noqa: F401
+        otlp_metrics,
+        otlp_payload,
+        otlp_spans,
+        push_prometheus,
+        write_otlp,
+        write_prometheus,
+    )
+    from repro.obs.fleet import (  # noqa: F401
+        AdaptiveShardSizer,
+        ClockSync,
+        FleetAggregator,
+        FleetPlane,
+        MetricsDeltaSource,
     )
     from repro.obs.metrics import MetricsRegistry, registry  # noqa: F401
     from repro.obs.telemetry import (  # noqa: F401

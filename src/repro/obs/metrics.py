@@ -16,10 +16,11 @@ under a lock) and operators can dump two ways:
 Everything is **process-local by design**: a parallel sweep's workers
 each keep their own registry, and the supervisor-side registry counts
 what the supervisor does (dispatch, retries, healing).  Cross-process
-aggregation rides the existing telemetry channel
-(:class:`~repro.obs.telemetry.TaskTelemetry`), not this one -- a
-metrics registry must never block or allocate proportionally to the
-work it measures.
+aggregation rides the telemetry channel
+(:class:`~repro.obs.telemetry.TaskTelemetry`) and the fleet delta
+frames (:mod:`repro.obs.fleet` diffs :meth:`MetricsRegistry.snapshot`
+calls), never shared state -- a metrics registry must never block or
+allocate proportionally to the work it measures.
 
 Like :mod:`repro.obs.tracing`, this module is stdlib-only and imports
 nothing from the rest of the package, so the cache and the engines can
@@ -56,10 +57,21 @@ def _label_items(labels: dict) -> LabelItems:
     return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
 
 
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus exposition format:
+    backslash, double-quote and newline (in that order -- escaping the
+    backslash first keeps the other two unambiguous)."""
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
 def _label_suffix(items: LabelItems) -> str:
     if not items:
         return ""
-    inner = ",".join(f'{k}="{v}"' for k, v in items)
+    inner = ",".join(
+        f'{k}="{_escape_label_value(v)}"' for k, v in items
+    )
     return "{" + inner + "}"
 
 
@@ -199,6 +211,34 @@ class MetricsRegistry:
                         "value": instrument.value,
                     }
         return out
+
+    def snapshot(self) -> dict[str, Any]:
+        """Structured, JSON/pickle-safe dump of every series with raw
+        (non-cumulative) values -- the exchange format the fleet
+        aggregation layer (:mod:`repro.obs.fleet`) diffs and merges.
+
+        Unlike :meth:`as_dict`, label sets stay structured (a list of
+        ``[key, value]`` pairs) and histogram bucket counts are the raw
+        per-bucket tallies, so two snapshots can be subtracted
+        element-wise to form a delta.
+        """
+        series: list[dict[str, Any]] = []
+        with self._lock:
+            for (name, items), instrument in sorted(self._series.items()):
+                entry: dict[str, Any] = {
+                    "name": name,
+                    "labels": [list(kv) for kv in items],
+                    "kind": instrument.kind,
+                }
+                if instrument.kind == "histogram":
+                    entry["buckets"] = list(instrument.buckets)
+                    entry["counts"] = list(instrument.counts)
+                    entry["sum"] = instrument.sum
+                    entry["count"] = instrument.count
+                else:
+                    entry["value"] = instrument.value
+                series.append(entry)
+        return {"series": series}
 
     def to_prometheus(self) -> str:
         """Prometheus text exposition format (version 0.0.4)."""

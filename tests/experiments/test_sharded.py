@@ -70,7 +70,9 @@ def test_frame_rejects_version_skew():
         a.send_bytes(
             struct.pack("!II", PROTOCOL_VERSION + 1, len(payload)) + payload
         )
-        with pytest.raises(VersionMismatch, match="protocol v2"):
+        with pytest.raises(
+            VersionMismatch, match=f"protocol v{PROTOCOL_VERSION + 1}"
+        ):
             recv_frame(b)
     finally:
         a.close()

@@ -1,0 +1,229 @@
+"""Fleet aggregation: delta sources, seq fencing, clock-skew alignment."""
+
+import pytest
+
+from repro.obs.fleet import (
+    AdaptiveShardSizer,
+    ClockSync,
+    FleetAggregator,
+    MetricsDeltaSource,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+# ----------------------------------------------------------------------
+# MetricsDeltaSource
+# ----------------------------------------------------------------------
+def test_delta_source_sends_only_increments():
+    reg = MetricsRegistry()
+    src = MetricsDeltaSource(reg)
+    reg.counter("c_total").inc(3)
+    first = src.delta()
+    assert first["seq"] == 1
+    (entry,) = first["series"]
+    assert entry["kind"] == "counter" and entry["value"] == 3
+
+    # Nothing changed: no frame at all.
+    assert src.delta() is None
+
+    reg.counter("c_total").inc(2)
+    second = src.delta()
+    assert second["seq"] == 2
+    assert second["series"][0]["value"] == 2  # the increment, not 5
+
+
+def test_delta_source_histogram_increments_and_gauge_last_value():
+    reg = MetricsRegistry()
+    src = MetricsDeltaSource(reg)
+    reg.histogram("h", buckets=(1.0,)).observe(0.5)
+    reg.gauge("g").set(4)
+    src.delta()
+
+    reg.histogram("h", buckets=(1.0,)).observe(2.0)
+    reg.gauge("g").set(9)
+    delta = src.delta()
+    by_name = {e["name"]: e for e in delta["series"]}
+    assert by_name["h"]["counts"] == [0, 1]  # only the new observation
+    assert by_name["h"]["count"] == 1
+    assert by_name["g"]["value"] == 9
+
+
+def test_delta_source_survives_registry_reset():
+    reg = MetricsRegistry()
+    src = MetricsDeltaSource(reg)
+    reg.counter("c_total").inc(5)
+    src.delta()
+    reg.reset()
+    reg.counter("c_total").inc(2)
+    # The counter went backwards (5 -> 2): restart from the absolute
+    # value instead of shipping a negative increment.
+    delta = src.delta()
+    assert delta["series"][0]["value"] == 2
+
+
+# ----------------------------------------------------------------------
+# FleetAggregator: merging, idempotence, interleaving
+# ----------------------------------------------------------------------
+def _delta(seq, value, name="c_total"):
+    return {
+        "seq": seq,
+        "series": [
+            {"name": name, "labels": [], "kind": "counter", "value": value}
+        ],
+    }
+
+
+def test_aggregator_labels_series_by_worker_and_run():
+    agg = FleetAggregator(run_id="r1")
+    agg.apply_delta(0, _delta(1, 3))
+    agg.apply_delta(1, _delta(1, 4))
+    assert agg.registry.counter(
+        "c_total", worker_id="0", run_id="r1"
+    ).value == 3
+    assert agg.registry.counter(
+        "c_total", worker_id="1", run_id="r1"
+    ).value == 4
+
+
+def test_duplicate_deltas_do_not_double_count():
+    # A worker-lost retry can replay the same frame; the seq fence must
+    # swallow it.
+    agg = FleetAggregator(run_id="r1")
+    assert agg.apply_delta(0, _delta(1, 3)) is True
+    assert agg.apply_delta(0, _delta(1, 3)) is False  # replayed
+    assert agg.apply_delta(0, _delta(1, 7)) is False  # stale seq too
+    assert agg.registry.counter(
+        "c_total", worker_id="0", run_id="r1"
+    ).value == 3
+    assert agg.deltas_applied == 1 and agg.deltas_dropped == 2
+
+
+def test_interleaved_worker_deltas_accumulate_independently():
+    # Per-worker seq streams are independent: interleaving frames from
+    # two workers never fences the other stream out.
+    agg = FleetAggregator()
+    agg.apply_delta("a", _delta(1, 1))
+    agg.apply_delta("b", _delta(1, 10))
+    agg.apply_delta("a", _delta(2, 2))
+    agg.apply_delta("b", _delta(2, 20))
+    assert agg.registry.counter("c_total", worker_id="a").value == 3
+    assert agg.registry.counter("c_total", worker_id="b").value == 30
+
+
+def test_end_to_end_deltas_match_absolute_counts():
+    # Simulate two workers flushing repeatedly through real sources:
+    # the merged fleet registry must equal each worker's final state.
+    agg = FleetAggregator()
+    regs = {w: MetricsRegistry() for w in ("w0", "w1")}
+    srcs = {w: MetricsDeltaSource(regs[w]) for w in regs}
+    for round_ in range(3):
+        for w, reg in regs.items():
+            reg.counter("runs_total").inc(round_ + 1)
+            reg.histogram("secs", buckets=(1.0,)).observe(0.5)
+            agg.apply_delta(w, srcs[w].delta())
+    for w, reg in regs.items():
+        assert (
+            agg.registry.counter("runs_total", worker_id=w).value
+            == reg.counter("runs_total").value
+            == 6
+        )
+        assert agg.registry.histogram(
+            "secs", buckets=(1.0,), worker_id=w
+        ).count == 3
+
+
+# ----------------------------------------------------------------------
+# Clock-skew alignment
+# ----------------------------------------------------------------------
+def test_clock_sync_minimum_estimate_wins():
+    sync = ClockSync()
+    # offset + delay samples: the smallest (least delayed) is kept.
+    sync.observe(42, remote_mono=100.0, local_mono=103.0)  # est 3.0
+    sync.observe(42, remote_mono=200.0, local_mono=202.0)  # est 2.0
+    sync.observe(42, remote_mono=300.0, local_mono=304.0)  # est 4.0
+    assert sync.offset(42) == 2.0
+    assert sync.offset(999) == 0.0  # unknown pid: assume shared clock
+
+
+def test_span_alignment_shifts_only_skewed_processes():
+    agg = FleetAggregator(run_id="r")
+    agg.clock.observe(11, remote_mono=0.0, local_mono=5.0)  # +5s skew
+    spans = [
+        {"name": "run", "pid": 11, "start_s": 10.0, "duration_s": 1.0},
+        {"name": "run", "pid": 22, "start_s": 10.0, "duration_s": 1.0},
+    ]
+    aligned = agg.align(spans)
+    assert aligned[0]["start_s"] == 15.0
+    assert aligned[1]["start_s"] == 10.0  # unknown pid untouched
+    assert all(s["tags"]["run_id"] == "r" for s in aligned)
+    # align() copies; the caller's spans are untouched.
+    assert spans[0]["start_s"] == 10.0
+
+
+def test_add_spans_tags_worker_and_shard():
+    agg = FleetAggregator(run_id="r")
+    agg.add_spans(3, 7, [{"name": "run", "pid": 1, "start_s": 0.0}])
+    agg.add_spans(3, 8, None)  # tolerated: span-less outcome
+    assert agg.span_count == 1
+    (span,) = agg.spans_aligned()
+    assert span["tags"]["worker_id"] == "3"
+    assert span["tags"]["shard_id"] == "7"
+    assert span["tags"]["run_id"] == "r"
+
+
+# ----------------------------------------------------------------------
+# Merged render
+# ----------------------------------------------------------------------
+def test_render_merges_local_registry_under_coordinator_label():
+    agg = FleetAggregator(run_id="r")
+    agg.apply_delta(0, _delta(1, 2))
+    local = MetricsRegistry()
+    local.counter("repro_sweep_tasks_total", status="done").inc(9)
+    merged = agg.render(local=local)
+    assert merged.counter("c_total", worker_id="0", run_id="r").value == 2
+    assert merged.counter(
+        "repro_sweep_tasks_total",
+        status="done", worker_id="coordinator", run_id="r",
+    ).value == 9
+    # Rendering must not mutate the inputs.
+    assert "worker_id" not in str(local.as_dict())
+
+
+# ----------------------------------------------------------------------
+# AdaptiveShardSizer
+# ----------------------------------------------------------------------
+def test_sizer_passes_default_through_until_warm():
+    sizer = AdaptiveShardSizer(target_lease_s=10.0)
+    assert sizer.suggest(8) == 8
+    sizer.observe(1.0)
+    sizer.observe(None)  # ignored
+    assert sizer.suggest(8) == 8  # still under min_samples
+
+
+def test_sizer_targets_the_lease_budget():
+    sizer = AdaptiveShardSizer(target_lease_s=10.0, max_cells=64)
+    for _ in range(5):
+        sizer.observe(2.0)
+    assert sizer.suggest(8) == 5  # 10s budget / 2s per cell
+    for _ in range(16):
+        sizer.observe(0.01)
+    # Fast cells push the suggestion up; the cap bounds it.
+    assert 1 <= sizer.suggest(8) <= 64
+
+
+def test_sizer_clamps_to_bounds():
+    sizer = AdaptiveShardSizer(
+        target_lease_s=1.0, min_cells=2, max_cells=4
+    )
+    for _ in range(5):
+        sizer.observe(100.0)  # slower than the whole budget
+    assert sizer.suggest(8) == 2
+    sizer2 = AdaptiveShardSizer(target_lease_s=100.0, max_cells=4)
+    for _ in range(5):
+        sizer2.observe(0.001)
+    assert sizer2.suggest(8) == 4
+
+
+def test_sizer_rejects_bad_bounds():
+    with pytest.raises(ValueError):
+        AdaptiveShardSizer(target_lease_s=0.0)

@@ -159,3 +159,37 @@ def test_cache_events_populate_the_default_registry(tmp_path):
     assert _events("hit") == before["hit"] + 1
     assert _events("disk_hit") == before["disk_hit"] + 1
     cache_mod._shared.pop(str(Path(str(tmp_path)).resolve()), None)
+
+
+def test_prometheus_escapes_label_values():
+    # Backslash, double quote and newline are the three characters the
+    # exposition format requires escaping in label values.
+    reg = MetricsRegistry()
+    reg.counter(
+        "repro_paths_total", path='C:\\tmp\\"x"', note="line1\nline2"
+    ).inc()
+    text = reg.to_prometheus()
+    line = next(
+        ln for ln in text.splitlines() if ln.startswith("repro_paths_total")
+    )
+    assert "\n" not in line  # the newline must be escaped, not literal
+    assert 'path="C:\\\\tmp\\\\\\"x\\""' in line
+    assert 'note="line1\\nline2"' in line
+
+
+def test_snapshot_round_trips_every_instrument_kind():
+    reg = MetricsRegistry()
+    reg.counter("c_total", kind="fused").inc(2)
+    reg.gauge("g").set(7)
+    reg.histogram("h_seconds", buckets=(0.1, 1.0)).observe(0.5)
+    snap = reg.snapshot()
+    by_name = {e["name"]: e for e in snap["series"]}
+    assert by_name["c_total"]["value"] == 2
+    assert by_name["c_total"]["labels"] == [["kind", "fused"]]
+    assert by_name["g"]["value"] == 7
+    h = by_name["h_seconds"]
+    # Finite bounds only (OTLP explicitBounds convention); counts carry
+    # one extra slot for the +Inf bucket.
+    assert h["buckets"] == [0.1, 1.0]
+    assert h["counts"] == [0, 1, 0]
+    assert h["count"] == 1 and h["sum"] == 0.5

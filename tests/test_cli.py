@@ -421,3 +421,46 @@ def test_figure_shards_flag_runs_sharded_sweep(capsys):
     assert rc == 0
     out = capsys.readouterr().out
     assert "PASS" in out
+
+
+def test_dash_once_renders_frame(tmp_path, capsys):
+    path = tmp_path / "stream.jsonl"
+    path.write_text(
+        '{"kind": "heartbeat", "done": 1, "total": 4, "rate_per_s": 2.0}\n'
+        '{"kind": "outcome", "protocol": "TP", "n_forced": 3, '
+        '"n_total": 10}\n'
+    )
+    rc = main(["dash", str(path), "--once"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "repro sweep dashboard" in out
+    assert "1/4 cells" in out
+    assert "forced-checkpoint rate" in out
+
+
+def test_dash_once_missing_file_exits_2(tmp_path, capsys):
+    rc = main(["dash", str(tmp_path / "absent.jsonl"), "--once"])
+    assert rc == 2
+    assert "no such file" in capsys.readouterr().err
+
+
+def test_figure_fleet_flags_write_exporter_artifacts(tmp_path, capsys):
+    import json
+
+    prom = tmp_path / "fleet.prom"
+    otlp = tmp_path / "fleet-otlp.json"
+    rc = main([
+        "figure", "1", "--sim-time", "300", "--seeds", "0",
+        "--sweep", "100", "800", "--no-cache", "--no-progress",
+        "--shards", "2",
+        "--prom", str(prom), "--otlp", str(otlp),
+        "--run-id", "cli-fleet",
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "fleet metrics (prometheus)" in out
+    assert "fleet OTLP-JSON" in out
+    text = prom.read_text()
+    assert 'run_id="cli-fleet"' in text
+    payload = json.loads(otlp.read_text())
+    assert "resourceMetrics" in payload
